@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the sparsifier kernels.
+
+Measures the per-round server-selection cost of each GS scheme at a
+dimension close to the paper's (D = 400k, N = 50 clients, k = 1000).
+The paper quotes O(ND log D) for FAB-top-k's selection; these benches
+confirm the kernels are far from being the simulation bottleneck.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sparsify.base import ClientUpload, SparseVector
+from repro.sparsify.fab_topk import FABTopK
+from repro.sparsify.fub_topk import FUBTopK
+from repro.sparsify.topk import top_k_indices
+from repro.sparsify.unidirectional import UnidirectionalTopK
+
+DIMENSION = 400_000
+NUM_CLIENTS = 50
+K = 1000
+
+
+@pytest.fixture(scope="module")
+def uploads():
+    rng = np.random.default_rng(0)
+    out = []
+    for cid in range(NUM_CLIENTS):
+        dense = rng.standard_normal(DIMENSION)
+        idx = top_k_indices(dense, K)
+        out.append(
+            ClientUpload(
+                client_id=cid,
+                payload=SparseVector.from_dense(dense, idx),
+                sample_count=100,
+            )
+        )
+    return out
+
+
+def test_client_topk_selection(benchmark):
+    rng = np.random.default_rng(1)
+    residual = rng.standard_normal(DIMENSION)
+    result = benchmark(top_k_indices, residual, K)
+    assert result.size == K
+
+
+def test_fab_topk_server_selection(benchmark, uploads):
+    sparsifier = FABTopK()
+    result = benchmark(sparsifier.server_select, uploads, K, DIMENSION)
+    assert result.indices.size == K
+    # Fairness floor: every client contributed at least floor(k/N).
+    assert min(result.contributions.values()) >= K // NUM_CLIENTS
+
+
+def test_fub_topk_server_selection(benchmark, uploads):
+    sparsifier = FUBTopK()
+    result = benchmark(sparsifier.server_select, uploads, K, DIMENSION)
+    assert result.indices.size == K
+
+
+def test_unidirectional_server_selection(benchmark, uploads):
+    sparsifier = UnidirectionalTopK()
+    result = benchmark(sparsifier.server_select, uploads, K, DIMENSION)
+    # Random uploads rarely collide: union close to k*N.
+    assert result.indices.size > 0.9 * K * NUM_CLIENTS

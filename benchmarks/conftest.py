@@ -1,0 +1,66 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation figures at a
+reduced-but-faithful scale (see DESIGN.md §7) and prints the series the
+figure plots, so `pytest benchmarks/ --benchmark-only -s` reproduces the
+whole evaluation section.  Expensive experiment drivers run exactly once
+per benchmark via ``benchmark.pedantic(..., rounds=1, iterations=1)``.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+def bench_config() -> ExperimentConfig:
+    """The common benchmark-scale configuration.
+
+    ~12 writers x 25 samples, 10 classes, D ≈ 3.5k, a few hundred rounds:
+    small enough that the full figure suite finishes in minutes, large
+    enough that the qualitative orderings of the paper emerge.
+    """
+    return ExperimentConfig(
+        dataset="femnist",
+        num_clients=24,
+        samples_per_client=25,
+        image_size=10,
+        num_classes=16,
+        classes_per_writer=5,
+        hidden=(16,),
+        learning_rate=0.05,
+        batch_size=16,
+        comm_time=10.0,
+        num_rounds=150,
+        eval_every=5,
+        eval_max_samples=300,
+        seed=0,
+    )
+
+
+def cifar_bench_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        dataset="cifar",
+        num_clients=10,
+        samples_per_client=25,
+        image_size=8,
+        num_classes=10,
+        hidden=(16,),
+        learning_rate=0.05,
+        batch_size=16,
+        comm_time=10.0,
+        num_rounds=120,
+        eval_every=5,
+        eval_max_samples=250,
+        seed=0,
+    )
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

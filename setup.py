@@ -1,0 +1,11 @@
+"""Legacy setuptools entry point.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in fully
+offline environments whose setuptools lacks PEP 660 editable-wheel support
+(pip falls back to ``setup.py develop``, which needs no ``wheel``
+package).  All metadata lives in pyproject.toml; this file only forwards.
+"""
+
+from setuptools import setup
+
+setup()

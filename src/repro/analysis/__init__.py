@@ -1,0 +1,39 @@
+"""Analysis tooling for sparsified training.
+
+The paper defers a convergence proof of FAB-top-k to future work, noting
+that "a similar analytical technique as in [29] can be used".  The proofs
+in that line of work rest on the *contraction property* of top-k
+compression — ``||x − top_k(x)||² ≤ (1 − k/D)·||x||²`` — and on the
+resulting geometric decay of the residual state.  This package provides
+the measurement side of that analysis:
+
+- :mod:`repro.analysis.contraction`: exact and empirical contraction
+  coefficients of the implemented sparsifiers, verifying the (1 − k/D)
+  bound and measuring how much better real gradients do (they are
+  heavy-tailed, so top-k contracts far more strongly).
+- :mod:`repro.analysis.convergence`: loss-curve fitting (power-law and
+  exponential models) and time-to-target extraction used to compare
+  training runs quantitatively rather than by eyeballing curves.
+"""
+
+from repro.analysis.contraction import (
+    contraction_coefficient,
+    empirical_contraction,
+    topk_contraction_bound,
+)
+from repro.analysis.convergence import (
+    ConvergenceFit,
+    fit_exponential,
+    fit_power_law,
+    time_to_target,
+)
+
+__all__ = [
+    "ConvergenceFit",
+    "contraction_coefficient",
+    "empirical_contraction",
+    "fit_exponential",
+    "fit_power_law",
+    "time_to_target",
+    "topk_contraction_bound",
+]

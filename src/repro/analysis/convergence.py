@@ -1,0 +1,128 @@
+"""Loss-curve models and quantitative run comparison.
+
+The paper compares methods by where their loss-vs-time curves sit; this
+module turns curves into numbers: fitted decay models and interpolated
+time-to-target.  Two standard families:
+
+- power law:  L(t) ≈ L∞ + a·t^(−b)   (SGD on smooth non-convex losses)
+- exponential: L(t) ≈ L∞ + a·exp(−b·t)   (strongly-convex regimes)
+
+Fits are least-squares in log space on the excess loss; both report R² so
+callers can pick the better-fitting family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConvergenceFit:
+    """Fitted decay model ``L(t) = floor + amplitude * decay(t)``."""
+
+    model: str
+    floor: float
+    amplitude: float
+    rate: float
+    r_squared: float
+
+    def predict(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        if self.model == "power":
+            with np.errstate(divide="ignore"):
+                return self.floor + self.amplitude * np.power(
+                    np.maximum(t, 1e-12), -self.rate
+                )
+        return self.floor + self.amplitude * np.exp(-self.rate * t)
+
+
+def _validate(times, losses, min_points: int = 3):
+    t = np.asarray(times, dtype=float)
+    y = np.asarray(losses, dtype=float)
+    if t.shape != y.shape or t.ndim != 1:
+        raise ValueError("times and losses must be equal-length 1-D arrays")
+    mask = np.isfinite(t) & np.isfinite(y)
+    t, y = t[mask], y[mask]
+    if t.size < min_points:
+        raise ValueError(f"need at least {min_points} finite points")
+    order = np.argsort(t)
+    return t[order], y[order]
+
+
+def _excess(y: np.ndarray, floor: float | None) -> tuple[np.ndarray, float]:
+    if floor is None:
+        # Heuristic floor: a little below the observed minimum, scaled by
+        # the curve's range so late near-converged points keep positive
+        # excess without collapsing the log transform.
+        spread = max(float(y.max() - y.min()), 1e-6)
+        floor = float(y.min()) - 0.05 * spread
+    excess = y - floor
+    if np.any(excess <= 0):
+        raise ValueError("floor must lie strictly below every loss value")
+    return excess, floor
+
+
+def _r_squared(y: np.ndarray, predicted: np.ndarray) -> float:
+    ss_res = float(((y - predicted) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_power_law(times, losses, floor: float | None = None) -> ConvergenceFit:
+    """Fit ``L(t) = floor + a·t^(−b)`` (log-log least squares)."""
+    t, y = _validate(times, losses)
+    if np.any(t <= 0):
+        raise ValueError("power-law fit needs strictly positive times")
+    excess, floor_value = _excess(y, floor)
+    slope, intercept = np.polyfit(np.log(t), np.log(excess), 1)
+    fit = ConvergenceFit(
+        model="power",
+        floor=floor_value,
+        amplitude=float(np.exp(intercept)),
+        rate=float(-slope),
+        r_squared=0.0,
+    )
+    r2 = _r_squared(y, fit.predict(t))
+    return ConvergenceFit(fit.model, fit.floor, fit.amplitude, fit.rate, r2)
+
+
+def fit_exponential(times, losses, floor: float | None = None
+                    ) -> ConvergenceFit:
+    """Fit ``L(t) = floor + a·exp(−b·t)`` (semi-log least squares)."""
+    t, y = _validate(times, losses)
+    excess, floor_value = _excess(y, floor)
+    slope, intercept = np.polyfit(t, np.log(excess), 1)
+    fit = ConvergenceFit(
+        model="exponential",
+        floor=floor_value,
+        amplitude=float(np.exp(intercept)),
+        rate=float(-slope),
+        r_squared=0.0,
+    )
+    r2 = _r_squared(y, fit.predict(t))
+    return ConvergenceFit(fit.model, fit.floor, fit.amplitude, fit.rate, r2)
+
+
+def time_to_target(times, losses, target: float) -> float | None:
+    """First (linearly interpolated) time at which the loss hits target.
+
+    Uses the running minimum so noisy curves don't "un-reach" a target.
+    Returns None when the target is never reached.
+    """
+    t, y = _validate(times, losses, min_points=1)
+    running = np.minimum.accumulate(y)
+    below = np.flatnonzero(running <= target)
+    if below.size == 0:
+        return None
+    i = int(below[0])
+    if i == 0 or running[i - 1] == running[i]:
+        return float(t[i])
+    # Linear interpolation between the bracketing samples.
+    t0, t1 = t[i - 1], t[i]
+    y0, y1 = running[i - 1], running[i]
+    frac = (y0 - target) / (y0 - y1)
+    return float(t0 + frac * (t1 - t0))

@@ -1,0 +1,162 @@
+"""Command-line interface: regenerate paper figures and export artifacts.
+
+Usage::
+
+    python -m repro.cli fig4 --out results/ --scale bench
+    python -m repro.cli fig7 --out results/ --rounds 200 --seed 1
+    python -m repro.cli list
+
+Each figure command runs the corresponding experiment driver
+(:mod:`repro.experiments`) and writes JSON + CSV artifacts into ``--out``.
+``--scale`` picks a configuration preset: ``smoke`` (seconds), ``bench``
+(tens of seconds, the benchmark suite's setting), ``default`` (minutes),
+or ``paper`` (the paper's 156-client scale; hours).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7, run_fig8
+from repro.experiments.io import export_figure_csv, save_figure, save_history
+from repro.experiments.plotting import render_figure
+
+FIGURES = ("fig1", "fig4", "fig5", "fig6", "fig7", "fig8")
+
+
+def _scaled_config(scale: str, figure: str) -> ExperimentConfig:
+    if scale == "smoke":
+        base = ExperimentConfig.smoke()
+    elif scale == "bench":
+        base = ExperimentConfig(
+            num_clients=24, samples_per_client=25, image_size=10,
+            num_classes=16, classes_per_writer=5, hidden=(16,),
+            learning_rate=0.05, batch_size=16, num_rounds=150,
+            eval_every=5, eval_max_samples=300,
+        )
+    elif scale == "default":
+        base = ExperimentConfig.default()
+    elif scale == "paper":
+        base = ExperimentConfig.paper_scale()
+    else:
+        raise ValueError(f"unknown scale {scale!r}")
+    if figure == "fig8":
+        cifar = ExperimentConfig.cifar_default()
+        base = cifar.with_overrides(
+            num_rounds=base.num_rounds, eval_every=base.eval_every,
+            learning_rate=base.learning_rate, batch_size=base.batch_size,
+        )
+    return base
+
+
+def _write(figure_data, name: str, out: Path) -> None:
+    save_figure(figure_data, out / f"{name}.json")
+    export_figure_csv(figure_data, out / f"{name}.csv")
+
+
+def _run_figure(figure: str, config: ExperimentConfig, out: Path,
+                plot: bool = False) -> list[str]:
+    """Run one figure driver and write its artifacts; returns filenames."""
+    written: list[str] = []
+
+    def emit(fig_data, name):
+        _write(fig_data, name, out)
+        written.extend([f"{name}.json", f"{name}.csv"])
+        if plot:
+            try:
+                print(render_figure(fig_data))
+                print()
+            except ValueError:
+                pass  # empty panel (e.g. no accuracy series)
+
+    if figure == "fig1":
+        result = run_fig1(config)
+        emit(result.figure, "fig1_post_switch_loss")
+    elif figure == "fig4":
+        result = run_fig4(config)
+        emit(result.loss_vs_time, "fig4_loss_vs_time")
+        emit(result.accuracy_vs_time, "fig4_accuracy_vs_time")
+        emit(result.contribution_cdf, "fig4_contribution_cdf")
+        for method, history in result.histories.items():
+            path = out / f"fig4_history_{method}.json"
+            save_history(history, path)
+            written.append(path.name)
+    elif figure == "fig5":
+        result = run_fig5(config)
+        emit(result.loss_vs_time, "fig5_loss_vs_time")
+        emit(result.accuracy_vs_time, "fig5_accuracy_vs_time")
+        emit(result.k_traces, "fig5_k_traces")
+    elif figure == "fig6":
+        result = run_fig6(config)
+        emit(result.loss_vs_time, "fig6_loss_vs_time")
+        emit(result.k_traces, "fig6_k_traces")
+    elif figure in ("fig7", "fig8"):
+        runner = run_fig7 if figure == "fig7" else run_fig8
+        result = runner(config)
+        assert result.k_traces is not None
+        emit(result.k_traces, f"{figure}_k_traces")
+        for beta, fig_data in result.loss_curves.items():
+            emit(fig_data, f"{figure}_replay_beta_{beta:g}")
+    else:
+        raise ValueError(f"unknown figure {figure!r}")
+    return written
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures of Han et al., ICDCS 2020.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available figure commands")
+    for figure in FIGURES:
+        p = sub.add_parser(figure, help=f"reproduce {figure} of the paper")
+        p.add_argument("--out", default="results", help="output directory")
+        p.add_argument("--scale", default="bench",
+                       choices=("smoke", "bench", "default", "paper"))
+        p.add_argument("--rounds", type=int, default=None,
+                       help="override the preset's round count")
+        p.add_argument("--seed", type=int, default=None,
+                       help="override the preset's seed")
+        p.add_argument("--comm-time", type=float, default=None,
+                       help="override the preset's communication time")
+        p.add_argument("--plot", action="store_true",
+                       help="render ASCII charts to stdout")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for figure in FIGURES:
+            print(figure)
+        return 0
+
+    config = _scaled_config(args.scale, args.command)
+    overrides = {}
+    if args.rounds is not None:
+        overrides["num_rounds"] = args.rounds
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.comm_time is not None:
+        overrides["comm_time"] = args.comm_time
+    if overrides:
+        config = config.with_overrides(**overrides)
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    written = _run_figure(args.command, config, out, plot=args.plot)
+    for name in written:
+        print(out / name)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Compression techniques orthogonal to gradient sparsification.
+
+The paper (Section II): "There exist other model compression techniques
+such as quantization [30], which are orthogonal to GS and can be applied
+together with GS."  This package provides that composition:
+
+- :class:`~repro.compress.quantization.UniformQuantizer` — QSGD-style
+  stochastic uniform quantization of the sparse values, unbiased with
+  bounded variance.
+- :class:`~repro.compress.quantization.QuantizedSparsifier` — wraps any
+  :class:`~repro.sparsify.base.Sparsifier`, quantizing uploaded values;
+  the timing helper :func:`~repro.compress.quantization.pair_cost_elements`
+  converts (index bits + value bits) into the timing model's element
+  units so quantized pairs are charged proportionally less.
+"""
+
+from repro.compress.quantization import (
+    QuantizedSparsifier,
+    UniformQuantizer,
+    pair_cost_elements,
+)
+
+__all__ = [
+    "QuantizedSparsifier",
+    "UniformQuantizer",
+    "pair_cost_elements",
+]

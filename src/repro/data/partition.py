@@ -1,0 +1,205 @@
+"""Partition a dataset pool into per-client shards.
+
+The paper's two evaluation settings map to :func:`partition_by_writer`
+(FEMNIST: "pre-partitioned according to the writer where each writer
+corresponds to a client") and :func:`partition_by_class` (CIFAR-10: "each
+client only has one class of images that is randomly partitioned among all
+the clients with this image class").  Dirichlet and IID partitioners are
+provided for ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticDataset
+
+
+@dataclass
+class ClientDataset:
+    """One client's local shard with seeded minibatch sampling."""
+
+    client_id: int
+    x: np.ndarray
+    y: np.ndarray
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.x.shape[0] != self.y.shape[0]:
+            raise ValueError("x and y must have equal sample counts")
+        if self.x.shape[0] == 0:
+            raise ValueError(f"client {self.client_id} received no samples")
+        self._rng = np.random.default_rng((self.seed, self.client_id))
+
+    def __len__(self) -> int:
+        return self.x.shape[0]
+
+    def minibatch(self, batch_size: int) -> tuple[np.ndarray, np.ndarray]:
+        """Sample a minibatch with replacement-free draw when possible.
+
+        When ``batch_size`` >= local sample count the full shard is
+        returned (matching common FL simulators).
+        """
+        n = len(self)
+        if batch_size >= n:
+            return self.x, self.y
+        idx = self._rng.choice(n, size=batch_size, replace=False)
+        return self.x[idx], self.y[idx]
+
+    def label_histogram(self, num_classes: int) -> np.ndarray:
+        """Count of samples per class on this client."""
+        return np.bincount(self.y, minlength=num_classes)
+
+
+@dataclass
+class FederatedDataset:
+    """A full federation: client shards plus the global test pool."""
+
+    clients: list[ClientDataset]
+    num_classes: int
+    test_x: np.ndarray | None = None
+    test_y: np.ndarray | None = None
+    name: str = "federated"
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.clients)
+
+    @property
+    def sample_counts(self) -> np.ndarray:
+        """``C_i`` of the paper: per-client sample counts."""
+        return np.array([len(c) for c in self.clients])
+
+    @property
+    def total_samples(self) -> int:
+        """``C`` of the paper."""
+        return int(self.sample_counts.sum())
+
+    def global_pool(self) -> tuple[np.ndarray, np.ndarray]:
+        """All training samples concatenated (for global-loss evaluation)."""
+        x = np.concatenate([c.x for c in self.clients])
+        y = np.concatenate([c.y for c in self.clients])
+        return x, y
+
+    def non_iid_degree(self) -> float:
+        """Mean total-variation distance between client and global label
+        distributions; 0 for perfectly IID shards, → 1 for disjoint ones."""
+        global_hist = np.zeros(self.num_classes)
+        for c in self.clients:
+            global_hist += c.label_histogram(self.num_classes)
+        global_dist = global_hist / global_hist.sum()
+        tvs = []
+        for c in self.clients:
+            h = c.label_histogram(self.num_classes)
+            dist = h / h.sum()
+            tvs.append(0.5 * np.abs(dist - global_dist).sum())
+        return float(np.mean(tvs))
+
+
+def partition_by_writer(dataset: SyntheticDataset, seed: int = 0) -> FederatedDataset:
+    """One client per writer (the FEMNIST setting)."""
+    writers = np.unique(dataset.writer)
+    clients = []
+    for cid, w in enumerate(writers):
+        mask = dataset.writer == w
+        clients.append(
+            ClientDataset(client_id=cid, x=dataset.x[mask], y=dataset.y[mask], seed=seed)
+        )
+    return _wrap(dataset, clients)
+
+
+def partition_by_class(
+    dataset: SyntheticDataset, num_clients: int, seed: int = 0
+) -> FederatedDataset:
+    """Each client holds a single class (the paper's CIFAR-10 setting).
+
+    Clients are assigned classes round-robin; the samples of each class
+    are split randomly and evenly among the clients holding that class.
+    Requires ``num_clients >= num_classes`` so every class is covered.
+    """
+    if num_clients < dataset.num_classes:
+        raise ValueError(
+            f"need at least num_classes={dataset.num_classes} clients, "
+            f"got {num_clients}"
+        )
+    rng = np.random.default_rng(seed)
+    class_of_client = np.arange(num_clients) % dataset.num_classes
+    clients: list[ClientDataset] = []
+    for cls in range(dataset.num_classes):
+        holders = np.flatnonzero(class_of_client == cls)
+        idx = np.flatnonzero(dataset.y == cls)
+        if idx.size < holders.size:
+            raise ValueError(
+                f"class {cls} has {idx.size} samples but {holders.size} clients"
+            )
+        rng.shuffle(idx)
+        for part, cid in zip(np.array_split(idx, holders.size), holders):
+            clients.append(
+                ClientDataset(
+                    client_id=int(cid), x=dataset.x[part], y=dataset.y[part], seed=seed
+                )
+            )
+    clients.sort(key=lambda c: c.client_id)
+    return _wrap(dataset, clients)
+
+
+def partition_dirichlet(
+    dataset: SyntheticDataset, num_clients: int, alpha: float = 0.5, seed: int = 0
+) -> FederatedDataset:
+    """Dirichlet(alpha) label-skew partition (smaller alpha = more skew)."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    rng = np.random.default_rng(seed)
+    buckets: list[list[int]] = [[] for _ in range(num_clients)]
+    for cls in range(dataset.num_classes):
+        idx = np.flatnonzero(dataset.y == cls)
+        if idx.size == 0:
+            continue
+        rng.shuffle(idx)
+        proportions = rng.dirichlet(np.full(num_clients, alpha))
+        cuts = (np.cumsum(proportions)[:-1] * idx.size).astype(int)
+        for cid, part in enumerate(np.split(idx, cuts)):
+            buckets[cid].extend(part.tolist())
+    # Guarantee every client has at least one sample by stealing from the
+    # largest bucket; Dirichlet draws with small alpha can empty a client.
+    for cid, bucket in enumerate(buckets):
+        if not bucket:
+            donor = max(range(num_clients), key=lambda c: len(buckets[c]))
+            bucket.append(buckets[donor].pop())
+    clients = [
+        ClientDataset(
+            client_id=cid,
+            x=dataset.x[np.array(sorted(bucket))],
+            y=dataset.y[np.array(sorted(bucket))],
+            seed=seed,
+        )
+        for cid, bucket in enumerate(buckets)
+    ]
+    return _wrap(dataset, clients)
+
+
+def partition_iid(
+    dataset: SyntheticDataset, num_clients: int, seed: int = 0
+) -> FederatedDataset:
+    """Uniform random split — the datacenter-style IID baseline."""
+    if num_clients > len(dataset):
+        raise ValueError("more clients than samples")
+    rng = np.random.default_rng(seed)
+    idx = rng.permutation(len(dataset))
+    clients = [
+        ClientDataset(client_id=cid, x=dataset.x[part], y=dataset.y[part], seed=seed)
+        for cid, part in enumerate(np.array_split(idx, num_clients))
+    ]
+    return _wrap(dataset, clients)
+
+
+def _wrap(dataset: SyntheticDataset, clients: list[ClientDataset]) -> FederatedDataset:
+    return FederatedDataset(
+        clients=clients,
+        num_classes=dataset.num_classes,
+        test_x=dataset.test_x,
+        test_y=dataset.test_y,
+        name=dataset.name,
+    )

@@ -1,0 +1,105 @@
+"""Experiment configuration presets.
+
+The paper's scale (156 FEMNIST clients, D > 400,000, thousands of rounds)
+is reproducible here by :func:`ExperimentConfig.paper_scale`, but the
+default presets are deliberately laptop-scale: the claims under test are
+*qualitative orderings* (which method wins, how learned k moves with β),
+which are preserved at reduced dimension — see DESIGN.md §7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to build a federation, model, and trainer.
+
+    ``dataset`` is "femnist" (writer-partitioned, 62 classes) or "cifar"
+    (one class per client, 10 classes).
+    """
+
+    dataset: str = "femnist"
+    num_clients: int = 20
+    samples_per_client: int = 30
+    image_size: int = 12
+    num_classes: int = 62
+    classes_per_writer: int = 8
+    hidden: tuple[int, ...] = (32,)
+    learning_rate: float = 0.05
+    batch_size: int = 32
+    comm_time: float = 10.0
+    num_rounds: int = 300
+    eval_every: int = 5
+    eval_max_samples: int = 1000
+    kmin_fraction: float = 0.002  # paper: kmin = 0.002 * D
+    alpha: float = 1.5            # paper: α = 1.5
+    update_window: int = 20       # paper: M_u = 20
+    seed: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.dataset not in ("femnist", "cifar"):
+            raise ValueError(f"unknown dataset {self.dataset!r}")
+        if self.num_clients < 1 or self.samples_per_client < 1:
+            raise ValueError("need at least one client and one sample")
+        if self.num_rounds < 1:
+            raise ValueError("num_rounds must be positive")
+        if not 0.0 < self.kmin_fraction < 1.0:
+            raise ValueError("kmin_fraction must be in (0, 1)")
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """Copy with fields replaced (configs are immutable)."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def smoke(cls) -> "ExperimentConfig":
+        """Tiny preset for unit/integration tests (seconds)."""
+        return cls(
+            num_clients=6,
+            samples_per_client=15,
+            image_size=8,
+            num_classes=10,
+            classes_per_writer=4,
+            hidden=(8,),
+            num_rounds=30,
+            eval_every=5,
+            batch_size=16,
+        )
+
+    @classmethod
+    def default(cls) -> "ExperimentConfig":
+        """Benchmark preset: minutes for the full figure suite."""
+        return cls()
+
+    @classmethod
+    def paper_scale(cls) -> "ExperimentConfig":
+        """The paper's FEMNIST setup (156 clients, D > 400k). Hours."""
+        return cls(
+            num_clients=156,
+            samples_per_client=222,   # ≈ 34,659 training samples total
+            image_size=28,
+            num_classes=62,
+            hidden=(512,),            # D ≈ 28²·512 + 512·62 ≈ 430k
+            learning_rate=0.01,
+            batch_size=32,
+            num_rounds=5000,
+            eval_every=20,
+            eval_max_samples=4000,
+        )
+
+    @classmethod
+    def cifar_default(cls) -> "ExperimentConfig":
+        """CIFAR-like preset for Fig. 8 (one class per client)."""
+        return cls(
+            dataset="cifar",
+            num_clients=20,
+            samples_per_client=40,
+            image_size=8,
+            num_classes=10,
+            hidden=(32,),
+        )

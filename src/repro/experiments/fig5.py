@@ -1,0 +1,122 @@
+"""Fig. 5 — adaptive-k online-learning methods compared (Section V-B).
+
+Four policies drive k during FAB-top-k training at β = 10:
+
+1. Proposed: Algorithm 3 + derivative-sign estimator
+   (α = 1.5, M_u = 20, kmin = 0.002·D, kmax = D — the paper's settings).
+2. Value-based gradient (derivative) descent.
+3. EXP3 over (discretized) arms.
+4. Continuous one-point bandit.
+
+Outputs loss/accuracy vs time plus the k_m trace of every method (the
+bottom row of Fig. 5, which shows the proposed method's stability against
+the bandits' wild oscillation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    FigureData,
+    build_federation,
+    build_model,
+    build_search_interval,
+    build_timing,
+)
+from repro.fl.metrics import TrainingHistory
+from repro.online.adaptive_trainer import AdaptiveKTrainer
+from repro.online.algorithm3 import AdaptiveSignOGD
+from repro.online.baselines import ContinuousBandit, Exp3Policy, ValueBasedGD
+from repro.online.policy import KPolicy, SignPolicy
+from repro.sparsify.fab_topk import FABTopK
+
+POLICIES = ("proposed", "value-based", "exp3", "continuous-bandit")
+
+
+@dataclass
+class Fig5Result:
+    loss_vs_time: FigureData
+    accuracy_vs_time: FigureData
+    k_traces: FigureData
+    histories: dict[str, TrainingHistory] = field(default_factory=dict)
+
+    def loss_at_time(self, t: float) -> dict[str, float]:
+        return {s.label: s.y_at(t) for s in self.loss_vs_time.series}
+
+    def k_stability(self) -> dict[str, float]:
+        """Std-dev of each method's k trace over its second half."""
+        out = {}
+        for s in self.k_traces.series:
+            tail = np.array(s.y[len(s.y) // 2:])
+            out[s.label] = float(tail.std())
+        return out
+
+
+def make_policy(
+    name: str, config: ExperimentConfig, dimension: int
+) -> KPolicy:
+    """Instantiate a Fig. 5 policy by name with the paper's parameters."""
+    interval = build_search_interval(config, dimension)
+    if name == "proposed":
+        return SignPolicy(
+            AdaptiveSignOGD(
+                interval, alpha=config.alpha, update_window=config.update_window
+            )
+        )
+    if name == "value-based":
+        return ValueBasedGD(interval)
+    if name == "exp3":
+        return Exp3Policy(interval, num_arms=32, seed=config.seed)
+    if name == "continuous-bandit":
+        return ContinuousBandit(interval, seed=config.seed)
+    raise ValueError(f"unknown policy {name!r}")
+
+
+def run_fig5(
+    config: ExperimentConfig,
+    policies: tuple[str, ...] = POLICIES,
+    comm_time: float | None = None,
+    num_rounds: int | None = None,
+) -> Fig5Result:
+    num_rounds = num_rounds if num_rounds is not None else config.num_rounds
+    loss_fig = FigureData(title="Fig5 loss vs normalized time")
+    acc_fig = FigureData(title="Fig5 accuracy vs normalized time")
+    k_fig = FigureData(title="Fig5 k_m traces")
+    result = Fig5Result(loss_vs_time=loss_fig, accuracy_vs_time=acc_fig,
+                        k_traces=k_fig)
+
+    for name in policies:
+        model = build_model(config)
+        federation = build_federation(config)
+        timing = build_timing(config, model.dimension, comm_time)
+        policy = make_policy(name, config, model.dimension)
+        trainer = AdaptiveKTrainer(
+            model, federation, FABTopK(), policy, timing,
+            learning_rate=config.learning_rate,
+            batch_size=config.batch_size,
+            eval_every=config.eval_every,
+            eval_max_samples=config.eval_max_samples,
+            seed=config.seed,
+        )
+        trainer.run(num_rounds)
+        result.histories[name] = trainer.history
+        xs, losses, accs, acc_xs = [], [], [], []
+        for record in trainer.history:
+            if record.loss == record.loss:
+                xs.append(record.cumulative_time)
+                losses.append(record.loss)
+                if record.accuracy is not None:
+                    acc_xs.append(record.cumulative_time)
+                    accs.append(record.accuracy)
+        loss_fig.add(name, xs, losses)
+        acc_fig.add(name, acc_xs, accs)
+        k_fig.add(
+            name,
+            [float(r.round_index) for r in trainer.history],
+            trainer.history.ks(),
+        )
+    return result

@@ -1,0 +1,89 @@
+"""Fig. 6 — Algorithm 3 vs Algorithm 2 at large communication time.
+
+With β = 100 the optimal k is small, so Algorithm 2's step size
+δ_m = B/√(2m) (with B = kmax − kmin ≈ D) overshoots and keeps k
+fluctuating high — spending heavily on communication.  Algorithm 3's
+shrinking search interval suppresses the fluctuation.  The figure reports
+loss/accuracy vs time and both k_m traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    FigureData,
+    build_federation,
+    build_model,
+    build_search_interval,
+    build_timing,
+)
+from repro.fl.metrics import TrainingHistory
+from repro.online.adaptive_trainer import AdaptiveKTrainer
+from repro.online.algorithm2 import SignOGD
+from repro.online.algorithm3 import AdaptiveSignOGD
+from repro.online.policy import SignPolicy
+from repro.sparsify.fab_topk import FABTopK
+
+
+@dataclass
+class Fig6Result:
+    loss_vs_time: FigureData
+    k_traces: FigureData
+    histories: dict[str, TrainingHistory] = field(default_factory=dict)
+
+    def k_fluctuation(self) -> dict[str, float]:
+        """Std of k over the second half of each trace."""
+        out = {}
+        for s in self.k_traces.series:
+            tail = np.array(s.y[len(s.y) // 2:])
+            out[s.label] = float(tail.std())
+        return out
+
+    def loss_at_time(self, t: float) -> dict[str, float]:
+        return {s.label: s.y_at(t) for s in self.loss_vs_time.series}
+
+
+def run_fig6(
+    config: ExperimentConfig,
+    comm_time: float = 100.0,
+    num_rounds: int | None = None,
+) -> Fig6Result:
+    num_rounds = num_rounds if num_rounds is not None else config.num_rounds
+    loss_fig = FigureData(title="Fig6 loss vs normalized time")
+    k_fig = FigureData(title="Fig6 k_m traces")
+    result = Fig6Result(loss_vs_time=loss_fig, k_traces=k_fig)
+
+    for label in ("algorithm3", "algorithm2"):
+        model = build_model(config)
+        federation = build_federation(config)
+        timing = build_timing(config, model.dimension, comm_time)
+        interval = build_search_interval(config, model.dimension)
+        if label == "algorithm3":
+            algorithm = AdaptiveSignOGD(
+                interval, alpha=config.alpha, update_window=config.update_window
+            )
+        else:
+            algorithm = SignOGD(interval)
+        trainer = AdaptiveKTrainer(
+            model, federation, FABTopK(), SignPolicy(algorithm), timing,
+            learning_rate=config.learning_rate,
+            batch_size=config.batch_size,
+            eval_every=config.eval_every,
+            eval_max_samples=config.eval_max_samples,
+            seed=config.seed,
+        )
+        trainer.run(num_rounds)
+        result.histories[label] = trainer.history
+        xs = [r.cumulative_time for r in trainer.history if r.loss == r.loss]
+        ys = [r.loss for r in trainer.history if r.loss == r.loss]
+        loss_fig.add(label, xs, ys)
+        k_fig.add(
+            label,
+            [float(r.round_index) for r in trainer.history],
+            trainer.history.ks(),
+        )
+    return result

@@ -1,0 +1,117 @@
+"""Saving and loading experiment artifacts (JSON + CSV).
+
+Every figure driver returns in-memory containers; this module persists
+them so long experiment runs can be archived and re-plotted without
+re-running.  The JSON schema is versioned and round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.runner import FigureData, Series
+from repro.fl.metrics import RoundRecord, TrainingHistory
+
+SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# FigureData
+# ----------------------------------------------------------------------
+def figure_to_dict(figure: FigureData) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "figure",
+        "title": figure.title,
+        "notes": list(figure.notes),
+        "series": [
+            {"label": s.label, "x": list(map(float, s.x)),
+             "y": list(map(float, s.y))}
+            for s in figure.series
+        ],
+    }
+
+
+def figure_from_dict(data: dict) -> FigureData:
+    _check(data, "figure")
+    figure = FigureData(title=data["title"], notes=list(data.get("notes", [])))
+    for s in data["series"]:
+        figure.series.append(Series(s["label"], list(s["x"]), list(s["y"])))
+    return figure
+
+
+def save_figure(figure: FigureData, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(figure_to_dict(figure), indent=1))
+
+
+def load_figure(path: str | Path) -> FigureData:
+    return figure_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# TrainingHistory
+# ----------------------------------------------------------------------
+def history_to_dict(history: TrainingHistory) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "history",
+        "records": [
+            {
+                "round": r.round_index,
+                "k": r.k,
+                "round_time": r.round_time,
+                "cumulative_time": r.cumulative_time,
+                "loss": r.loss,
+                "accuracy": r.accuracy,
+                "uplink": r.uplink_elements,
+                "downlink": r.downlink_elements,
+                "contributions": {str(k): v for k, v in r.contributions.items()},
+            }
+            for r in history.records
+        ],
+    }
+
+
+def history_from_dict(data: dict) -> TrainingHistory:
+    _check(data, "history")
+    history = TrainingHistory()
+    for r in data["records"]:
+        history.append(
+            RoundRecord(
+                round_index=r["round"],
+                k=r["k"],
+                round_time=r["round_time"],
+                cumulative_time=r["cumulative_time"],
+                loss=r["loss"],
+                accuracy=r.get("accuracy"),
+                uplink_elements=r.get("uplink", 0),
+                downlink_elements=r.get("downlink", 0),
+                contributions={int(k): v
+                               for k, v in r.get("contributions", {}).items()},
+            )
+        )
+    return history
+
+
+def save_history(history: TrainingHistory, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(history_to_dict(history), indent=1))
+
+
+def load_history(path: str | Path) -> TrainingHistory:
+    return history_from_dict(json.loads(Path(path).read_text()))
+
+
+def export_figure_csv(figure: FigureData, path: str | Path) -> None:
+    """Write the long-format CSV of a figure next to its JSON."""
+    Path(path).write_text(figure.to_csv())
+
+
+def _check(data: dict, kind: str) -> None:
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema {data.get('schema')!r}; "
+            f"this build reads version {SCHEMA_VERSION}"
+        )
+    if data.get("kind") != kind:
+        raise ValueError(f"expected kind {kind!r}, got {data.get('kind')!r}")

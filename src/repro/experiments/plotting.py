@@ -1,0 +1,95 @@
+"""Terminal (ASCII) rendering of figures.
+
+matplotlib is unavailable in the reproduction environment, so this module
+renders :class:`~repro.experiments.runner.FigureData` as fixed-grid ASCII
+charts — enough to see the orderings and trends the paper's figures show.
+Used by ``python -m repro <fig> --plot`` and handy in notebooks/logs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.runner import FigureData
+
+_MARKERS = "ox+*#@%&"
+
+
+def render_figure(
+    figure: FigureData,
+    width: int = 72,
+    height: int = 20,
+    logy: bool = False,
+) -> str:
+    """Render all series of ``figure`` on one ASCII grid.
+
+    Each series gets a marker character; the legend maps markers to
+    labels.  Points are nearest-cell rasterized; later series overwrite
+    earlier ones where they collide.
+    """
+    if width < 16 or height < 6:
+        raise ValueError("grid too small to render")
+    series = [s for s in figure.series if len(s.x) > 0]
+    if not series:
+        raise ValueError("figure has no data")
+    if len(series) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported")
+
+    xs = [x for s in series for x in s.x]
+    ys = [y for s in series for y in s.y if _finite(y)]
+    if not ys:
+        raise ValueError("figure has no finite y values")
+    x_lo, x_hi = min(xs), max(xs)
+    y_values = [_transform(y, logy) for y in ys]
+    y_lo, y_hi = min(y_values), max(y_values)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, s in zip(_MARKERS, series):
+        for x, y in zip(s.x, s.y):
+            if not _finite(y):
+                continue
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((_transform(y, logy) - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    top_label = f"{_untransform(y_hi, logy):.4g}"
+    bottom_label = f"{_untransform(y_lo, logy):.4g}"
+    label_width = max(len(top_label), len(bottom_label))
+    lines = [figure.title]
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(label_width)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_axis_labels = (
+        " " * label_width + f"  {x_lo:.4g}" + " " * max(
+            1, width - len(f"{x_lo:.4g}") - len(f"{x_hi:.4g}") - 2
+        ) + f"{x_hi:.4g}"
+    )
+    lines.append(x_axis_labels)
+    for marker, s in zip(_MARKERS, series):
+        lines.append(f"  {marker} = {s.label}")
+    return "\n".join(lines)
+
+
+def _finite(y: float) -> bool:
+    return y == y and abs(y) != math.inf
+
+
+def _transform(y: float, logy: bool) -> float:
+    if logy:
+        if y <= 0:
+            raise ValueError("logy requires positive y values")
+        return math.log10(y)
+    return y
+
+
+def _untransform(y: float, logy: bool) -> float:
+    return 10.0**y if logy else y

@@ -1,0 +1,168 @@
+"""Shared experiment machinery: builders, series containers, text tables."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.partition import (
+    FederatedDataset,
+    partition_by_class,
+    partition_by_writer,
+)
+from repro.data.synthetic import make_cifar_like, make_femnist_like
+from repro.experiments.config import ExperimentConfig
+from repro.nn.flat import FlatModel
+from repro.nn.models import make_cnn, make_mlp
+from repro.online.interval import SearchInterval
+from repro.simulation.timing import TimingModel
+
+
+def build_federation(config: ExperimentConfig) -> FederatedDataset:
+    """Dataset + partition exactly as the paper's two settings.
+
+    MLP configs get flat feature vectors; CNN configs
+    (``extras={"model_type": "cnn"}``) keep the (channels, H, W) layout.
+    """
+    flatten = config.extras.get("model_type", "mlp") != "cnn"
+    if config.dataset == "femnist":
+        ds = make_femnist_like(
+            num_writers=config.num_clients,
+            samples_per_writer=config.samples_per_client,
+            num_classes=config.num_classes,
+            image_size=config.image_size,
+            classes_per_writer=min(config.classes_per_writer, config.num_classes),
+            flatten=flatten,
+            seed=config.seed,
+        )
+        return partition_by_writer(ds, seed=config.seed)
+    ds = make_cifar_like(
+        num_clients=config.num_clients,
+        samples_per_client=config.samples_per_client,
+        num_classes=config.num_classes,
+        image_size=config.image_size,
+        flatten=flatten,
+        seed=config.seed,
+    )
+    return partition_by_class(ds, num_clients=config.num_clients, seed=config.seed)
+
+
+def build_model(config: ExperimentConfig) -> FlatModel:
+    """Fresh model with the config's architecture and seed.
+
+    Default is an MLP (fast, laptop-scale); set
+    ``extras={"model_type": "cnn"}`` to use the paper's CNN family
+    (requires ``image_size`` divisible by 4 and image inputs).
+    """
+    channels = 1 if config.dataset == "femnist" else 3
+    model_type = config.extras.get("model_type", "mlp")
+    if model_type == "cnn":
+        return make_cnn(
+            image_size=config.image_size,
+            channels=channels,
+            num_classes=config.num_classes,
+            dense_width=config.hidden[0] if config.hidden else 64,
+            seed=config.seed,
+        )
+    if model_type != "mlp":
+        raise ValueError(f"unknown model_type {model_type!r}")
+    input_dim = channels * config.image_size**2
+    return make_mlp(
+        input_dim, config.num_classes, hidden=config.hidden, seed=config.seed
+    )
+
+
+def build_timing(
+    config: ExperimentConfig, dimension: int, comm_time: float | None = None
+) -> TimingModel:
+    return TimingModel(
+        dimension=dimension,
+        comm_time=comm_time if comm_time is not None else config.comm_time,
+    )
+
+
+def build_search_interval(config: ExperimentConfig, dimension: int) -> SearchInterval:
+    """K = [0.002·D, D] as in the paper's Fig. 5 setup."""
+    kmin = max(2.0, config.kmin_fraction * dimension)
+    return SearchInterval(kmin, float(dimension))
+
+
+@dataclass
+class Series:
+    """One labelled (x, y) curve of a figure."""
+
+    label: str
+    x: list[float]
+    y: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError("x and y must have equal length")
+
+    def y_at(self, x_query: float) -> float:
+        """Step-interpolated y at x_query (last value whose x <= query)."""
+        if not self.x:
+            raise ValueError("empty series")
+        result = self.y[0]
+        for xv, yv in zip(self.x, self.y):
+            if xv <= x_query:
+                result = yv
+            else:
+                break
+        return result
+
+
+@dataclass
+class FigureData:
+    """A figure as a set of labelled curves plus free-form notes."""
+
+    title: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, label: str, x: list[float], y: list[float]) -> None:
+        self.series.append(Series(label, list(x), list(y)))
+
+    def get(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(label)
+
+    def labels(self) -> list[str]:
+        return [s.label for s in self.series]
+
+    def to_csv(self) -> str:
+        """Long-format CSV: series,x,y."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["series", "x", "y"])
+        for s in self.series:
+            for xv, yv in zip(s.x, s.y):
+                writer.writerow([s.label, f"{xv:.6g}", f"{yv:.6g}"])
+        return buf.getvalue()
+
+
+def text_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Fixed-width text table used by the benchmark reports."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def contribution_cdf(contributions: dict[int, int]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of per-client contributed element counts (Fig. 4 right)."""
+    if not contributions:
+        raise ValueError("no contributions recorded")
+    values = np.sort(np.array(list(contributions.values()), dtype=float))
+    cdf = np.arange(1, values.size + 1) / values.size
+    return values, cdf

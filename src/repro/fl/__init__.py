@@ -1,0 +1,29 @@
+"""Federated-learning core: Algorithm 1 of the paper plus baselines.
+
+- :class:`~repro.fl.client.Client`: local data, residual accumulator
+  ``a_i``, gradient computation, one-sample loss probes.
+- :class:`~repro.fl.server.Server`: weighted aggregation
+  ``b_j = (1/C) Σ_i C_i a_ij 1[j ∈ J_i]``.
+- :class:`~repro.fl.trainer.FLTrainer`: the synchronized sparse-gradient
+  training loop (Algorithm 1) with pluggable sparsifier and timing model.
+- :mod:`repro.fl.fedavg`: the FedAvg send-all-every-E-rounds baseline and
+  the always-send-all baseline of Fig. 4.
+- :mod:`repro.fl.metrics`: round records and history containers shared by
+  all trainers.
+"""
+
+from repro.fl.client import Client
+from repro.fl.fedavg import AlwaysSendAllTrainer, FedAvgTrainer
+from repro.fl.metrics import RoundRecord, TrainingHistory
+from repro.fl.server import Server
+from repro.fl.trainer import FLTrainer
+
+__all__ = [
+    "AlwaysSendAllTrainer",
+    "Client",
+    "FedAvgTrainer",
+    "FLTrainer",
+    "RoundRecord",
+    "Server",
+    "TrainingHistory",
+]

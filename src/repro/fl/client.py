@@ -1,0 +1,150 @@
+"""FL client: local gradient computation and residual accumulation.
+
+Implements the client side of Algorithm 1.  Weights are synchronized
+across clients (all clients apply the identical sparse update), so the
+simulation shares a single :class:`~repro.nn.flat.FlatModel` instance whose
+weights represent the common ``w(m)``; each client owns only its *state* —
+data shard, residual ``a_i``, and RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.partition import ClientDataset
+from repro.nn.flat import FlatModel
+from repro.sparsify.base import ClientUpload, Sparsifier, SparseVector
+
+
+class Client:
+    """One federated client.
+
+    Parameters
+    ----------
+    dataset:
+        The client's local shard (provides seeded minibatch sampling).
+    dimension:
+        Flat model dimension D (the residual's length).
+    batch_size:
+        Minibatch size for local gradient computation (paper: 32).
+    seed:
+        Seed for the probe-sample RNG used by the sign estimator.
+    """
+
+    def __init__(
+        self,
+        dataset: ClientDataset,
+        dimension: int,
+        batch_size: int = 32,
+        momentum_correction: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= momentum_correction < 1.0:
+            raise ValueError("momentum_correction must be in [0, 1)")
+        self.dataset = dataset
+        self.dimension = dimension
+        self.batch_size = batch_size
+        self.momentum_correction = momentum_correction
+        self.residual = np.zeros(dimension)
+        self._velocity = np.zeros(dimension) if momentum_correction else None
+        self._rng = np.random.default_rng((seed, dataset.client_id, 0xC11E))
+        self._last_batch: tuple[np.ndarray, np.ndarray] | None = None
+        self._last_upload_indices: np.ndarray | None = None
+        self.probe_sample: tuple[np.ndarray, np.ndarray] | None = None
+
+    @property
+    def client_id(self) -> int:
+        return self.dataset.client_id
+
+    @property
+    def sample_count(self) -> int:
+        """``C_i`` of the paper."""
+        return len(self.dataset)
+
+    # ------------------------------------------------------------------
+    def local_step(
+        self, model: FlatModel, k: int, sparsifier: Sparsifier
+    ) -> ClientUpload:
+        """One local round: accumulate gradient, select and return upload.
+
+        ``model`` must hold the synchronized weights ``w(m-1)`` on entry;
+        it is left unchanged (gradient computation does not move weights).
+        """
+        x, y = self.dataset.minibatch(self.batch_size)
+        self._last_batch = (x, y)
+        grad, _ = model.gradient(x, y)
+        if self._velocity is not None:
+            # Momentum correction (Deep Gradient Compression, Lin et al.,
+            # the paper's reference [22]): accumulate the *velocity* into
+            # the residual so sparse updates carry momentum faithfully.
+            self._velocity = self.momentum_correction * self._velocity + grad
+            self.residual += self._velocity
+        else:
+            self.residual += grad
+        indices = sparsifier.client_select(self.residual, k, self._rng)
+        self._last_upload_indices = np.sort(np.asarray(indices, dtype=np.int64))
+        payload = SparseVector.from_dense(self.residual, self._last_upload_indices)
+        return ClientUpload(
+            client_id=self.client_id,
+            payload=payload,
+            sample_count=self.sample_count,
+        )
+
+    def reset_transmitted(
+        self, selected: np.ndarray, transmitted: SparseVector | None = None
+    ) -> None:
+        """Clear the transmitted part of the residual at ``J ∩ J_i``.
+
+        With exact uploads this zeroes the entries (Algorithm 1, lines
+        16–17).  When a compression wrapper altered the uploaded values
+        (e.g. quantization), pass the *actually transmitted* payload via
+        ``transmitted``: the residual keeps the compression error
+        (error feedback), which is what makes quantized GS unbiased over
+        time.
+        """
+        if self._last_upload_indices is None:
+            raise RuntimeError("reset_transmitted called before local_step")
+        hit = np.intersect1d(
+            selected, self._last_upload_indices, assume_unique=True
+        )
+        if self._velocity is not None:
+            # DGC momentum factor masking: stop momentum at transmitted
+            # coordinates so stale velocity does not re-inflate them.
+            self._velocity[hit] = 0.0
+        if transmitted is None:
+            self.residual[hit] = 0.0
+            return
+        pos = np.searchsorted(transmitted.indices, hit)
+        valid = pos < transmitted.indices.size
+        pos_clipped = np.minimum(pos, max(transmitted.indices.size - 1, 0))
+        matches = valid & (transmitted.indices[pos_clipped] == hit)
+        self.residual[hit[matches]] -= transmitted.values[pos_clipped[matches]]
+        self.residual[hit[~matches]] = 0.0
+
+    def reset_all(self) -> None:
+        """Drop the whole residual (non-accumulating schemes, e.g. [30])."""
+        self.residual[:] = 0.0
+        if self._velocity is not None:
+            self._velocity[:] = 0.0
+
+    # ------------------------------------------------------------------
+    # Probes for the derivative-sign estimator (paper Section IV-E)
+    # ------------------------------------------------------------------
+    def draw_probe_sample(self) -> None:
+        """Pick one random sample h from the current round's minibatch."""
+        if self._last_batch is None:
+            raise RuntimeError("draw_probe_sample called before local_step")
+        x, y = self._last_batch
+        h = int(self._rng.integers(0, x.shape[0]))
+        self.probe_sample = (x[h : h + 1], y[h : h + 1])
+
+    def probe_loss(self, model: FlatModel, weights: np.ndarray) -> float:
+        """Loss ``f_{i,h}(weights)`` of the probe sample at given weights."""
+        if self.probe_sample is None:
+            raise RuntimeError("probe_loss called before draw_probe_sample")
+        x, y = self.probe_sample
+        return float(model.per_sample_losses_at(weights, x, y)[0])
+
+    def local_loss(self, model: FlatModel) -> float:
+        """Full local loss ``L(w, i)`` at the model's current weights."""
+        return model.loss_value(self.dataset.x, self.dataset.y)

@@ -1,0 +1,219 @@
+"""Send-all-or-nothing baselines of Fig. 4: FedAvg and always-send-all.
+
+FedAvg [2]: each client performs local SGD steps on its own weight copy;
+every ``aggregation_period`` rounds the server averages the weights
+(weighted by sample counts ``C_i``) and redistributes them.  For the
+comm-matched comparison of Fig. 4 the period is ⌊D/(2k)⌋ (paper
+footnote 5) so the *average* per-round communication equals k-element GS.
+
+Always-send-all: the degenerate GS with k = D and dense encoding — full
+gradient aggregation every round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.partition import FederatedDataset
+from repro.fl.client import Client
+from repro.fl.metrics import RoundRecord, TrainingHistory
+from repro.nn.flat import FlatModel
+from repro.simulation.timing import TimingModel
+
+
+class FedAvgTrainer:
+    """FedAvg with periodic weight averaging (the paper's Fig. 4 baseline)."""
+
+    def __init__(
+        self,
+        model: FlatModel,
+        federation: FederatedDataset,
+        timing: TimingModel,
+        aggregation_period: int,
+        learning_rate: float = 0.01,
+        batch_size: int = 32,
+        eval_every: int = 1,
+        eval_max_samples: int = 2000,
+        seed: int = 0,
+    ) -> None:
+        if aggregation_period < 1:
+            raise ValueError("aggregation_period must be >= 1")
+        self.model = model
+        self.federation = federation
+        self.timing = timing
+        self.period = aggregation_period
+        self.learning_rate = learning_rate
+        self.eval_every = eval_every
+        self.clients = [
+            Client(shard, model.dimension, batch_size=batch_size, seed=seed)
+            for shard in federation.clients
+        ]
+        # Per-client local weight copies, initially synchronized.
+        w0 = model.get_weights()
+        self._local_weights = [w0.copy() for _ in self.clients]
+        self.history = TrainingHistory()
+        self._round = 0
+        self._clock = 0.0
+        self._eval_x, self._eval_y = _build_eval_pool(
+            federation, eval_max_samples, seed
+        )
+
+    @property
+    def clock(self) -> float:
+        return self._clock
+
+    def global_loss(self) -> float:
+        """Loss of the weighted-average model (the quantity FedAvg reports)."""
+        avg = self._average_weights()
+        return self.model.loss_at(avg, self._eval_x, self._eval_y)
+
+    def test_accuracy(self) -> float | None:
+        if self.federation.test_x is None or self.federation.test_y is None:
+            return None
+        saved = self.model.get_weights()
+        try:
+            self.model.set_weights(self._average_weights())
+            return self.model.accuracy(self.federation.test_x, self.federation.test_y)
+        finally:
+            self.model.set_weights(saved)
+
+    def _average_weights(self) -> np.ndarray:
+        counts = np.array([c.sample_count for c in self.clients], dtype=float)
+        weights = counts / counts.sum()
+        return np.sum(
+            [w * lw for w, lw in zip(weights, self._local_weights)], axis=0
+        )
+
+    def step(self) -> RoundRecord:
+        """One local SGD step everywhere; aggregate if the period elapsed."""
+        self._round += 1
+        for client, w in zip(self.clients, self._local_weights):
+            self.model.set_weights(w)
+            x, y = client.dataset.minibatch(client.batch_size)
+            grad, _ = self.model.gradient(x, y)
+            w -= self.learning_rate * grad
+
+        aggregated = self._round % self.period == 0
+        if aggregated:
+            avg = self._average_weights()
+            for w in self._local_weights:
+                w[...] = avg
+            round_timing = self.timing.dense_round()
+        else:
+            round_timing = self.timing.local_round()
+        self._clock += round_timing.total
+
+        evaluate = (self._round % self.eval_every == 0) or (self._round == 1)
+        if evaluate:
+            self.model.set_weights(self._average_weights())
+            loss = self.model.loss_value(self._eval_x, self._eval_y)
+            accuracy = self.test_accuracy()
+        else:
+            loss, accuracy = float("nan"), None
+        record = RoundRecord(
+            round_index=self._round,
+            k=float(self.model.dimension if aggregated else 0),
+            round_time=round_timing.total,
+            cumulative_time=self._clock,
+            loss=loss,
+            accuracy=accuracy,
+            uplink_elements=self.model.dimension if aggregated else 0,
+            downlink_elements=self.model.dimension if aggregated else 0,
+        )
+        self.history.append(record)
+        return record
+
+    def run(self, num_rounds: int) -> TrainingHistory:
+        for _ in range(num_rounds):
+            self.step()
+        return self.history
+
+
+class AlwaysSendAllTrainer:
+    """Full dense gradient aggregation every round (Fig. 4 baseline)."""
+
+    def __init__(
+        self,
+        model: FlatModel,
+        federation: FederatedDataset,
+        timing: TimingModel,
+        learning_rate: float = 0.01,
+        batch_size: int = 32,
+        eval_every: int = 1,
+        eval_max_samples: int = 2000,
+        seed: int = 0,
+    ) -> None:
+        self.model = model
+        self.federation = federation
+        self.timing = timing
+        self.learning_rate = learning_rate
+        self.eval_every = eval_every
+        self.clients = [
+            Client(shard, model.dimension, batch_size=batch_size, seed=seed)
+            for shard in federation.clients
+        ]
+        self.history = TrainingHistory()
+        self._round = 0
+        self._clock = 0.0
+        self._eval_x, self._eval_y = _build_eval_pool(
+            federation, eval_max_samples, seed
+        )
+
+    @property
+    def clock(self) -> float:
+        return self._clock
+
+    def step(self) -> RoundRecord:
+        self._round += 1
+        counts = np.array([c.sample_count for c in self.clients], dtype=float)
+        total = counts.sum()
+        aggregate = np.zeros(self.model.dimension)
+        for client, count in zip(self.clients, counts):
+            x, y = client.dataset.minibatch(client.batch_size)
+            grad, _ = self.model.gradient(x, y)
+            aggregate += (count / total) * grad
+        self.model.set_weights(
+            self.model.get_weights() - self.learning_rate * aggregate
+        )
+        round_timing = self.timing.dense_round()
+        self._clock += round_timing.total
+
+        evaluate = (self._round % self.eval_every == 0) or (self._round == 1)
+        loss = (
+            self.model.loss_value(self._eval_x, self._eval_y)
+            if evaluate
+            else float("nan")
+        )
+        accuracy = None
+        if evaluate and self.federation.test_x is not None:
+            accuracy = self.model.accuracy(
+                self.federation.test_x, self.federation.test_y
+            )
+        record = RoundRecord(
+            round_index=self._round,
+            k=float(self.model.dimension),
+            round_time=round_timing.total,
+            cumulative_time=self._clock,
+            loss=loss,
+            accuracy=accuracy,
+            uplink_elements=self.model.dimension,
+            downlink_elements=self.model.dimension,
+        )
+        self.history.append(record)
+        return record
+
+    def run(self, num_rounds: int) -> TrainingHistory:
+        for _ in range(num_rounds):
+            self.step()
+        return self.history
+
+
+def _build_eval_pool(
+    federation: FederatedDataset, max_samples: int, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    x, y = federation.global_pool()
+    if x.shape[0] > max_samples:
+        rng = np.random.default_rng((seed, 0xE0A1))
+        idx = rng.choice(x.shape[0], size=max_samples, replace=False)
+        x, y = x[idx], y[idx]
+    return x, y

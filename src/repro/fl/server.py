@@ -1,0 +1,52 @@
+"""FL server: weighted aggregation of selected residual elements.
+
+Implements Algorithm 1, lines 8–11: given the downlink index set ``J``
+(chosen by the sparsifier) the server computes
+
+    b_j = (1/C) Σ_i C_i a_ij · 1[j ∈ J_i]       for j ∈ J,
+
+i.e. a client contributes to coordinate ``j`` only if it actually uploaded
+that coordinate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparsify.base import (
+    ClientUpload,
+    DownlinkMessage,
+    SelectionResult,
+)
+from repro.sparsify.base import SparseVector
+
+
+class Server:
+    """Stateless aggregator for the synchronized-GS protocol."""
+
+    def __init__(self, dimension: int) -> None:
+        if dimension < 1:
+            raise ValueError("dimension must be positive")
+        self.dimension = dimension
+
+    def aggregate(
+        self, uploads: list[ClientUpload], selection: SelectionResult
+    ) -> DownlinkMessage:
+        """Aggregate uploaded residuals over the selected index set."""
+        if not uploads:
+            raise ValueError("no uploads to aggregate")
+        total_weight = float(sum(up.sample_count for up in uploads))
+        selected = selection.indices  # sorted unique
+        values = np.zeros(selected.size)
+        for up in uploads:
+            # Positions of this client's uploaded indices within `selected`.
+            pos = np.searchsorted(selected, up.payload.indices)
+            in_range = pos < selected.size
+            pos_clipped = np.minimum(pos, selected.size - 1)
+            hits = in_range & (selected[pos_clipped] == up.payload.indices)
+            weight = up.sample_count / total_weight
+            np.add.at(values, pos_clipped[hits], weight * up.payload.values[hits])
+        payload = SparseVector(
+            indices=selected, values=values, dimension=self.dimension
+        )
+        return DownlinkMessage(payload=payload)

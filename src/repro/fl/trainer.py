@@ -1,0 +1,266 @@
+"""The synchronized sparse-gradient FL loop — Algorithm 1 of the paper.
+
+One round of :class:`FLTrainer`:
+
+1. Every client adds its minibatch gradient (computed at the synchronized
+   weights ``w(m-1)``) to its residual ``a_i`` and uploads its selected
+   (index, value) pairs.
+2. The sparsifier chooses the downlink index set ``J``; the server
+   aggregates ``b_j``.
+3. All clients apply the identical update
+   ``w(m) = w(m-1) − η · dense(B)`` — weights stay synchronized — and
+   zero their residual at ``J ∩ J_i``.
+4. The timing model charges computation plus uplink/downlink transfer.
+
+The per-round sparsity ``k`` may be a constant or a schedule (mapping from
+round index to k), which is how learned {k_m} sequences from the adaptive
+algorithm are replayed in the Fig. 7/8 cross-application experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.partition import FederatedDataset
+from repro.fl.client import Client
+from repro.fl.metrics import RoundRecord, TrainingHistory
+from repro.fl.server import Server
+from repro.nn.flat import FlatModel
+from repro.simulation.timing import TimingModel
+from repro.sparsify.base import Sparsifier
+
+KSchedule = Callable[[int], int]
+
+
+class FLTrainer:
+    """Federated training with a pluggable gradient sparsifier.
+
+    Parameters
+    ----------
+    model:
+        The shared model; its weights represent the synchronized ``w``.
+    federation:
+        Client shards plus the global test pool.
+    sparsifier:
+        Any :class:`~repro.sparsify.base.Sparsifier`.
+    timing:
+        Normalized-time model; if omitted, a zero-communication model is
+        used (useful in unit tests that only check learning behaviour).
+    learning_rate:
+        SGD step size η (paper: 0.01).
+    batch_size:
+        Client minibatch size (paper: 32).
+    eval_every:
+        Evaluate global loss/accuracy every this many rounds (1 = always).
+    eval_max_samples:
+        Cap on evaluation-pool size for speed; the pool is subsampled
+        deterministically once at construction.
+    sampler:
+        Optional per-round client-subset sampler (see
+        :class:`repro.simulation.heterogeneous.ClientSampler`); when
+        given, only sampled clients compute and upload in a round — the
+        heterogeneous-clients extension of the paper's Section VI.
+    """
+
+    def __init__(
+        self,
+        model: FlatModel,
+        federation: FederatedDataset,
+        sparsifier: Sparsifier,
+        timing: TimingModel | None = None,
+        learning_rate: float = 0.01,
+        batch_size: int = 32,
+        eval_every: int = 1,
+        eval_max_samples: int = 2000,
+        sampler=None,
+        momentum_correction: float = 0.0,
+        optimizer=None,
+        seed: int = 0,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if eval_every < 1:
+            raise ValueError("eval_every must be >= 1")
+        self.model = model
+        self.federation = federation
+        self.sparsifier = sparsifier
+        self.timing = timing if timing is not None else TimingModel(
+            dimension=model.dimension, comm_time=0.0
+        )
+        self.learning_rate = learning_rate
+        self.eval_every = eval_every
+        self.sampler = sampler
+        #: optional server-side optimizer (repro.nn.optim.SGD); when given
+        #: it replaces the plain `w -= eta * update` step, enabling e.g.
+        #: server momentum or learning-rate schedules on sparse updates.
+        self.optimizer = optimizer
+        self.server = Server(model.dimension)
+        self.clients = [
+            Client(shard, model.dimension, batch_size=batch_size,
+                   momentum_correction=momentum_correction, seed=seed)
+            for shard in federation.clients
+        ]
+        self._clients_by_id = {c.client_id: c for c in self.clients}
+        self.history = TrainingHistory()
+        self._round = 0
+        self._clock = 0.0
+        self._eval_x, self._eval_y = self._build_eval_pool(eval_max_samples, seed)
+
+    # ------------------------------------------------------------------
+    def _build_eval_pool(
+        self, max_samples: int, seed: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        x, y = self.federation.global_pool()
+        if x.shape[0] > max_samples:
+            rng = np.random.default_rng((seed, 0xE0A1))
+            idx = rng.choice(x.shape[0], size=max_samples, replace=False)
+            x, y = x[idx], y[idx]
+        return x, y
+
+    @property
+    def round_index(self) -> int:
+        """Index of the next round to run (1-based once running)."""
+        return self._round
+
+    @property
+    def clock(self) -> float:
+        """Cumulative normalized time elapsed."""
+        return self._clock
+
+    def global_loss(self) -> float:
+        """Global training loss L(w) at the current weights."""
+        return self.model.loss_value(self._eval_x, self._eval_y)
+
+    def test_accuracy(self) -> float | None:
+        """Accuracy on the held-out test pool, if the federation has one."""
+        if self.federation.test_x is None or self.federation.test_y is None:
+            return None
+        return self.model.accuracy(self.federation.test_x, self.federation.test_y)
+
+    # ------------------------------------------------------------------
+    def step(self, k: int) -> RoundRecord:
+        """Run one training round with k-element GS and record it."""
+        if not 1 <= k <= self.model.dimension:
+            raise ValueError(f"k must be in [1, {self.model.dimension}], got {k}")
+        self._round += 1
+
+        start_round = getattr(self.sparsifier, "start_round", None)
+        if start_round is not None:
+            start_round(k)
+
+        if self.sampler is not None:
+            participant_ids = self.sampler.sample()
+            participants = [self._clients_by_id[cid] for cid in participant_ids]
+        else:
+            participant_ids = None
+            participants = self.clients
+
+        uploads = [
+            client.local_step(self.model, k, self.sparsifier)
+            for client in participants
+        ]
+        uploads = self.sparsifier.preprocess_uploads(uploads)
+        selection = self.sparsifier.server_select(
+            uploads, k, self.model.dimension
+        )
+        downlink = self.server.aggregate(uploads, selection)
+
+        sparse_update = downlink.payload
+        weights = self.model.get_weights()
+        if self.optimizer is not None:
+            weights = self.optimizer.step(weights, sparse_update.to_dense())
+        else:
+            weights[sparse_update.indices] -= (
+                self.learning_rate * sparse_update.values
+            )
+        self.model.set_weights(weights)
+
+        for client, upload in zip(participants, uploads):
+            client.reset_transmitted(selection.indices, upload.payload)
+            if self.sparsifier.discards_residual:
+                client.reset_all()
+
+        uplink_elements = max(up.payload.nnz for up in uploads)
+        sparse_round_for = getattr(self.timing, "sparse_round_for", None)
+        if sparse_round_for is not None:
+            round_timing = sparse_round_for(
+                uplink_elements, selection.downlink_element_count,
+                participant_ids,
+            )
+        else:
+            round_timing = self.timing.sparse_round(
+                uplink_elements, selection.downlink_element_count
+            )
+        self._clock += round_timing.total
+
+        evaluate = (self._round % self.eval_every == 0) or (self._round == 1)
+        loss = self.global_loss() if evaluate else float("nan")
+        accuracy = self.test_accuracy() if evaluate else None
+        record = RoundRecord(
+            round_index=self._round,
+            k=float(k),
+            round_time=round_timing.total,
+            cumulative_time=self._clock,
+            loss=loss,
+            accuracy=accuracy,
+            uplink_elements=uplink_elements,
+            downlink_elements=selection.downlink_element_count,
+            contributions=dict(selection.contributions),
+        )
+        self.history.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def run(
+        self, num_rounds: int, k: int | Sequence[int] | KSchedule
+    ) -> TrainingHistory:
+        """Run ``num_rounds`` rounds with constant, listed, or scheduled k."""
+        schedule = _as_schedule(k, self.model.dimension)
+        for m in range(num_rounds):
+            self.step(schedule(self._round + 1))
+            del m
+        return self.history
+
+    def run_until_loss(
+        self,
+        target_loss: float,
+        k: int | Sequence[int] | KSchedule,
+        max_rounds: int = 100_000,
+    ) -> TrainingHistory:
+        """Run until global loss <= ``target_loss`` (or ``max_rounds``).
+
+        Used by the Fig. 1 Assumption-1 experiment, where training runs
+        with one k until a target loss ψ is reached and then switches.
+        """
+        schedule = _as_schedule(k, self.model.dimension)
+        while self._round < max_rounds:
+            record = self.step(schedule(self._round + 1))
+            loss = record.loss if not np.isnan(record.loss) else self.global_loss()
+            if loss <= target_loss:
+                break
+        return self.history
+
+
+def _as_schedule(
+    k: int | Sequence[int] | KSchedule, dimension: int
+) -> KSchedule:
+    """Normalize a k specification into a function round_index -> k."""
+    if callable(k):
+        return k
+    if isinstance(k, (int, np.integer)):
+        constant = int(k)
+        return lambda m: constant
+    sequence = [int(v) for v in k]
+    if not sequence:
+        raise ValueError("empty k sequence")
+    last = sequence[-1]
+
+    def schedule(m: int) -> int:
+        # Rounds are 1-based; hold the last value past the end.
+        if m - 1 < len(sequence):
+            return min(sequence[m - 1], dimension)
+        return min(last, dimension)
+
+    return schedule

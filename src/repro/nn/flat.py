@@ -1,0 +1,150 @@
+"""Flat-parameter view of a model.
+
+Gradient sparsification (Section III of the paper) treats the model as a
+single D-dimensional vector: clients accumulate residuals ``a_i ∈ R^D``,
+upload top-k (index, value) pairs, and the server broadcasts k aggregated
+pairs.  :class:`FlatModel` provides exactly that interface on top of a
+:class:`repro.nn.layers.Sequential` network: getting/setting all weights as
+one vector, computing the flat gradient of a minibatch, and evaluating
+per-sample losses at arbitrary weight vectors (needed by the sign
+estimator, which probes three different weight vectors per round).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Sequential
+from repro.nn.losses import Loss, SoftmaxCrossEntropy
+
+
+class FlatModel:
+    """A `Sequential` network plus a loss, exposed through flat vectors.
+
+    Parameters
+    ----------
+    network:
+        The layer stack.  Its parameter arrays are referenced (not copied);
+        :meth:`set_weights` writes into them in place.
+    loss:
+        Loss function; defaults to softmax cross-entropy.
+    """
+
+    def __init__(self, network: Sequential, loss: Loss | None = None) -> None:
+        self.network = network
+        self.loss = loss if loss is not None else SoftmaxCrossEntropy()
+        self._param_arrays = network.parameter_arrays()
+        self._grad_arrays = network.gradient_arrays()
+        if len(self._param_arrays) != len(self._grad_arrays):
+            raise ValueError("network has mismatched parameter/gradient lists")
+        self._shapes = [p.shape for p in self._param_arrays]
+        self._sizes = [p.size for p in self._param_arrays]
+        self._offsets = np.concatenate([[0], np.cumsum(self._sizes)])
+        self.dimension = int(self._offsets[-1])
+
+    # ------------------------------------------------------------------
+    # Weight access
+    # ------------------------------------------------------------------
+    def parameter_slices(self) -> list[slice]:
+        """Flat-vector slice of each parameter array, in layer order.
+
+        Layer-wise sparsifiers (e.g. :class:`repro.sparsify.layerwise.
+        LayerwiseTopK`) use these to budget k across layers.
+        """
+        return [
+            slice(int(lo), int(hi))
+            for lo, hi in zip(self._offsets[:-1], self._offsets[1:])
+        ]
+
+    def get_weights(self) -> np.ndarray:
+        """Copy of all parameters as one flat vector of length ``dimension``."""
+        return np.concatenate([p.ravel() for p in self._param_arrays])
+
+    def set_weights(self, flat: np.ndarray) -> None:
+        """Write ``flat`` into the model parameters in place."""
+        flat = np.asarray(flat)
+        if flat.shape != (self.dimension,):
+            raise ValueError(
+                f"expected flat weights of shape ({self.dimension},), got {flat.shape}"
+            )
+        for arr, lo, hi, shape in zip(
+            self._param_arrays, self._offsets[:-1], self._offsets[1:], self._shapes
+        ):
+            arr[...] = flat[lo:hi].reshape(shape)
+
+    # ------------------------------------------------------------------
+    # Gradient / loss evaluation
+    # ------------------------------------------------------------------
+    def gradient(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """Flat gradient of the mean loss on minibatch ``(x, y)``.
+
+        Returns ``(grad, loss_value)`` where ``grad`` has length
+        ``dimension`` and ``loss_value`` is the mean minibatch loss at the
+        current weights.
+        """
+        self.network.zero_grad()
+        logits = self.network.forward(x)
+        loss_value = self.loss.forward(logits, y)
+        grad_logits = self.loss.backward(logits, y)
+        self.network.backward(grad_logits)
+        flat_grad = np.concatenate([g.ravel() for g in self._grad_arrays])
+        return flat_grad, loss_value
+
+    def loss_value(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean loss on ``(x, y)`` at the current weights (no gradients)."""
+        was_training = self.network.training
+        self.network.train(False)
+        logits = self.network.forward(x)
+        value = self.loss.forward(logits, y)
+        self.network.train(was_training)
+        return value
+
+    def per_sample_losses(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Loss of each sample at the current weights, shape ``(batch,)``."""
+        was_training = self.network.training
+        self.network.train(False)
+        logits = self.network.forward(x)
+        values = self.loss.per_sample(logits, y)
+        self.network.train(was_training)
+        return values
+
+    def loss_at(self, weights: np.ndarray, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean loss of ``(x, y)`` evaluated at an arbitrary weight vector.
+
+        The current weights are restored afterwards.  Used by the
+        derivative-sign estimator, which compares losses at ``w(m-1)``,
+        ``w(m)`` and the probe weights ``w'(m)``.
+        """
+        saved = self.get_weights()
+        try:
+            self.set_weights(weights)
+            return self.loss_value(x, y)
+        finally:
+            self.set_weights(saved)
+
+    def per_sample_losses_at(
+        self, weights: np.ndarray, x: np.ndarray, y: np.ndarray
+    ) -> np.ndarray:
+        """Per-sample losses at an arbitrary weight vector (weights restored)."""
+        saved = self.get_weights()
+        try:
+            self.set_weights(weights)
+            return self.per_sample_losses(x, y)
+        finally:
+            self.set_weights(saved)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Classification accuracy at the current weights.
+
+        Only meaningful for classification losses exposing ``predict``.
+        """
+        predict = getattr(self.loss, "predict", None)
+        if predict is None:
+            raise TypeError("loss does not define hard predictions")
+        was_training = self.network.training
+        self.network.train(False)
+        logits = self.network.forward(x)
+        self.network.train(was_training)
+        return float((predict(logits) == y).mean())

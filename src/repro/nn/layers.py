@@ -1,0 +1,435 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+Each layer owns its parameters as a list of numpy arrays (``params``) and
+produces gradients of identical shapes (``grads``) during ``backward``.
+The federated-learning code never touches layers directly — it sees the
+flat parameter/gradient vectors exposed by :class:`repro.nn.flat.FlatModel`
+— but the layers are public API so users can assemble custom models.
+
+Design notes
+------------
+- Everything is float64.  Gradient sparsification selects elements by
+  absolute magnitude; float64 avoids spurious ties that float32 rounding
+  would introduce in tests.
+- ``forward`` stores whatever the matching ``backward`` needs on ``self``.
+  A layer instance therefore processes one batch at a time, which matches
+  the synchronous FL simulation (one client's minibatch per call).
+- Convolution is implemented with im2col so the inner loop is a single
+  matrix multiplication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import glorot_uniform, he_normal, zeros_init
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses implement :meth:`forward` and :meth:`backward` and expose
+    parameters via ``params`` / gradients via ``grads`` (parallel lists of
+    arrays, possibly empty for stateless layers).
+    """
+
+    def __init__(self) -> None:
+        self.params: list[np.ndarray] = []
+        self.grads: list[np.ndarray] = []
+        self.training = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_out`` (dLoss/dOutput) and return dLoss/dInput.
+
+        Side effect: fills ``self.grads`` with dLoss/dParam for each entry
+        of ``self.params``.
+        """
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for g in self.grads:
+            g.fill(0.0)
+
+    def train(self, mode: bool = True) -> None:
+        self.training = mode
+
+
+class Linear(Layer):
+    """Fully-connected layer: ``y = x @ W + b`` with W of shape (in, out)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        weight_init=glorot_uniform,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        w = weight_init((in_features, out_features), rng)
+        b = zeros_init((out_features,), rng)
+        self.params = [w, b]
+        self.grads = [np.zeros_like(w), np.zeros_like(b)]
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Linear expected input of shape (batch, {self.in_features}), "
+                f"got {x.shape}"
+            )
+        self._x = x
+        w, b = self.params
+        return x @ w + b
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        x = self._x
+        w, _ = self.params
+        self.grads[0][...] = x.T @ grad_out
+        self.grads[1][...] = grad_out.sum(axis=0)
+        return grad_out @ w.T
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic-tangent activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * (1.0 - self._y**2)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # Numerically stable piecewise evaluation.
+        out = np.empty_like(x, dtype=np.float64)
+        positive = x >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+        ex = np.exp(x[~positive])
+        out[~positive] = ex / (1.0 + ex)
+        self._y = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._y * (1.0 - self._y)
+
+
+class BatchNorm1D(Layer):
+    """Batch normalization over feature axis 1 of a 2-D input.
+
+    Training mode normalizes with batch statistics and updates running
+    estimates; evaluation mode uses the running estimates.  Known caveat
+    in federated settings: batch statistics computed on non-i.i.d. client
+    minibatches differ across clients, so models containing BatchNorm
+    lose the exact weight-synchronization property of Algorithm 1 (the
+    running buffers are local state).  Provided for completeness of the
+    substrate; the paper's experiments do not use it.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.1,
+                 eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_features < 1:
+            raise ValueError("num_features must be positive")
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError("momentum must be in (0, 1]")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        gamma = np.ones(num_features)
+        beta = np.zeros(num_features)
+        self.params = [gamma, beta]
+        self.grads = [np.zeros_like(gamma), np.zeros_like(beta)]
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm1D expected (batch, {self.num_features}), got {x.shape}"
+            )
+        gamma, beta = self.params
+        if self.training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        std = np.sqrt(var + self.eps)
+        x_hat = (x - mean) / std
+        self._cache = (x_hat, std)
+        return gamma * x_hat + beta
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, std = self._cache
+        gamma, _ = self.params
+        self.grads[0][...] = (grad_out * x_hat).sum(axis=0)
+        self.grads[1][...] = grad_out.sum(axis=0)
+        if not self.training:
+            return grad_out * gamma / std
+        grad_xhat = grad_out * gamma
+        return (
+            grad_xhat
+            - grad_xhat.mean(axis=0)
+            - x_hat * (grad_xhat * x_hat).mean(axis=0)
+        ) / std
+
+
+class Flatten(Layer):
+    """Flatten all non-batch dimensions."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out.reshape(self._shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at evaluation time.
+
+    The dropout mask is drawn from the layer's own generator, seeded at
+    construction, so training runs are reproducible.
+    """
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class Conv2D(Layer):
+    """2-D convolution (NCHW) via im2col, stride 1, symmetric zero padding."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        padding: int = 0,
+        weight_init=he_normal,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.padding = padding
+        w = weight_init((out_channels, in_channels, kernel_size, kernel_size), rng)
+        b = zeros_init((out_channels,), rng)
+        self.params = [w, b]
+        self.grads = [np.zeros_like(w), np.zeros_like(b)]
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expected (batch, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n, _, h, w_in = x.shape
+        k, p = self.kernel_size, self.padding
+        h_out = h + 2 * p - k + 1
+        w_out = w_in + 2 * p - k + 1
+        if h_out <= 0 or w_out <= 0:
+            raise ValueError(
+                f"kernel {k} with padding {p} too large for input {h}x{w_in}"
+            )
+        cols = _im2col(x, k, p)  # (n*h_out*w_out, c*k*k)
+        self._cols = cols
+        self._x_shape = x.shape
+        w_mat = self.params[0].reshape(self.out_channels, -1)  # (out, c*k*k)
+        out = cols @ w_mat.T + self.params[1]
+        return out.reshape(n, h_out, w_out, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w_in = self._x_shape
+        k, p = self.kernel_size, self.padding
+        # (n, out, h_out, w_out) -> (n*h_out*w_out, out)
+        g = grad_out.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        self.grads[0][...] = (g.T @ self._cols).reshape(self.params[0].shape)
+        self.grads[1][...] = g.sum(axis=0)
+        w_mat = self.params[0].reshape(self.out_channels, -1)
+        grad_cols = g @ w_mat  # (n*h_out*w_out, c*k*k)
+        return _col2im(grad_cols, (n, c, h, w_in), k, p)
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling (NCHW); input H, W must be divisible."""
+
+    def __init__(self, pool_size: int) -> None:
+        super().__init__()
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.pool_size = pool_size
+        self._argmax: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        s = self.pool_size
+        if h % s or w % s:
+            raise ValueError(f"input {h}x{w} not divisible by pool size {s}")
+        xr = x.reshape(n, c, h // s, s, w // s, s).transpose(0, 1, 2, 4, 3, 5)
+        xr = xr.reshape(n, c, h // s, w // s, s * s)
+        self._argmax = xr.argmax(axis=-1)
+        self._x_shape = x.shape
+        return xr.max(axis=-1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._argmax is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        s = self.pool_size
+        grad_windows = np.zeros((n, c, h // s, w // s, s * s))
+        np.put_along_axis(
+            grad_windows, self._argmax[..., None], grad_out[..., None], axis=-1
+        )
+        grad = grad_windows.reshape(n, c, h // s, w // s, s, s)
+        grad = grad.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h, w)
+        return grad
+
+
+class Sequential(Layer):
+    """Container applying layers in order; owns no parameters itself."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def train(self, mode: bool = True) -> None:
+        self.training = mode
+        for layer in self.layers:
+            layer.train(mode)
+
+    def parameter_arrays(self) -> list[np.ndarray]:
+        """All parameter arrays, in deterministic layer order."""
+        return [p for layer in self.layers for p in layer.params]
+
+    def gradient_arrays(self) -> list[np.ndarray]:
+        """All gradient arrays, parallel to :meth:`parameter_arrays`."""
+        return [g for layer in self.layers for g in layer.grads]
+
+
+def _im2col(x: np.ndarray, kernel: int, padding: int) -> np.ndarray:
+    """Expand sliding windows of ``x`` into rows.
+
+    Returns an array of shape ``(n * h_out * w_out, c * kernel * kernel)``.
+    """
+    n, c, h, w = x.shape
+    if padding:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+    h_out = h + 2 * padding - kernel + 1
+    w_out = w + 2 * padding - kernel + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(2, 3))
+    # windows: (n, c, h_out, w_out, kernel, kernel)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * h_out * w_out, -1)
+    return np.ascontiguousarray(cols)
+
+
+def _col2im(
+    cols: np.ndarray, x_shape: tuple[int, ...], kernel: int, padding: int
+) -> np.ndarray:
+    """Inverse of :func:`_im2col`: scatter-add window gradients back."""
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * padding, w + 2 * padding
+    h_out = hp - kernel + 1
+    w_out = wp - kernel + 1
+    cols6 = cols.reshape(n, h_out, w_out, c, kernel, kernel)
+    x_padded = np.zeros((n, c, hp, wp))
+    for ki in range(kernel):
+        for kj in range(kernel):
+            x_padded[:, :, ki : ki + h_out, kj : kj + w_out] += cols6[
+                :, :, :, :, ki, kj
+            ].transpose(0, 3, 1, 2)
+    if padding:
+        return x_padded[:, :, padding:-padding, padding:-padding]
+    return x_padded

@@ -1,0 +1,73 @@
+"""Loss functions with per-sample access.
+
+The derivative-sign estimator in Section IV-E of the paper evaluates the
+loss of a *single* sample ``h`` at three different weight vectors, so every
+loss here exposes both the batch-mean value (used for training) and the
+per-sample vector (used by the estimator and by fine-grained metrics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Loss:
+    """Interface: batch-mean forward plus gradient, per-sample values."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        """Mean loss over the batch."""
+        return float(self.per_sample(predictions, targets).mean())
+
+    def per_sample(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Loss of each sample in the batch, shape ``(batch,)``."""
+        raise NotImplementedError
+
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Gradient of the *mean* loss w.r.t. ``predictions``."""
+        raise NotImplementedError
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Softmax + cross-entropy on integer class labels.
+
+    ``predictions`` are raw logits of shape ``(batch, classes)``; ``targets``
+    are integer labels of shape ``(batch,)``.
+    """
+
+    def per_sample(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        log_probs = _log_softmax(predictions)
+        batch = np.arange(predictions.shape[0])
+        return -log_probs[batch, targets.astype(np.intp)]
+
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        probs = _softmax(predictions)
+        batch = np.arange(predictions.shape[0])
+        grad = probs
+        grad[batch, targets.astype(np.intp)] -= 1.0
+        return grad / predictions.shape[0]
+
+    def predict(self, predictions: np.ndarray) -> np.ndarray:
+        """Hard class decisions from logits."""
+        return predictions.argmax(axis=1)
+
+
+class MSELoss(Loss):
+    """Mean squared error; ``targets`` has the same shape as ``predictions``."""
+
+    def per_sample(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        diff = predictions - targets
+        return 0.5 * (diff * diff).reshape(diff.shape[0], -1).sum(axis=1)
+
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        return (predictions - targets) / predictions.shape[0]
+
+
+def _log_softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)

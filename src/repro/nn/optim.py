@@ -1,0 +1,106 @@
+"""Optimizers and learning-rate schedules for the flat-parameter models.
+
+The paper trains with plain SGD (η = 0.01).  This module adds the
+standard variants an adopter would expect — momentum, Nesterov momentum,
+and learning-rate schedules — all operating on the flat weight vector so
+they compose with the sparse updates of Algorithm 1 (the trainer applies
+``optimizer.step(weights, update)`` where ``update`` is the aggregated
+sparse gradient densified).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+LRSchedule = Callable[[int], float]
+
+
+def constant_lr(lr: float) -> LRSchedule:
+    """Constant learning rate (the paper's setting)."""
+    if lr <= 0:
+        raise ValueError("learning rate must be positive")
+    return lambda step: lr
+
+
+def step_decay_lr(lr: float, decay: float, every: int) -> LRSchedule:
+    """Multiply the rate by ``decay`` every ``every`` steps."""
+    if lr <= 0 or not 0 < decay <= 1 or every < 1:
+        raise ValueError("need lr > 0, 0 < decay <= 1, every >= 1")
+    return lambda step: lr * decay ** (step // every)
+
+
+def cosine_lr(lr: float, total_steps: int, floor: float = 0.0) -> LRSchedule:
+    """Cosine annealing from ``lr`` to ``floor`` over ``total_steps``."""
+    if lr <= 0 or total_steps < 1 or floor < 0:
+        raise ValueError("need lr > 0, total_steps >= 1, floor >= 0")
+
+    def schedule(step: int) -> float:
+        t = min(step, total_steps) / total_steps
+        return floor + 0.5 * (lr - floor) * (1.0 + math.cos(math.pi * t))
+
+    return schedule
+
+
+class SGD:
+    """Stochastic gradient descent on a flat weight vector.
+
+    ``momentum`` > 0 enables heavy-ball momentum; ``nesterov`` switches to
+    Nesterov's accelerated variant.  The optimizer is stateful (velocity
+    buffer) and counts its own steps for the schedule.
+    """
+
+    def __init__(
+        self,
+        lr: float | LRSchedule = 0.01,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0.0:
+            raise ValueError("weight_decay cannot be negative")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov requires momentum > 0")
+        self.schedule = lr if callable(lr) else constant_lr(lr)
+        self.momentum = momentum
+        self.nesterov = nesterov
+        self.weight_decay = weight_decay
+        self._velocity: np.ndarray | None = None
+        self._step = 0
+
+    @property
+    def step_count(self) -> int:
+        return self._step
+
+    def current_lr(self) -> float:
+        return self.schedule(self._step)
+
+    def step(self, weights: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        """Return updated weights; does not mutate the inputs."""
+        if weights.shape != gradient.shape:
+            raise ValueError("weights and gradient shapes differ")
+        grad = gradient
+        if self.weight_decay:
+            grad = grad + self.weight_decay * weights
+        lr = self.schedule(self._step)
+        if self.momentum > 0.0:
+            if self._velocity is None:
+                self._velocity = np.zeros_like(weights)
+            self._velocity = self.momentum * self._velocity + grad
+            if self.nesterov:
+                direction = grad + self.momentum * self._velocity
+            else:
+                direction = self._velocity
+        else:
+            direction = grad
+        self._step += 1
+        return weights - lr * direction
+
+    def reset(self) -> None:
+        """Clear momentum state and the step counter."""
+        self._velocity = None
+        self._step = 0

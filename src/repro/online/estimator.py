@@ -1,0 +1,80 @@
+"""Derivative-sign estimation from one-sample losses — Section IV-E.
+
+Each client i picks one sample h from its current minibatch and reports
+three scalar losses: f_{i,h}(w(m−1)), f_{i,h}(w(m)), and f_{i,h}(w'(m)),
+where w'(m) is the weights the round *would* have produced with
+k'_m = k_m − δ_m/2 element GS.  The server averages them into L̃(w(m−1)),
+L̃(w(m)), L̃(w'(m)) and maps the k'-round onto the loss interval the real
+round covered (eq. 10):
+
+    τ̂_m(k') = θ_m(k') · (L̃(w(m−1)) − L̃(w(m))) / (L̃(w(m−1)) − L̃(w'(m)))
+
+with θ_m(k') the wall time of one k'-GS round.  The estimated derivative
+(eq. 11) is the slope between the actual round cost τ_m(k_m) and τ̂_m(k'):
+
+    ŝ_m = sign( (τ_m(k_m) − τ̂_m(k')) / (k_m − k') ).
+
+If either loss difference is nonpositive (a round that failed to decrease
+the probe loss — possible under minibatch noise), the estimate is declared
+unavailable (None) and the decision k stays unchanged.
+"""
+
+from __future__ import annotations
+
+
+def estimate_tau(
+    loss_prev: float,
+    loss_now: float,
+    loss_probe: float,
+    probe_round_time: float,
+) -> float | None:
+    """τ̂_m(k'_m) per eq. (10); None when the probe losses are unusable."""
+    decrease_actual = loss_prev - loss_now
+    decrease_probe = loss_prev - loss_probe
+    if decrease_actual <= 0.0 or decrease_probe <= 0.0:
+        return None
+    return probe_round_time * decrease_actual / decrease_probe
+
+
+def estimate_derivative(
+    loss_prev: float,
+    loss_now: float,
+    loss_probe: float,
+    round_time: float,
+    probe_round_time: float,
+    k: float,
+    k_probe: float,
+) -> float | None:
+    """The quantity inside sign(·) of eq. (11); None when unavailable.
+
+    ``round_time`` is τ_m(k_m) (the observed cost of the actual round);
+    ``probe_round_time`` is θ_m(k'), the one-round wall time at k'.
+    """
+    if k == k_probe:
+        raise ValueError("probe k' must differ from k")
+    tau_probe = estimate_tau(loss_prev, loss_now, loss_probe, probe_round_time)
+    if tau_probe is None:
+        return None
+    return (round_time - tau_probe) / (k - k_probe)
+
+
+def estimate_sign(
+    loss_prev: float,
+    loss_now: float,
+    loss_probe: float,
+    round_time: float,
+    probe_round_time: float,
+    k: float,
+    k_probe: float,
+) -> int | None:
+    """ŝ_m per eq. (11); None when the estimate is unavailable."""
+    derivative = estimate_derivative(
+        loss_prev, loss_now, loss_probe, round_time, probe_round_time, k, k_probe
+    )
+    if derivative is None:
+        return None
+    if derivative > 0.0:
+        return 1
+    if derivative < 0.0:
+        return -1
+    return 0

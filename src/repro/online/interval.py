@@ -1,0 +1,61 @@
+"""Continuous search interval K = [kmin, kmax] and stochastic rounding.
+
+Definition 2 of the paper extends k-element GS to continuous k: use
+⌊k⌋-element GS with probability ⌈k⌉ − k and ⌈k⌉-element GS with
+probability k − ⌊k⌋ (stochastic rounding), making the expected round time
+linear in k between integers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SearchInterval:
+    """The decision interval K with projection P_K.
+
+    ``kmin`` is "usually a small integer larger than one to prevent
+    ill-conditions"; ``kmax`` is at most the model dimension D.
+    """
+
+    kmin: float
+    kmax: float
+
+    def __post_init__(self) -> None:
+        if not (0 < self.kmin <= self.kmax):
+            raise ValueError(
+                f"need 0 < kmin <= kmax, got [{self.kmin}, {self.kmax}]"
+            )
+
+    @property
+    def width(self) -> float:
+        """B := kmax − kmin, the quantity the regret bound scales with."""
+        return self.kmax - self.kmin
+
+    def project(self, k: float) -> float:
+        """P_K(k) := argmin_{k' ∈ K} |k' − k|, i.e. clipping."""
+        return float(min(max(k, self.kmin), self.kmax))
+
+    def contains(self, k: float) -> bool:
+        return self.kmin <= k <= self.kmax
+
+
+def stochastic_round(k: float, rng: np.random.Generator) -> int:
+    """Randomized rounding of continuous k (Definition 2).
+
+    Returns ⌊k⌋ with probability ⌈k⌉ − k and ⌈k⌉ with probability
+    k − ⌊k⌋; integers round to themselves.  The result is unbiased:
+    E[round] = k.
+    """
+    if k < 0:
+        raise ValueError("k cannot be negative")
+    lo = math.floor(k)
+    hi = math.ceil(k)
+    if lo == hi:
+        return lo
+    frac = k - lo
+    return hi if rng.random() < frac else lo

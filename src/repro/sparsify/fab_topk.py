@@ -1,0 +1,121 @@
+"""Fairness-Aware Bidirectional top-k GS (FAB-top-k) — paper Section III-B.
+
+Server-side selection: find, by binary search, the per-client quota κ such
+that the union of every client's top-κ uploaded indices has size at most k
+while the union at κ+1 exceeds k; take the κ-union and top up to exactly k
+elements using the largest-|value| candidates from the (κ+1)-union minus
+the κ-union.
+
+Fairness guarantee (paper): each client contributes at least ⌊k/N⌋
+elements to the downlink set, because ``|∪_i J_i^κ| ≤ N·κ ≤ k`` whenever
+``κ = ⌊k/N⌋``, so the binary search never settles below that quota.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparsify.base import ClientUpload, SelectionResult, Sparsifier
+from repro.sparsify.topk import ranked_indices, top_k_indices
+
+
+class FABTopK(Sparsifier):
+    """The paper's fairness-aware bidirectional top-k sparsifier."""
+
+    name = "fab-top-k"
+
+    def client_select(
+        self, residual: np.ndarray, k: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        del rng  # deterministic top-k; accepted for interface uniformity
+        return top_k_indices(residual, k)
+
+    def server_select(
+        self, uploads: list[ClientUpload], k: int, dimension: int
+    ) -> SelectionResult:
+        self.validate_k(k, dimension)
+        if not uploads:
+            raise ValueError("no uploads to select from")
+        selected = fair_select(uploads, k)
+        contributions = _count_contributions(uploads, selected)
+        return SelectionResult(indices=selected, contributions=contributions)
+
+
+def fair_select(uploads: list[ClientUpload], k: int) -> np.ndarray:
+    """The fairness-aware gradient element selection of Section III-B.
+
+    ``uploads`` carry each client's (index, value) pairs; values are the
+    client's accumulated residuals at those indices.  Returns the sorted
+    downlink index set ``J`` with ``|J| = min(k, |∪_i J_i|)``.
+    """
+    # Rank each client's uploaded indices by |value| descending so that
+    # J_i^κ is simply the first κ entries of the ranked array.
+    ranked: list[np.ndarray] = []
+    value_of: dict[int, float] = {}
+    for up in uploads:
+        order = ranked_indices(up.payload.values)
+        ranked.append(up.payload.indices[order])
+        for j, v in zip(up.payload.indices, up.payload.values):
+            magnitude = abs(float(v))
+            if magnitude > value_of.get(int(j), -1.0):
+                value_of[int(j)] = magnitude
+
+    total_union = _union_size(ranked, max(len(r) for r in ranked))
+    if total_union <= k:
+        # Every uploaded index fits in the downlink budget.
+        return _union(ranked, max(len(r) for r in ranked))
+
+    # Binary search the largest κ with |∪_i J_i^κ| <= k.  Union size is
+    # nondecreasing in κ and reaches > k at κ = max upload length, while
+    # κ = 0 gives size 0 <= k, so the invariant lo <= κ* < hi holds.
+    lo, hi = 0, max(len(r) for r in ranked)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if _union_size(ranked, mid) <= k:
+            lo = mid
+        else:
+            hi = mid
+    kappa = lo
+
+    base = _union(ranked, kappa)
+    shortfall = k - base.size
+    if shortfall == 0:
+        return base
+    # Fill from (∪ J^{κ+1}) \ (∪ J^κ), largest absolute uploaded value
+    # first, ties broken by index for determinism.
+    next_union = _union(ranked, kappa + 1)
+    candidates = np.setdiff1d(next_union, base, assume_unique=True)
+    candidate_values = np.array([value_of[int(j)] for j in candidates])
+    order = np.lexsort((candidates, -candidate_values))
+    fill = candidates[order[:shortfall]]
+    return np.sort(np.concatenate([base, fill]))
+
+
+def _union(ranked: list[np.ndarray], kappa: int) -> np.ndarray:
+    """∪_i (first κ entries of client i's ranking), sorted unique."""
+    if kappa <= 0:
+        return np.empty(0, dtype=np.int64)
+    parts = [r[:kappa] for r in ranked if r.size]
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(parts))
+
+
+def _union_size(ranked: list[np.ndarray], kappa: int) -> int:
+    return int(_union(ranked, kappa).size)
+
+
+def _count_contributions(
+    uploads: list[ClientUpload], selected: np.ndarray
+) -> dict[int, int]:
+    """Per-client count of uploaded indices that made it into ``selected``."""
+    selected_set = selected  # sorted; use searchsorted membership
+    out: dict[int, int] = {}
+    for up in uploads:
+        pos = np.searchsorted(selected_set, up.payload.indices)
+        hits = (pos < selected_set.size) & (
+            selected_set[np.minimum(pos, selected_set.size - 1)]
+            == up.payload.indices
+        )
+        out[up.client_id] = int(hits.sum())
+    return out

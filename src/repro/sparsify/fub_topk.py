@@ -1,0 +1,52 @@
+"""Fairness-Unaware Bidirectional top-k (FUB-top-k) — Fig. 4 baseline.
+
+Selects the k downlink elements with the largest absolute *aggregated*
+values across all client uploads, without any per-client floor — the
+global-top-k family of [28] adapted to the star (client-server) topology,
+as the paper's footnote 4 describes, and the selection used by [31].
+Because selection ignores provenance, a client whose residuals are small
+can contribute zero elements, which is exactly the unfairness FAB-top-k
+removes (compare contribution CDFs in Fig. 4 right).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparsify.base import ClientUpload, SelectionResult, Sparsifier
+from repro.sparsify.fab_topk import _count_contributions
+from repro.sparsify.topk import top_k_indices
+
+
+class FUBTopK(Sparsifier):
+    """Bidirectional top-k without the fairness floor."""
+
+    name = "fub-top-k"
+
+    def client_select(
+        self, residual: np.ndarray, k: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        del rng
+        return top_k_indices(residual, k)
+
+    def server_select(
+        self, uploads: list[ClientUpload], k: int, dimension: int
+    ) -> SelectionResult:
+        self.validate_k(k, dimension)
+        if not uploads:
+            raise ValueError("no uploads to select from")
+        total_weight = float(sum(up.sample_count for up in uploads))
+        aggregate: dict[int, float] = {}
+        for up in uploads:
+            w = up.sample_count / total_weight
+            for j, v in zip(up.payload.indices, up.payload.values):
+                aggregate[int(j)] = aggregate.get(int(j), 0.0) + w * float(v)
+        indices = np.fromiter(aggregate.keys(), dtype=np.int64)
+        values = np.fromiter(aggregate.values(), dtype=np.float64)
+        if indices.size <= k:
+            selected = np.sort(indices)
+        else:
+            keep = top_k_indices(values, k)
+            selected = np.sort(indices[keep])
+        contributions = _count_contributions(uploads, selected)
+        return SelectionResult(indices=selected, contributions=contributions)

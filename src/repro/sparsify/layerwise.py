@@ -1,0 +1,114 @@
+"""Layer-wise top-k selection — the direction of the paper's refs [26], [27].
+
+The paper notes that layer-wise adaptive sparsity ("use different sparsity
+degrees in different neural network layers") is *orthogonal and
+complementary* to its global-k adaptation.  This sparsifier implements the
+composition: the per-round budget k (possibly chosen by the online
+algorithm) is split across layers, and each client runs top-k within each
+layer's slice of the flat vector.  Two split rules:
+
+- ``"proportional"``: k_layer ∝ layer size (every layer keeps the same
+  sparsity ratio), the scheme of [27].
+- ``"magnitude"``: k_layer ∝ the layer's share of total residual
+  magnitude, re-computed per client per round (adaptive, as in [26]).
+
+Server-side selection reuses FAB-top-k's fairness-aware machinery, so the
+⌊k/N⌋ per-client floor is preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparsify.base import ClientUpload, SelectionResult, Sparsifier
+from repro.sparsify.fab_topk import _count_contributions, fair_select
+from repro.sparsify.topk import top_k_indices
+
+_SPLITS = ("proportional", "magnitude")
+
+
+class LayerwiseTopK(Sparsifier):
+    """Top-k within each layer slice, fairness-aware selection globally."""
+
+    def __init__(self, layer_slices: list[slice], split: str = "proportional"
+                 ) -> None:
+        if not layer_slices:
+            raise ValueError("need at least one layer slice")
+        if split not in _SPLITS:
+            raise ValueError(f"split must be one of {_SPLITS}, got {split!r}")
+        previous_end = 0
+        for sl in layer_slices:
+            if sl.start != previous_end:
+                raise ValueError("layer slices must be contiguous from 0")
+            if sl.stop <= sl.start:
+                raise ValueError("empty layer slice")
+            previous_end = sl.stop
+        self.layer_slices = list(layer_slices)
+        self.split = split
+        self.dimension = previous_end
+        self.name = f"layerwise-top-k({split})"
+
+    # ------------------------------------------------------------------
+    def budgets(self, residual: np.ndarray, k: int) -> list[int]:
+        """Per-layer budgets summing to min(k, D)."""
+        k = min(k, self.dimension)
+        sizes = np.array([sl.stop - sl.start for sl in self.layer_slices])
+        if self.split == "proportional":
+            weights = sizes.astype(float)
+        else:
+            weights = np.array(
+                [np.abs(residual[sl]).sum() for sl in self.layer_slices]
+            )
+            if weights.sum() == 0.0:
+                weights = sizes.astype(float)
+        raw = weights / weights.sum() * k
+        budget = np.floor(raw).astype(int)
+        # Distribute the rounding remainder to the largest fractional
+        # parts, then clamp to layer sizes and push overflow elsewhere.
+        remainder = k - int(budget.sum())
+        order = np.argsort(-(raw - budget))
+        for i in order[:remainder]:
+            budget[i] += 1
+        budget = np.minimum(budget, sizes)
+        deficit = k - int(budget.sum())
+        while deficit > 0:
+            room = sizes - budget
+            grow = int(np.argmax(room))
+            if room[grow] == 0:
+                break
+            take = min(deficit, int(room[grow]))
+            budget[grow] += take
+            deficit -= take
+        return budget.tolist()
+
+    def client_select(
+        self, residual: np.ndarray, k: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        del rng
+        if residual.shape[0] != self.dimension:
+            raise ValueError(
+                f"residual length {residual.shape[0]} != dimension "
+                f"{self.dimension}"
+            )
+        budgets = self.budgets(residual, k)
+        chosen = []
+        for sl, budget in zip(self.layer_slices, budgets):
+            if budget <= 0:
+                continue
+            local = top_k_indices(residual[sl], budget)
+            chosen.append(local + sl.start)
+        if not chosen:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(chosen))
+
+    def server_select(
+        self, uploads: list[ClientUpload], k: int, dimension: int
+    ) -> SelectionResult:
+        self.validate_k(k, dimension)
+        if not uploads:
+            raise ValueError("no uploads to select from")
+        selected = fair_select(uploads, k)
+        return SelectionResult(
+            indices=selected,
+            contributions=_count_contributions(uploads, selected),
+        )

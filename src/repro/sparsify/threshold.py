@@ -1,0 +1,80 @@
+"""Hard-threshold GS — the heuristic adaptive family the paper contrasts.
+
+Section II: "A few recent works consider thresholding-based adaptive
+methods in a heuristic manner without a mathematically defined
+optimization objective [26], [27], [34]."  This sparsifier implements that
+heuristic: a client uploads every residual element whose magnitude exceeds
+a threshold θ, capped at the round budget k (largest magnitudes win when
+the cap binds).  The *effective* sparsity therefore drifts with gradient
+scale instead of being optimized — exactly the behaviour the paper's
+online algorithm replaces with a principled choice of k.
+
+An optional multiplicative controller adapts θ toward a target element
+count, mimicking the self-tuning thresholds of [34].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparsify.base import ClientUpload, SelectionResult, Sparsifier
+from repro.sparsify.fab_topk import _count_contributions, fair_select
+from repro.sparsify.topk import top_k_indices
+
+
+class HardThreshold(Sparsifier):
+    """Upload |residual| >= threshold, capped at k; fair selection downlink."""
+
+    name = "hard-threshold"
+
+    def __init__(
+        self,
+        threshold: float,
+        target_elements: int | None = None,
+        adapt_rate: float = 0.1,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if target_elements is not None and target_elements < 1:
+            raise ValueError("target_elements must be >= 1 when given")
+        if not 0.0 < adapt_rate < 1.0:
+            raise ValueError("adapt_rate must be in (0, 1)")
+        self.threshold = threshold
+        self.target_elements = target_elements
+        self.adapt_rate = adapt_rate
+
+    def client_select(
+        self, residual: np.ndarray, k: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        del rng
+        above = np.flatnonzero(np.abs(residual) >= self.threshold)
+        if above.size > k:
+            keep = top_k_indices(residual[above], k)
+            above = above[keep]
+        self._adapt(above.size)
+        if above.size == 0:
+            # Never send nothing: fall back to the single largest element
+            # so the round still makes progress.
+            return top_k_indices(residual, 1)
+        return np.sort(above)
+
+    def _adapt(self, sent: int) -> None:
+        """Multiplicative θ controller toward ``target_elements``."""
+        if self.target_elements is None:
+            return
+        if sent > self.target_elements:
+            self.threshold *= 1.0 + self.adapt_rate
+        elif sent < self.target_elements:
+            self.threshold *= 1.0 - self.adapt_rate
+
+    def server_select(
+        self, uploads: list[ClientUpload], k: int, dimension: int
+    ) -> SelectionResult:
+        self.validate_k(k, dimension)
+        if not uploads:
+            raise ValueError("no uploads to select from")
+        selected = fair_select(uploads, k)
+        return SelectionResult(
+            indices=selected,
+            contributions=_count_contributions(uploads, selected),
+        )

@@ -1,0 +1,167 @@
+"""Tests for the contraction and convergence analysis tooling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.contraction import (
+    contraction_coefficient,
+    empirical_contraction,
+    topk_contraction_bound,
+)
+from repro.analysis.convergence import (
+    fit_exponential,
+    fit_power_law,
+    time_to_target,
+)
+
+RNG = np.random.default_rng(13)
+
+
+class TestContractionBound:
+    def test_values(self):
+        assert topk_contraction_bound(1, 4) == pytest.approx(0.75)
+        assert topk_contraction_bound(4, 4) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            topk_contraction_bound(0, 4)
+        with pytest.raises(ValueError):
+            topk_contraction_bound(5, 4)
+
+
+class TestContractionCoefficient:
+    def test_uniform_vector_hits_bound(self):
+        x = np.ones(10)
+        assert contraction_coefficient(x, 3) == pytest.approx(0.7)
+
+    def test_sparse_vector_zero(self):
+        x = np.zeros(10)
+        x[2], x[7] = 3.0, -1.0
+        assert contraction_coefficient(x, 2) == 0.0
+
+    def test_zero_vector(self):
+        assert contraction_coefficient(np.zeros(5), 2) == 0.0
+
+    def test_heavy_tail_contracts_faster_than_bound(self):
+        # Exponentially decaying magnitudes: top 10% carries most energy.
+        x = np.exp(-np.arange(100) / 5.0)
+        measured = contraction_coefficient(x, 10)
+        assert measured < 0.1 < topk_contraction_bound(10, 100)
+
+    @given(st.integers(min_value=1, max_value=50),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_never_exceeds_bound(self, k, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(50)
+        assert contraction_coefficient(x, k) <= (
+            topk_contraction_bound(k, 50) + 1e-12
+        )
+
+
+class TestEmpiricalContraction:
+    def test_statistics(self):
+        vectors = [RNG.standard_normal(20) for _ in range(5)]
+        stats = empirical_contraction(vectors, k=5)
+        assert 0 <= stats["mean"] <= stats["max"] <= stats["bound"] + 1e-12
+        assert stats["dimension"] == 20
+
+    def test_matrix_input(self):
+        stats = empirical_contraction(RNG.standard_normal((4, 15)), k=3)
+        assert stats["k"] == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_contraction([], k=1)
+
+    def test_real_gradient_beats_worst_case(self):
+        from repro.data.synthetic import make_gaussian_blobs
+        from repro.nn.models import make_logistic
+
+        ds = make_gaussian_blobs(num_samples=100, num_classes=3,
+                                 feature_dim=8, separation=4.0, seed=0)
+        model = make_logistic(8, 3, seed=0)
+        grads = []
+        for _ in range(5):
+            grad, _ = model.gradient(ds.x, ds.y)
+            model.set_weights(model.get_weights() - 0.1 * grad)
+            grads.append(grad)
+        k = model.dimension // 10
+        stats = empirical_contraction(grads, k=k)
+        assert stats["mean"] < stats["bound"]
+
+
+class TestConvergenceFits:
+    def test_power_law_recovers_parameters(self):
+        t = np.linspace(1, 100, 60)
+        y = 0.5 + 3.0 * t**-0.8
+        fit = fit_power_law(t, y, floor=0.5)
+        assert fit.rate == pytest.approx(0.8, rel=0.02)
+        assert fit.amplitude == pytest.approx(3.0, rel=0.05)
+        assert fit.r_squared > 0.99
+
+    def test_exponential_recovers_parameters(self):
+        t = np.linspace(0, 10, 50)
+        y = 1.0 + 2.0 * np.exp(-0.5 * t)
+        fit = fit_exponential(t, y, floor=1.0)
+        assert fit.rate == pytest.approx(0.5, rel=0.02)
+        assert fit.r_squared > 0.99
+
+    def test_predict_roundtrip(self):
+        t = np.linspace(1, 50, 30)
+        y = 0.1 + 5.0 * t**-1.0
+        fit = fit_power_law(t, y, floor=0.1)
+        np.testing.assert_allclose(fit.predict(t), y, rtol=0.05)
+
+    def test_auto_floor(self):
+        t = np.linspace(1, 100, 40)
+        y = 2.0 + 4.0 * t**-0.6
+        fit = fit_power_law(t, y)  # floor estimated
+        assert fit.floor < y.min()
+        assert fit.r_squared > 0.9
+
+    def test_noisy_fit_reasonable(self):
+        t = np.linspace(1, 200, 100)
+        y = 0.3 + 2.0 * t**-0.7 + RNG.normal(0, 0.01, t.size)
+        fit = fit_power_law(t, y, floor=0.25)
+        assert 0.4 < fit.rate < 1.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1, 2])  # too few points
+        with pytest.raises(ValueError):
+            fit_power_law([0, 1, 2], [3, 2, 1])  # nonpositive time
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2, 3], [3, 2, 1], floor=5.0)  # floor above
+        with pytest.raises(ValueError):
+            fit_exponential([1, 2, 3], [[3], [2], [1]])  # bad shape
+
+    def test_nan_points_dropped(self):
+        t = np.linspace(1, 100, 50)
+        y = 0.5 + 3.0 * t**-0.8
+        y[::7] = np.nan
+        fit = fit_power_law(t, y, floor=0.5)
+        assert fit.r_squared > 0.99
+
+
+class TestTimeToTarget:
+    def test_exact_hit(self):
+        assert time_to_target([1, 2, 3], [5.0, 3.0, 1.0], 3.0) == 2.0
+
+    def test_interpolated(self):
+        t = time_to_target([1, 2], [4.0, 2.0], 3.0)
+        assert t == pytest.approx(1.5)
+
+    def test_never_reached(self):
+        assert time_to_target([1, 2, 3], [5.0, 4.0, 3.5], 1.0) is None
+
+    def test_noisy_curve_uses_running_min(self):
+        # Loss bounces back above target after reaching it; the first
+        # crossing still counts.
+        t = time_to_target([1, 2, 3, 4], [5.0, 2.0, 6.0, 1.0], 2.5)
+        assert t is not None and t < 2.01
+
+    def test_target_met_at_first_point(self):
+        assert time_to_target([2, 3], [1.0, 0.5], 1.5) == 2.0

@@ -1,0 +1,110 @@
+"""Tests for the run-comparison module."""
+
+import pytest
+
+from repro.experiments.compare import (
+    RunSummary,
+    compare_histories,
+    speedup_at_target,
+    summarize_run,
+)
+from repro.fl.metrics import RoundRecord, TrainingHistory
+
+
+def make_history(losses, dt=1.0, contributions=None):
+    h = TrainingHistory()
+    for i, loss in enumerate(losses, start=1):
+        h.append(RoundRecord(
+            round_index=i, k=10.0, round_time=dt, cumulative_time=i * dt,
+            loss=loss, contributions=contributions or {},
+        ))
+    return h
+
+
+class TestSummarizeRun:
+    def test_basic_fields(self):
+        h = make_history([5.0, 3.0, 2.0, 1.5, 1.2])
+        s = summarize_run("a", h, target_loss=2.0)
+        assert s.final_loss == 1.2
+        assert s.rounds == 5
+        assert s.total_time == 5.0
+        assert s.time_to_target == pytest.approx(3.0)
+
+    def test_target_not_reached(self):
+        h = make_history([5.0, 4.0, 3.5])
+        s = summarize_run("a", h, target_loss=1.0)
+        assert s.time_to_target is None
+
+    def test_convergence_rate_on_power_decay(self):
+        losses = [3.0 * t**-0.5 + 0.1 for t in range(1, 40)]
+        h = make_history(losses)
+        s = summarize_run("a", h)
+        assert s.convergence_rate is not None
+        assert 0.2 < s.convergence_rate < 1.0
+
+    def test_fairness_from_contributions(self):
+        h = make_history([2.0, 1.0], contributions={0: 5, 1: 5})
+        s = summarize_run("a", h)
+        assert s.fairness == pytest.approx(1.0)
+
+    def test_no_contributions_gives_none(self):
+        h = make_history([2.0, 1.0])
+        assert summarize_run("a", h).fairness is None
+
+    def test_all_nan_raises(self):
+        h = make_history([float("nan")])
+        with pytest.raises(ValueError):
+            summarize_run("a", h)
+
+    def test_row_and_headers_align(self):
+        h = make_history([2.0, 1.0])
+        s = summarize_run("a", h)
+        assert len(s.row()) == len(RunSummary.headers())
+
+
+class TestCompareHistories:
+    def test_sorted_by_final_loss(self):
+        histories = {
+            "worse": make_history([5.0, 4.0]),
+            "better": make_history([5.0, 1.0]),
+        }
+        summaries = compare_histories(histories)
+        assert [s.name for s in summaries] == ["better", "worse"]
+
+    def test_default_target_is_worst_best(self):
+        histories = {
+            "a": make_history([5.0, 1.0]),
+            "b": make_history([5.0, 3.0]),
+        }
+        summaries = compare_histories(histories)
+        # Default target = 3.0 (worst run's best), so both runs reach it.
+        for s in summaries:
+            assert s.time_to_target is not None
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compare_histories({})
+
+
+class TestSpeedup:
+    def test_faster_run_has_speedup_above_one(self):
+        histories = {
+            "slow": make_history([5.0, 4.0, 3.0, 2.0, 1.0], dt=2.0),
+            "fast": make_history([5.0, 3.0, 1.0], dt=1.0),
+        }
+        speedups = speedup_at_target(histories, baseline="slow",
+                                     target_loss=1.5)
+        assert speedups["slow"] == pytest.approx(1.0)
+        assert speedups["fast"] > 1.0
+
+    def test_unreached_gives_none(self):
+        histories = {
+            "base": make_history([5.0, 1.0]),
+            "stuck": make_history([5.0, 4.9]),
+        }
+        speedups = speedup_at_target(histories, "base", target_loss=2.0)
+        assert speedups["stuck"] is None
+
+    def test_unknown_baseline(self):
+        with pytest.raises(KeyError):
+            speedup_at_target({"a": make_history([1.0])}, "nope", 1.0)

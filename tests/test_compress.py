@@ -1,0 +1,157 @@
+"""Tests for quantization and its composition with sparsifiers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress.quantization import (
+    QuantizedSparsifier,
+    UniformQuantizer,
+    pair_cost_elements,
+)
+from repro.data.partition import partition_iid
+from repro.data.synthetic import make_gaussian_blobs
+from repro.fl.trainer import FLTrainer
+from repro.nn.models import make_logistic
+from repro.sparsify.base import ClientUpload, SparseVector
+from repro.sparsify.fab_topk import FABTopK
+from repro.sparsify.topk import top_k_indices
+
+RNG = np.random.default_rng(5)
+
+
+class TestUniformQuantizer:
+    def test_zero_vector(self):
+        q = UniformQuantizer(num_levels=4)
+        encoded = q.encode(np.zeros(5))
+        assert encoded.scale == 0.0
+        np.testing.assert_allclose(encoded.decode(), 0.0)
+
+    def test_max_magnitude_exact(self):
+        q = UniformQuantizer(num_levels=8)
+        v = np.array([0.3, -1.0, 0.7])
+        decoded = q.roundtrip(v)
+        assert decoded[1] == pytest.approx(-1.0)
+
+    def test_bounded_error(self):
+        q = UniformQuantizer(num_levels=16, seed=0)
+        v = RNG.standard_normal(100)
+        decoded = q.roundtrip(v)
+        scale = np.abs(v).max()
+        assert np.all(np.abs(decoded - v) <= scale / 16 + 1e-12)
+
+    def test_unbiased(self):
+        q = UniformQuantizer(num_levels=2, seed=0)
+        v = np.array([0.37])
+        samples = np.array([q.roundtrip(v)[0] for _ in range(4000)])
+        assert samples.mean() == pytest.approx(0.37, abs=0.02)
+
+    def test_signs_preserved(self):
+        q = UniformQuantizer(num_levels=4, seed=1)
+        v = np.array([0.9, -0.9, 0.5, -0.5])
+        decoded = q.roundtrip(v)
+        assert np.all(np.sign(decoded[np.abs(decoded) > 0])
+                      == np.sign(v[np.abs(decoded) > 0]))
+
+    def test_bits_per_value(self):
+        assert UniformQuantizer(num_levels=1).encode(np.ones(1)).bits_per_value == 2
+        assert UniformQuantizer(num_levels=15).encode(np.ones(1)).bits_per_value == 5
+        assert UniformQuantizer(num_levels=255).encode(np.ones(1)).bits_per_value == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer(num_levels=0)
+
+    @given(st.integers(min_value=1, max_value=64),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_levels_in_range(self, levels, seed):
+        rng = np.random.default_rng(seed)
+        q = UniformQuantizer(num_levels=levels, seed=seed)
+        v = rng.standard_normal(20)
+        encoded = q.encode(v)
+        assert np.all(np.abs(encoded.levels) <= levels)
+
+
+class TestPairCost:
+    def test_unquantized_pair_costs_two(self):
+        assert pair_cost_elements(10, value_bits=32) == pytest.approx(20.0)
+
+    def test_quantized_pair_cheaper(self):
+        assert pair_cost_elements(10, value_bits=5) < pair_cost_elements(
+            10, value_bits=32
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pair_cost_elements(-1, 8)
+        with pytest.raises(ValueError):
+            pair_cost_elements(1, 0)
+
+
+class TestQuantizedSparsifier:
+    def _upload(self, dense, k, cid=0):
+        idx = top_k_indices(dense, k)
+        return ClientUpload(cid, SparseVector.from_dense(dense, idx), 1)
+
+    def test_preprocess_quantizes_values(self):
+        sparsifier = QuantizedSparsifier(FABTopK(), UniformQuantizer(4, seed=0))
+        dense = RNG.standard_normal(20)
+        upload = self._upload(dense, 5)
+        [processed] = sparsifier.preprocess_uploads([upload])
+        assert processed.client_id == upload.client_id
+        np.testing.assert_array_equal(
+            processed.payload.indices, upload.payload.indices
+        )
+        # Values quantized to at most 4 distinct magnitudes + sign.
+        magnitudes = np.unique(np.abs(processed.payload.values))
+        assert magnitudes.size <= 5
+
+    def test_selection_delegates(self):
+        sparsifier = QuantizedSparsifier(FABTopK(), UniformQuantizer(8))
+        uploads = [self._upload(RNG.standard_normal(30), 6, cid=i)
+                   for i in range(3)]
+        uploads = sparsifier.preprocess_uploads(uploads)
+        result = sparsifier.server_select(uploads, k=6, dimension=30)
+        assert result.indices.size == 6
+
+    def test_name_and_residual_passthrough(self):
+        inner = FABTopK()
+        sparsifier = QuantizedSparsifier(inner, UniformQuantizer(8))
+        assert "fab-top-k" in sparsifier.name
+        assert sparsifier.discards_residual == inner.discards_residual
+
+    def test_uplink_value_bits(self):
+        sparsifier = QuantizedSparsifier(FABTopK(), UniformQuantizer(15))
+        assert sparsifier.uplink_value_bits == 5
+
+    def test_training_still_converges(self):
+        ds = make_gaussian_blobs(num_samples=300, num_classes=4,
+                                 feature_dim=10, separation=4.0, seed=0)
+        fed = partition_iid(ds, num_clients=5, seed=0)
+        model = make_logistic(10, 4, seed=0)
+        sparsifier = QuantizedSparsifier(FABTopK(), UniformQuantizer(8, seed=0))
+        trainer = FLTrainer(model, fed, sparsifier, learning_rate=0.1,
+                            batch_size=16, seed=0)
+        initial = trainer.global_loss()
+        trainer.run(60, k=10)
+        assert trainer.history.final_loss < initial * 0.8
+
+    def test_error_feedback_keeps_quantization_error(self):
+        # After a round, the residual at transmitted indices must equal
+        # original residual − transmitted (quantized) value, not zero.
+        ds = make_gaussian_blobs(num_samples=100, num_classes=3,
+                                 feature_dim=8, separation=4.0, seed=1)
+        fed = partition_iid(ds, num_clients=2, seed=1)
+        model = make_logistic(8, 3, seed=1)
+        sparsifier = QuantizedSparsifier(FABTopK(), UniformQuantizer(2, seed=1))
+        trainer = FLTrainer(model, fed, sparsifier, learning_rate=0.1,
+                            batch_size=16, seed=1)
+        trainer.step(k=5)
+        # With 2 levels, quantization error is almost surely nonzero on
+        # at least one transmitted coordinate of some client.
+        residual_mass = sum(
+            np.abs(c.residual).sum() for c in trainer.clients
+        )
+        assert residual_mass > 0

@@ -1,0 +1,230 @@
+"""Tests for synthetic datasets and partitioners."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.partition import (
+    ClientDataset,
+    partition_by_class,
+    partition_by_writer,
+    partition_dirichlet,
+    partition_iid,
+)
+from repro.data.synthetic import (
+    SyntheticDataset,
+    make_cifar_like,
+    make_femnist_like,
+    make_gaussian_blobs,
+)
+
+
+class TestFemnistLike:
+    def test_shapes_and_ranges(self):
+        ds = make_femnist_like(num_writers=5, samples_per_writer=10, image_size=8)
+        assert len(ds) == 50
+        assert ds.x.shape == (50, 64)
+        assert ds.num_classes == 62
+        assert ds.y.min() >= 0 and ds.y.max() < 62
+        assert np.unique(ds.writer).size == 5
+
+    def test_unflattened_shape(self):
+        ds = make_femnist_like(num_writers=3, samples_per_writer=5, image_size=8,
+                               flatten=False)
+        assert ds.x.shape == (15, 1, 8, 8)
+
+    def test_writer_class_subset(self):
+        ds = make_femnist_like(num_writers=4, samples_per_writer=50,
+                               classes_per_writer=3, seed=1)
+        for w in range(4):
+            labels = np.unique(ds.y[ds.writer == w])
+            assert labels.size <= 3
+
+    def test_determinism(self):
+        a = make_femnist_like(num_writers=3, samples_per_writer=5, seed=9)
+        b = make_femnist_like(num_writers=3, samples_per_writer=5, seed=9)
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_seeds_differ(self):
+        a = make_femnist_like(num_writers=3, samples_per_writer=5, seed=1)
+        b = make_femnist_like(num_writers=3, samples_per_writer=5, seed=2)
+        assert not np.array_equal(a.x, b.x)
+
+    def test_test_pool_present(self):
+        ds = make_femnist_like(num_writers=5, samples_per_writer=20)
+        assert ds.test_x is not None and ds.test_y is not None
+        assert ds.test_x.shape[0] == ds.test_y.shape[0] > 0
+
+    def test_classes_per_writer_validation(self):
+        with pytest.raises(ValueError):
+            make_femnist_like(num_classes=5, classes_per_writer=10)
+
+    def test_class_separability(self):
+        # Same-class samples must be closer than cross-class on average,
+        # otherwise the learning experiments are meaningless.
+        ds = make_femnist_like(num_writers=10, samples_per_writer=30,
+                               classes_per_writer=4, num_classes=6, seed=3)
+        same, cross = [], []
+        for i in range(0, 200, 5):
+            for j in range(i + 1, 200, 7):
+                d = np.linalg.norm(ds.x[i] - ds.x[j])
+                (same if ds.y[i] == ds.y[j] else cross).append(d)
+        assert np.mean(same) < np.mean(cross)
+
+
+class TestCifarLike:
+    def test_one_class_per_client(self):
+        ds = make_cifar_like(num_clients=20, samples_per_client=10)
+        for client in range(20):
+            labels = np.unique(ds.y[ds.writer == client])
+            assert labels.size == 1
+            assert labels[0] == client % 10
+
+    def test_three_channels(self):
+        ds = make_cifar_like(num_clients=10, samples_per_client=5, image_size=8,
+                             flatten=False)
+        assert ds.x.shape == (50, 3, 8, 8)
+
+    def test_flat_dim(self):
+        ds = make_cifar_like(num_clients=10, samples_per_client=5, image_size=8)
+        assert ds.feature_dim == 3 * 8 * 8
+
+
+class TestGaussianBlobs:
+    def test_learnable(self):
+        ds = make_gaussian_blobs(num_samples=100, num_classes=3, separation=5.0)
+        # Nearest-class-mean classification should beat chance easily.
+        means = np.stack([ds.x[ds.y == c].mean(axis=0) for c in range(3)])
+        pred = np.argmin(
+            ((ds.x[:, None, :] - means[None]) ** 2).sum(axis=2), axis=1
+        )
+        assert (pred == ds.y).mean() > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticDataset(
+                x=np.zeros((3, 2)), y=np.zeros(2, dtype=int),
+                writer=np.zeros(3, dtype=int), num_classes=2,
+            )
+        with pytest.raises(ValueError):
+            SyntheticDataset(
+                x=np.zeros((3, 2)), y=np.array([0, 1, 5]),
+                writer=np.zeros(3, dtype=int), num_classes=2,
+            )
+
+
+class TestClientDataset:
+    def test_minibatch_sizes(self):
+        c = ClientDataset(0, np.arange(20).reshape(10, 2).astype(float),
+                          np.arange(10) % 2)
+        x, y = c.minibatch(4)
+        assert x.shape == (4, 2) and y.shape == (4,)
+
+    def test_minibatch_full_when_small(self):
+        c = ClientDataset(0, np.zeros((3, 2)), np.zeros(3, dtype=int))
+        x, y = c.minibatch(10)
+        assert x.shape[0] == 3
+
+    def test_minibatch_no_duplicates(self):
+        c = ClientDataset(0, np.arange(10).reshape(10, 1).astype(float),
+                          np.zeros(10, dtype=int))
+        x, _ = c.minibatch(8)
+        assert np.unique(x).size == 8
+
+    def test_empty_client_rejected(self):
+        with pytest.raises(ValueError):
+            ClientDataset(0, np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ClientDataset(0, np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_label_histogram(self):
+        c = ClientDataset(0, np.zeros((4, 1)), np.array([0, 0, 2, 2]))
+        np.testing.assert_array_equal(c.label_histogram(3), [2, 0, 2])
+
+    def test_deterministic_sampling(self):
+        data = np.arange(40).reshape(20, 2).astype(float)
+        y = np.zeros(20, dtype=int)
+        a = ClientDataset(0, data, y, seed=4).minibatch(5)[0]
+        b = ClientDataset(0, data, y, seed=4).minibatch(5)[0]
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPartitioners:
+    @pytest.fixture
+    def femnist(self):
+        return make_femnist_like(num_writers=8, samples_per_writer=20, seed=0)
+
+    def test_by_writer_counts(self, femnist):
+        fed = partition_by_writer(femnist)
+        assert fed.num_clients == 8
+        assert fed.total_samples == len(femnist)
+        np.testing.assert_array_equal(fed.sample_counts, [20] * 8)
+
+    def test_by_writer_non_iid(self, femnist):
+        fed = partition_by_writer(femnist)
+        assert fed.non_iid_degree() > 0.3
+
+    def test_iid_partition_low_skew(self, femnist):
+        fed = partition_iid(femnist, num_clients=4, seed=0)
+        assert fed.num_clients == 4
+        assert fed.total_samples == len(femnist)
+        assert fed.non_iid_degree() < partition_by_writer(femnist).non_iid_degree()
+
+    def test_iid_too_many_clients(self, femnist):
+        with pytest.raises(ValueError):
+            partition_iid(femnist, num_clients=10_000)
+
+    def test_by_class_single_label(self):
+        ds = make_cifar_like(num_clients=5, samples_per_client=40, num_classes=5,
+                             seed=0)
+        fed = partition_by_class(ds, num_clients=10, seed=0)
+        assert fed.num_clients == 10
+        for c in fed.clients:
+            assert np.unique(c.y).size == 1
+
+    def test_by_class_needs_enough_clients(self):
+        ds = make_cifar_like(num_clients=10, samples_per_client=10, num_classes=10)
+        with pytest.raises(ValueError):
+            partition_by_class(ds, num_clients=5)
+
+    def test_by_class_preserves_samples(self):
+        ds = make_cifar_like(num_clients=5, samples_per_client=40, num_classes=5)
+        fed = partition_by_class(ds, num_clients=10)
+        assert fed.total_samples == len(ds)
+
+    def test_dirichlet_extreme_alpha_is_skewed(self):
+        ds = make_gaussian_blobs(num_samples=500, num_classes=5, seed=0)
+        skewed = partition_dirichlet(ds, num_clients=5, alpha=0.05, seed=0)
+        uniform = partition_dirichlet(ds, num_clients=5, alpha=100.0, seed=0)
+        assert skewed.non_iid_degree() > uniform.non_iid_degree()
+
+    def test_dirichlet_no_empty_clients(self):
+        ds = make_gaussian_blobs(num_samples=60, num_classes=3, seed=1)
+        fed = partition_dirichlet(ds, num_clients=15, alpha=0.05, seed=1)
+        for c in fed.clients:
+            assert len(c) >= 1
+
+    def test_dirichlet_alpha_validation(self):
+        ds = make_gaussian_blobs(num_samples=50)
+        with pytest.raises(ValueError):
+            partition_dirichlet(ds, num_clients=3, alpha=0.0)
+
+    def test_global_pool(self, femnist):
+        fed = partition_by_writer(femnist)
+        x, y = fed.global_pool()
+        assert x.shape[0] == y.shape[0] == len(femnist)
+
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_iid_partition_conserves_everything(self, num_clients, seed):
+        ds = make_gaussian_blobs(num_samples=100, num_classes=4, seed=seed)
+        fed = partition_iid(ds, num_clients=num_clients, seed=seed)
+        assert fed.total_samples == 100
+        x, y = fed.global_pool()
+        # Every original sample appears exactly once (order may differ).
+        assert sorted(map(tuple, x.round(9))) == sorted(map(tuple, ds.x.round(9)))
+        np.testing.assert_array_equal(np.sort(y), np.sort(ds.y))

@@ -1,0 +1,235 @@
+"""Tests for diagnostics, experiment serialization, and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.partition import partition_iid
+from repro.data.synthetic import make_gaussian_blobs
+from repro.experiments.io import (
+    export_figure_csv,
+    figure_from_dict,
+    figure_to_dict,
+    load_figure,
+    load_history,
+    save_figure,
+    save_history,
+)
+from repro.experiments.runner import FigureData
+from repro.fl.client import Client
+from repro.fl.diagnostics import (
+    fairness_index,
+    gradient_concentration,
+    history_fairness,
+    residual_stats,
+)
+from repro.fl.metrics import RoundRecord, TrainingHistory
+from repro.fl.trainer import FLTrainer
+from repro.nn.models import make_logistic
+from repro.sparsify.fab_topk import FABTopK
+from repro import cli
+
+
+class TestResidualStats:
+    def _clients(self):
+        ds = make_gaussian_blobs(num_samples=100, num_classes=3,
+                                 feature_dim=8, seed=0)
+        fed = partition_iid(ds, num_clients=3, seed=0)
+        return [Client(shard, dimension=27) for shard in fed.clients]
+
+    def test_fresh_clients_zero(self):
+        stats = residual_stats(self._clients())
+        assert stats.total_l1 == 0.0
+        assert stats.nonzero_fraction == 0.0
+        assert stats.mean_client_l1 == 0.0
+
+    def test_after_training_nonzero(self):
+        ds = make_gaussian_blobs(num_samples=200, num_classes=3,
+                                 feature_dim=8, seed=0)
+        fed = partition_iid(ds, num_clients=3, seed=0)
+        model = make_logistic(8, 3, seed=0)
+        trainer = FLTrainer(model, fed, FABTopK(), learning_rate=0.1, seed=0)
+        trainer.run(5, k=3)
+        stats = residual_stats(trainer.clients)
+        assert stats.total_l1 > 0
+        assert 0 < stats.nonzero_fraction <= 1
+        assert stats.max_abs > 0
+        assert len(stats.per_client_l1) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            residual_stats([])
+
+
+class TestGradientConcentration:
+    def test_flat_gradient(self):
+        g = np.ones(1000)
+        conc = gradient_concentration(g, fractions=(0.1,))
+        assert conc[0.1] == pytest.approx(0.1, rel=0.01)
+
+    def test_concentrated_gradient(self):
+        g = np.zeros(1000)
+        g[:10] = 100.0
+        g[10:] = 0.001
+        conc = gradient_concentration(g, fractions=(0.01,))
+        assert conc[0.01] > 0.99
+
+    def test_zero_gradient(self):
+        conc = gradient_concentration(np.zeros(10), fractions=(0.5,))
+        assert conc[0.5] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gradient_concentration(np.ones(10), fractions=(0.0,))
+
+
+class TestFairnessIndex:
+    def test_perfectly_even(self):
+        assert fairness_index({0: 5, 1: 5, 2: 5}) == pytest.approx(1.0)
+
+    def test_single_dominant(self):
+        idx = fairness_index({0: 100, 1: 0, 2: 0, 3: 0})
+        assert idx == pytest.approx(0.25)
+
+    def test_history_fairness(self):
+        h = TrainingHistory()
+        h.append(RoundRecord(1, 1.0, 1.0, 1.0, 1.0,
+                             contributions={0: 3, 1: 3}))
+        assert history_fairness(h) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fairness_index({})
+
+
+class TestFigureIO:
+    def _figure(self):
+        fig = FigureData("test figure", notes=["a note"])
+        fig.add("curve-a", [1.0, 2.0], [3.0, 4.0])
+        fig.add("curve-b", [1.0], [9.0])
+        return fig
+
+    def test_roundtrip_dict(self):
+        fig = self._figure()
+        restored = figure_from_dict(figure_to_dict(fig))
+        assert restored.title == fig.title
+        assert restored.notes == fig.notes
+        assert restored.labels() == fig.labels()
+        np.testing.assert_allclose(restored.get("curve-a").y, [3.0, 4.0])
+
+    def test_roundtrip_file(self, tmp_path):
+        fig = self._figure()
+        path = tmp_path / "fig.json"
+        save_figure(fig, path)
+        restored = load_figure(path)
+        assert restored.labels() == fig.labels()
+
+    def test_csv_export(self, tmp_path):
+        path = tmp_path / "fig.csv"
+        export_figure_csv(self._figure(), path)
+        content = path.read_text()
+        assert "curve-a,1,3" in content
+
+    def test_schema_version_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "kind": "figure"}))
+        with pytest.raises(ValueError):
+            load_figure(path)
+
+    def test_kind_checked(self):
+        with pytest.raises(ValueError):
+            figure_from_dict({"schema": 1, "kind": "history", "records": []})
+
+
+class TestHistoryIO:
+    def test_roundtrip(self, tmp_path):
+        h = TrainingHistory()
+        h.append(RoundRecord(1, 5.0, 1.5, 1.5, 2.0, accuracy=0.5,
+                             uplink_elements=10, downlink_elements=8,
+                             contributions={0: 4, 1: 6}))
+        h.append(RoundRecord(2, 5.0, 1.5, 3.0, 1.5))
+        path = tmp_path / "hist.json"
+        save_history(h, path)
+        restored = load_history(path)
+        assert len(restored) == 2
+        assert restored.records[0].accuracy == 0.5
+        assert restored.records[0].contributions == {0: 4, 1: 6}
+        assert restored.records[1].accuracy is None
+        assert restored.final_loss == 1.5
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for figure in cli.FIGURES:
+            assert figure in out
+
+    def test_fig6_smoke_writes_artifacts(self, tmp_path, capsys):
+        code = cli.main([
+            "fig6", "--out", str(tmp_path), "--scale", "smoke",
+            "--rounds", "10",
+        ])
+        assert code == 0
+        assert (tmp_path / "fig6_loss_vs_time.json").exists()
+        assert (tmp_path / "fig6_k_traces.csv").exists()
+        restored = load_figure(tmp_path / "fig6_k_traces.json")
+        assert set(restored.labels()) == {"algorithm2", "algorithm3"}
+
+    def test_fig1_smoke(self, tmp_path):
+        code = cli.main([
+            "fig1", "--out", str(tmp_path), "--scale", "smoke",
+            "--rounds", "10",
+        ])
+        assert code == 0
+        assert (tmp_path / "fig1_post_switch_loss.json").exists()
+
+    def test_fig4_smoke_writes_histories(self, tmp_path):
+        code = cli.main([
+            "fig4", "--out", str(tmp_path), "--scale", "smoke",
+            "--rounds", "15",
+        ])
+        assert code == 0
+        assert (tmp_path / "fig4_loss_vs_time.csv").exists()
+        assert (tmp_path / "fig4_contribution_cdf.json").exists()
+        restored = load_history(tmp_path / "fig4_history_fab-top-k.json")
+        assert len(restored) > 0
+
+    def test_fig5_smoke(self, tmp_path):
+        code = cli.main([
+            "fig5", "--out", str(tmp_path), "--scale", "smoke",
+            "--rounds", "10",
+        ])
+        assert code == 0
+        traces = load_figure(tmp_path / "fig5_k_traces.json")
+        assert "proposed" in traces.labels()
+
+    def test_fig7_smoke_writes_replays(self, tmp_path):
+        code = cli.main([
+            "fig7", "--out", str(tmp_path), "--scale", "smoke",
+            "--rounds", "8",
+        ])
+        assert code == 0
+        assert (tmp_path / "fig7_k_traces.json").exists()
+        replays = list(tmp_path.glob("fig7_replay_beta_*.json"))
+        assert len(replays) == 4
+
+    def test_comm_time_override(self, tmp_path):
+        code = cli.main([
+            "fig6", "--out", str(tmp_path), "--scale", "smoke",
+            "--rounds", "8", "--comm-time", "3.5",
+        ])
+        assert code == 0
+
+    def test_overrides_applied(self):
+        config = cli._scaled_config("smoke", "fig5")
+        assert config.with_overrides(num_rounds=7).num_rounds == 7
+
+    def test_fig8_uses_cifar(self):
+        config = cli._scaled_config("bench", "fig8")
+        assert config.dataset == "cifar"
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            cli._scaled_config("galactic", "fig4")

@@ -1,0 +1,235 @@
+"""Integration tests for the per-figure experiment drivers (smoke scale).
+
+These validate that each driver runs end-to-end, produces the right
+figure structure, and — where cheap enough — that the paper's qualitative
+claims hold at smoke scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig4 import METHODS, run_fig4
+from repro.experiments.fig5 import make_policy, run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_cross_application, run_fig7, run_fig8
+from repro.experiments.runner import (
+    FigureData,
+    Series,
+    build_federation,
+    build_model,
+    build_search_interval,
+    build_timing,
+    contribution_cdf,
+    text_table,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return ExperimentConfig.smoke()
+
+
+class TestConfig:
+    def test_presets_valid(self):
+        for preset in (ExperimentConfig.smoke, ExperimentConfig.default,
+                       ExperimentConfig.paper_scale, ExperimentConfig.cifar_default):
+            cfg = preset()
+            assert cfg.num_rounds >= 1
+
+    def test_with_overrides(self, smoke):
+        cfg = smoke.with_overrides(comm_time=50.0)
+        assert cfg.comm_time == 50.0
+        assert smoke.comm_time != 50.0 or smoke.comm_time == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(dataset="imagenet")
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_rounds=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(kmin_fraction=0.0)
+
+
+class TestRunnerHelpers:
+    def test_build_federation_femnist(self, smoke):
+        fed = build_federation(smoke)
+        assert fed.num_clients == smoke.num_clients
+
+    def test_build_federation_cifar(self):
+        cfg = ExperimentConfig.cifar_default().with_overrides(
+            num_clients=10, samples_per_client=10
+        )
+        fed = build_federation(cfg)
+        assert fed.num_clients == 10
+        for c in fed.clients:
+            assert np.unique(c.y).size == 1
+
+    def test_build_model_dimension(self, smoke):
+        model = build_model(smoke)
+        expected_in = smoke.image_size**2
+        assert model.dimension == (
+            expected_in * 8 + 8 + 8 * smoke.num_classes + smoke.num_classes
+        )
+
+    def test_build_timing_override(self, smoke):
+        tm = build_timing(smoke, dimension=100, comm_time=42.0)
+        assert tm.comm_time == 42.0
+
+    def test_search_interval_follows_paper(self, smoke):
+        interval = build_search_interval(smoke, dimension=10_000)
+        assert interval.kmin == pytest.approx(0.002 * 10_000)
+        assert interval.kmax == 10_000
+
+    def test_series_y_at(self):
+        s = Series("a", [1.0, 2.0, 3.0], [10.0, 5.0, 2.0])
+        assert s.y_at(0.5) == 10.0
+        assert s.y_at(2.5) == 5.0
+        assert s.y_at(99.0) == 2.0
+
+    def test_series_validation(self):
+        with pytest.raises(ValueError):
+            Series("a", [1.0], [1.0, 2.0])
+
+    def test_figure_data_csv(self):
+        fig = FigureData("t")
+        fig.add("a", [1, 2], [3, 4])
+        csv_text = fig.to_csv()
+        assert "series,x,y" in csv_text
+        assert "a,1,3" in csv_text
+
+    def test_figure_get_missing(self):
+        with pytest.raises(KeyError):
+            FigureData("t").get("nope")
+
+    def test_text_table(self):
+        out = text_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        assert "333" in lines[3]
+
+    def test_contribution_cdf(self):
+        values, cdf = contribution_cdf({0: 5, 1: 3, 2: 8})
+        np.testing.assert_array_equal(values, [3, 5, 8])
+        np.testing.assert_allclose(cdf, [1 / 3, 2 / 3, 1.0])
+        with pytest.raises(ValueError):
+            contribution_cdf({})
+
+
+class TestFig1:
+    def test_runs_and_validates_assumption(self, smoke):
+        result = run_fig1(
+            smoke, pre_ks=[200, 50], k_common=50, post_rounds=15,
+        )
+        assert len(result.figure.series) == 2
+        # Assumption 1: post-switch trajectories should stay close
+        # relative to the loss scale.
+        scale = max(max(s.y) for s in result.figure.series)
+        assert result.max_deviation() < 0.5 * scale
+
+    def test_pre_rounds_recorded(self, smoke):
+        result = run_fig1(smoke, pre_ks=[200], k_common=50, post_rounds=5)
+        assert list(result.pre_rounds) == [200]
+        assert result.pre_rounds[200] >= 1
+
+    def test_default_pre_ks_cover_range(self, smoke):
+        result = run_fig1(smoke, post_rounds=3)
+        assert len(result.figure.series) >= 3
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        cfg = ExperimentConfig.smoke().with_overrides(num_rounds=40)
+        return run_fig4(cfg, k=20)
+
+    def test_all_methods_present(self, result):
+        assert set(result.histories) == set(METHODS)
+        assert set(result.loss_vs_time.labels()) == set(METHODS)
+
+    def test_all_methods_respect_budget_roughly(self, result):
+        times = {m: h.total_time for m, h in result.histories.items()}
+        budget = max(times.values())
+        for m, t in times.items():
+            assert t <= budget * 1.6
+
+    def test_losses_decrease(self, result):
+        for method, history in result.histories.items():
+            losses = [r.loss for r in history if r.loss == r.loss]
+            assert losses[-1] < losses[0], method
+
+    def test_fab_fairness_floor_beats_fub(self, result):
+        assert result.min_client_contribution("fab-top-k") >= (
+            result.min_client_contribution("fub-top-k")
+        )
+
+    def test_cdf_panel_has_topk_methods(self, result):
+        assert "fab-top-k" in result.contribution_cdf.labels()
+        assert "fub-top-k" in result.contribution_cdf.labels()
+
+    def test_ranking_api(self, result):
+        t = result.histories["fab-top-k"].total_time / 2
+        ranking = result.ranking_at_time(t)
+        assert len(ranking) == len(METHODS)
+
+
+class TestFig5:
+    def test_runs_all_policies(self):
+        cfg = ExperimentConfig.smoke().with_overrides(num_rounds=20)
+        result = run_fig5(cfg)
+        assert set(result.histories) == {
+            "proposed", "value-based", "exp3", "continuous-bandit"
+        }
+        for s in result.k_traces.series:
+            assert len(s.y) == 20
+
+    def test_k_stability_computed(self):
+        cfg = ExperimentConfig.smoke().with_overrides(num_rounds=20)
+        result = run_fig5(cfg, policies=("proposed", "exp3"))
+        stability = result.k_stability()
+        assert set(stability) == {"proposed", "exp3"}
+
+    def test_make_policy_unknown(self, smoke):
+        with pytest.raises(ValueError):
+            make_policy("nope", smoke, 100)
+
+
+class TestFig6:
+    def test_runs_both_algorithms(self):
+        cfg = ExperimentConfig.smoke().with_overrides(num_rounds=25)
+        result = run_fig6(cfg, comm_time=100.0)
+        assert set(result.histories) == {"algorithm2", "algorithm3"}
+        fluct = result.k_fluctuation()
+        assert set(fluct) == {"algorithm2", "algorithm3"}
+
+
+class TestFig7And8:
+    def test_cross_application_structure(self):
+        cfg = ExperimentConfig.smoke().with_overrides(num_rounds=15)
+        result = run_cross_application(
+            cfg, comm_times=(1.0, 50.0), learn_rounds=15,
+        )
+        assert set(result.sequences) == {1.0, 50.0}
+        assert len(result.final_loss) == 4
+        assert result.k_traces is not None
+        # API sanity.
+        result.mean_k(1.0)
+        result.spread_at(50.0)
+        assert result.matched_sequence_rank(1.0) in (0, 1)
+
+    def test_fig7_requires_femnist(self):
+        with pytest.raises(ValueError):
+            run_fig7(ExperimentConfig.cifar_default())
+
+    def test_fig8_requires_cifar(self):
+        with pytest.raises(ValueError):
+            run_fig8(ExperimentConfig.smoke())
+
+    def test_fig8_smoke(self):
+        cfg = ExperimentConfig.cifar_default().with_overrides(
+            num_clients=10, samples_per_client=10, hidden=(8,),
+            num_rounds=10, image_size=8,
+        )
+        result = run_fig8(cfg, comm_times=(1.0, 50.0), learn_rounds=10)
+        assert set(result.sequences) == {1.0, 50.0}

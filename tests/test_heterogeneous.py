@@ -1,0 +1,252 @@
+"""Tests for heterogeneous timing, client sampling, and resource models."""
+
+import pytest
+
+from repro.data.partition import partition_iid
+from repro.data.synthetic import make_gaussian_blobs
+from repro.fl.trainer import FLTrainer
+from repro.nn.models import make_logistic
+from repro.simulation.heterogeneous import (
+    ClientProfile,
+    ClientSampler,
+    HeterogeneousTimingModel,
+)
+from repro.simulation.resources import ResourceModel, ResourceWeights
+from repro.simulation.timing import TimingModel
+from repro.sparsify.fab_topk import FABTopK
+
+
+def profiles(factors):
+    return [
+        ClientProfile(client_id=i, compute_factor=c, comm_factor=m)
+        for i, (c, m) in enumerate(factors)
+    ]
+
+
+class TestClientProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClientProfile(0, compute_factor=0.0)
+        with pytest.raises(ValueError):
+            ClientProfile(0, comm_factor=-1.0)
+
+
+class TestHeterogeneousTimingModel:
+    def test_all_equal_matches_homogeneous(self):
+        hom = TimingModel(dimension=1000, comm_time=10.0)
+        het = HeterogeneousTimingModel(
+            dimension=1000, comm_time=10.0,
+            profiles=profiles([(1.0, 1.0)] * 4),
+        )
+        assert het.sparse_round(50, 50).total == pytest.approx(
+            hom.sparse_round(50, 50).total
+        )
+
+    def test_straggler_dominates(self):
+        het = HeterogeneousTimingModel(
+            dimension=1000, comm_time=10.0,
+            profiles=profiles([(1.0, 1.0), (3.0, 1.0), (1.0, 2.0)]),
+        )
+        rt = het.sparse_round(100, 100)
+        assert rt.computation == pytest.approx(3.0)  # slowest compute
+        base = TimingModel(1000, 10.0).sparse_round(100, 100)
+        assert rt.uplink == pytest.approx(2.0 * base.uplink)
+
+    def test_excluding_straggler_speeds_round(self):
+        het = HeterogeneousTimingModel(
+            dimension=1000, comm_time=10.0,
+            profiles=profiles([(1.0, 1.0), (5.0, 5.0)]),
+        )
+        slow = het.sparse_round_for(100, 100, participants=[0, 1]).total
+        fast = het.sparse_round_for(100, 100, participants=[0]).total
+        assert fast < slow
+
+    def test_dense_round_for(self):
+        het = HeterogeneousTimingModel(
+            dimension=100, comm_time=4.0,
+            profiles=profiles([(2.0, 1.0), (1.0, 3.0)]),
+        )
+        rt = het.dense_round_for([0])
+        assert rt.computation == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeterogeneousTimingModel(100, 1.0, profiles=[])
+        with pytest.raises(ValueError):
+            HeterogeneousTimingModel(
+                100, 1.0,
+                profiles=[ClientProfile(0), ClientProfile(0)],
+            )
+        het = HeterogeneousTimingModel(100, 1.0, profiles=profiles([(1, 1)]))
+        with pytest.raises(ValueError):
+            het.sparse_round_for(1, 1, participants=[])
+
+
+class TestClientSampler:
+    def test_uniform_counts(self):
+        sampler = ClientSampler(list(range(10)), count=4, seed=0)
+        chosen = sampler.sample()
+        assert len(chosen) == 4
+        assert len(set(chosen)) == 4
+        assert all(0 <= c < 10 for c in chosen)
+
+    def test_deterministic_given_seed(self):
+        a = ClientSampler(list(range(10)), count=3, seed=7).sample()
+        b = ClientSampler(list(range(10)), count=3, seed=7).sample()
+        assert a == b
+
+    def test_uniform_covers_everyone_eventually(self):
+        sampler = ClientSampler(list(range(6)), count=2, seed=1)
+        seen = set()
+        for _ in range(100):
+            seen.update(sampler.sample())
+        assert seen == set(range(6))
+
+    def test_fastest_biased_prefers_fast_clients(self):
+        profs = profiles([(1.0, 1.0), (10.0, 10.0)])
+        sampler = ClientSampler([0, 1], count=1, strategy="fastest-biased",
+                                profiles=profs, seed=0)
+        draws = [sampler.sample()[0] for _ in range(500)]
+        assert draws.count(0) > draws.count(1) * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClientSampler([], count=1)
+        with pytest.raises(ValueError):
+            ClientSampler([0, 1], count=3)
+        with pytest.raises(ValueError):
+            ClientSampler([0], count=1, strategy="nope")
+        with pytest.raises(ValueError):
+            ClientSampler([0], count=1, strategy="fastest-biased")
+
+
+class TestSampledTraining:
+    @pytest.fixture
+    def setup(self):
+        ds = make_gaussian_blobs(num_samples=300, num_classes=4,
+                                 feature_dim=10, separation=4.0, seed=0)
+        fed = partition_iid(ds, num_clients=6, seed=0)
+        model = make_logistic(10, 4, seed=0)
+        return model, fed
+
+    def test_sampled_training_converges(self, setup):
+        model, fed = setup
+        sampler = ClientSampler([c.client_id for c in fed.clients],
+                                count=3, seed=0)
+        trainer = FLTrainer(model, fed, FABTopK(), sampler=sampler,
+                            learning_rate=0.1, batch_size=16, seed=0)
+        initial = trainer.global_loss()
+        trainer.run(60, k=10)
+        assert trainer.history.final_loss < initial * 0.8
+
+    def test_contributions_limited_to_participants(self, setup):
+        model, fed = setup
+        sampler = ClientSampler([c.client_id for c in fed.clients],
+                                count=2, seed=0)
+        trainer = FLTrainer(model, fed, FABTopK(), sampler=sampler,
+                            learning_rate=0.1, batch_size=16, seed=0)
+        record = trainer.step(k=6)
+        assert len(record.contributions) == 2
+
+    def test_straggler_avoidance_reduces_time(self, setup):
+        model, fed = setup
+        ids = [c.client_id for c in fed.clients]
+        profs = profiles([(1.0, 1.0)] * 5 + [(10.0, 10.0)])
+        het = HeterogeneousTimingModel(model.dimension, comm_time=10.0,
+                                       profiles=profs)
+        fast_sampler = ClientSampler(ids, count=3, strategy="fastest-biased",
+                                     profiles=profs, seed=0)
+        trainer_fast = FLTrainer(make_logistic(10, 4, seed=0), fed, FABTopK(),
+                                 timing=het, sampler=fast_sampler,
+                                 learning_rate=0.1, seed=0)
+        trainer_all = FLTrainer(make_logistic(10, 4, seed=0), fed, FABTopK(),
+                                timing=het, learning_rate=0.1, seed=0)
+        trainer_fast.run(20, k=10)
+        trainer_all.run(20, k=10)
+        assert trainer_fast.clock < trainer_all.clock
+
+
+class TestResourceModel:
+    def test_pure_time_matches_timing(self):
+        timing = TimingModel(dimension=1000, comm_time=10.0)
+        resources = ResourceModel(timing, compute_energy=0.0,
+                                  energy_per_element=0.0)
+        assert resources.sparse_round(50, 50).total == pytest.approx(
+            timing.sparse_round(50, 50).total
+        )
+        assert resources.dense_round().total == pytest.approx(
+            timing.dense_round().total
+        )
+
+    def test_energy_term_grows_with_elements(self):
+        timing = TimingModel(dimension=1000, comm_time=10.0)
+        resources = ResourceModel(
+            timing, weights=ResourceWeights(time=0.0, energy=1.0),
+            compute_energy=1.0, energy_per_element=0.01,
+        )
+        small = resources.sparse_round(10, 10).total
+        large = resources.sparse_round(100, 100).total
+        assert large > small
+        # 2x(10+10) pairs -> 40 elements * 0.01 + compute 1.0
+        assert small == pytest.approx(1.0 + 0.4)
+
+    def test_money_per_round_fee(self):
+        timing = TimingModel(dimension=100, comm_time=1.0)
+        resources = ResourceModel(
+            timing, weights=ResourceWeights(time=0.0, money=1.0),
+            money_per_element=0.0, money_per_round=2.5,
+        )
+        assert resources.sparse_round(1, 1).total == pytest.approx(2.5)
+
+    def test_combined_objective(self):
+        timing = TimingModel(dimension=1000, comm_time=10.0)
+        resources = ResourceModel(
+            timing, weights=ResourceWeights(time=1.0, energy=2.0, money=1.0),
+            compute_energy=0.5, energy_per_element=0.001,
+            money_per_element=0.002, money_per_round=0.1,
+        )
+        rt = resources.sparse_round(50, 50)
+        elements = 2 * 100  # pair_overhead * (50+50)
+        expected = (
+            timing.sparse_round(50, 50).total
+            + 2.0 * (0.5 + 0.001 * elements)
+            + 1.0 * (0.002 * elements + 0.1)
+        )
+        assert rt.total == pytest.approx(expected)
+
+    def test_expected_sparse_round_interpolates(self):
+        timing = TimingModel(dimension=1000, comm_time=10.0)
+        resources = ResourceModel(timing, energy_per_element=0.01)
+        mid = resources.expected_sparse_round_time(10.5)
+        lo = resources.sparse_round(10, 10).total
+        hi = resources.sparse_round(11, 11).total
+        assert mid == pytest.approx(0.5 * (lo + hi))
+
+    def test_drop_in_for_trainer(self):
+        ds = make_gaussian_blobs(num_samples=200, num_classes=3,
+                                 feature_dim=8, separation=4.0, seed=0)
+        fed = partition_iid(ds, num_clients=4, seed=0)
+        model = make_logistic(8, 3, seed=0)
+        resources = ResourceModel(
+            TimingModel(model.dimension, comm_time=5.0),
+            weights=ResourceWeights(time=1.0, energy=1.0),
+            compute_energy=0.2, energy_per_element=0.005,
+        )
+        trainer = FLTrainer(model, fed, FABTopK(), timing=resources,
+                            learning_rate=0.1, batch_size=16, seed=0)
+        trainer.run(10, k=8)
+        assert trainer.clock > 0
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            ResourceWeights(time=-1.0)
+        with pytest.raises(ValueError):
+            ResourceWeights(time=0.0, energy=0.0, money=0.0)
+        timing = TimingModel(10, 1.0)
+        with pytest.raises(ValueError):
+            ResourceModel(timing, compute_energy=-1.0)
+
+    def test_fedavg_period_delegates(self):
+        timing = TimingModel(dimension=1000, comm_time=10.0)
+        resources = ResourceModel(timing)
+        assert resources.fedavg_period(100) == timing.fedavg_period(100)

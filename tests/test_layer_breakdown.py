@@ -1,0 +1,47 @@
+"""Tests for the per-layer diagnostics helper."""
+
+import numpy as np
+import pytest
+
+from repro.fl.diagnostics import layer_breakdown
+from repro.nn.models import make_mlp
+
+
+class TestLayerBreakdown:
+    def test_shares_sum_to_one(self):
+        vector = np.arange(1, 11, dtype=float)
+        slices = [slice(0, 4), slice(4, 10)]
+        breakdown = layer_breakdown(vector, slices)
+        assert sum(b["l1_share"] for b in breakdown) == pytest.approx(1.0)
+        assert breakdown[0]["size"] == 4
+        assert breakdown[1]["size"] == 6
+
+    def test_mass_attribution(self):
+        vector = np.zeros(10)
+        vector[7] = 5.0
+        breakdown = layer_breakdown(vector, [slice(0, 5), slice(5, 10)])
+        assert breakdown[0]["l1_share"] == 0.0
+        assert breakdown[1]["l1_share"] == 1.0
+
+    def test_density(self):
+        vector = np.array([1.0, 0.0, 0.0, 2.0])
+        breakdown = layer_breakdown(vector, [slice(0, 2), slice(2, 4)])
+        assert breakdown[0]["density"] == 0.5
+        assert breakdown[1]["density"] == 0.5
+
+    def test_zero_vector(self):
+        breakdown = layer_breakdown(np.zeros(6), [slice(0, 6)])
+        assert breakdown[0]["l1_share"] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            layer_breakdown(np.zeros(5), [])
+        with pytest.raises(ValueError):
+            layer_breakdown(np.zeros(5), [slice(0, 3)])  # does not cover
+
+    def test_with_flat_model_slices(self):
+        model = make_mlp(6, 3, hidden=(4,), seed=0)
+        grad = np.abs(np.random.default_rng(0).standard_normal(model.dimension))
+        breakdown = layer_breakdown(grad, model.parameter_slices())
+        assert len(breakdown) == 4  # W1, b1, W2, b2
+        assert sum(b["size"] for b in breakdown) == model.dimension

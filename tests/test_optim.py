@@ -1,0 +1,122 @@
+"""Tests for optimizers and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD, constant_lr, cosine_lr, step_decay_lr
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = constant_lr(0.1)
+        assert s(0) == s(100) == 0.1
+
+    def test_constant_validation(self):
+        with pytest.raises(ValueError):
+            constant_lr(0.0)
+
+    def test_step_decay(self):
+        s = step_decay_lr(1.0, decay=0.5, every=10)
+        assert s(0) == 1.0
+        assert s(9) == 1.0
+        assert s(10) == 0.5
+        assert s(20) == 0.25
+
+    def test_step_decay_validation(self):
+        with pytest.raises(ValueError):
+            step_decay_lr(1.0, decay=0.0, every=10)
+        with pytest.raises(ValueError):
+            step_decay_lr(1.0, decay=0.5, every=0)
+
+    def test_cosine_endpoints(self):
+        s = cosine_lr(1.0, total_steps=100, floor=0.1)
+        assert s(0) == pytest.approx(1.0)
+        assert s(100) == pytest.approx(0.1)
+        assert s(50) == pytest.approx(0.55)
+        assert s(200) == pytest.approx(0.1)  # clamps past the horizon
+
+    def test_cosine_monotone_decreasing(self):
+        s = cosine_lr(1.0, total_steps=50)
+        values = [s(i) for i in range(51)]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_cosine_validation(self):
+        with pytest.raises(ValueError):
+            cosine_lr(0.0, 10)
+        with pytest.raises(ValueError):
+            cosine_lr(1.0, 0)
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        opt = SGD(lr=0.1)
+        w = np.array([1.0, 2.0])
+        g = np.array([1.0, -1.0])
+        np.testing.assert_allclose(opt.step(w, g), [0.9, 2.1])
+        # Inputs untouched.
+        np.testing.assert_allclose(w, [1.0, 2.0])
+
+    def test_momentum_accumulates(self):
+        opt = SGD(lr=0.1, momentum=0.9)
+        w = np.zeros(1)
+        g = np.ones(1)
+        w = opt.step(w, g)   # v=1, w=-0.1
+        w = opt.step(w, g)   # v=1.9, w=-0.29
+        assert w[0] == pytest.approx(-0.29)
+
+    def test_nesterov_differs_from_heavy_ball(self):
+        w = np.zeros(3)
+        g = np.array([1.0, -2.0, 0.5])
+        hb = SGD(lr=0.1, momentum=0.9)
+        nag = SGD(lr=0.1, momentum=0.9, nesterov=True)
+        w_hb = hb.step(hb.step(w, g), g)
+        w_nag = nag.step(nag.step(w, g), g)
+        assert not np.allclose(w_hb, w_nag)
+
+    def test_weight_decay(self):
+        opt = SGD(lr=0.1, weight_decay=0.5)
+        w = np.array([2.0])
+        out = opt.step(w, np.zeros(1))
+        assert out[0] == pytest.approx(2.0 - 0.1 * 0.5 * 2.0)
+
+    def test_schedule_integration(self):
+        opt = SGD(lr=step_decay_lr(1.0, 0.1, every=1))
+        w = np.zeros(1)
+        g = np.ones(1)
+        w = opt.step(w, g)   # lr=1
+        assert w[0] == pytest.approx(-1.0)
+        w = opt.step(w, g)   # lr=0.1
+        assert w[0] == pytest.approx(-1.1)
+
+    def test_reset(self):
+        opt = SGD(lr=0.1, momentum=0.9)
+        opt.step(np.zeros(1), np.ones(1))
+        assert opt.step_count == 1
+        opt.reset()
+        assert opt.step_count == 0
+        assert opt._velocity is None
+
+    def test_current_lr(self):
+        opt = SGD(lr=cosine_lr(1.0, 10))
+        assert opt.current_lr() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD(weight_decay=-1.0)
+        with pytest.raises(ValueError):
+            SGD(nesterov=True, momentum=0.0)
+        opt = SGD()
+        with pytest.raises(ValueError):
+            opt.step(np.zeros(2), np.zeros(3))
+
+    def test_momentum_converges_quadratic(self):
+        # Minimize 0.5*||w - t||^2; momentum should not diverge and must
+        # land near the target.
+        target = np.array([3.0, -1.0])
+        opt = SGD(lr=0.1, momentum=0.9)
+        w = np.zeros(2)
+        for _ in range(300):
+            w = opt.step(w, w - target)
+        np.testing.assert_allclose(w, target, atol=1e-3)

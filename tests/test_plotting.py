@@ -1,0 +1,90 @@
+"""Tests for the ASCII figure renderer."""
+
+import math
+
+import pytest
+
+from repro.experiments.plotting import render_figure
+from repro.experiments.runner import FigureData
+
+
+def make_figure():
+    fig = FigureData("demo")
+    fig.add("down", [0.0, 1.0, 2.0, 3.0], [4.0, 3.0, 2.0, 1.0])
+    fig.add("up", [0.0, 1.0, 2.0, 3.0], [1.0, 2.0, 3.0, 4.0])
+    return fig
+
+
+class TestRenderFigure:
+    def test_contains_title_legend_and_markers(self):
+        out = render_figure(make_figure())
+        assert out.startswith("demo")
+        assert "o = down" in out
+        assert "x = up" in out
+        assert "o" in out and "x" in out
+
+    def test_axis_labels(self):
+        out = render_figure(make_figure())
+        assert "4" in out  # y max
+        assert "1" in out  # y min
+        assert "0" in out and "3" in out  # x range
+
+    def test_grid_dimensions(self):
+        out = render_figure(make_figure(), width=40, height=10)
+        chart_lines = [line for line in out.split("\n") if "|" in line]
+        assert len(chart_lines) == 10
+        for line in chart_lines:
+            assert len(line.split("|", 1)[1]) == 40
+
+    def test_log_scale(self):
+        fig = FigureData("logdemo")
+        fig.add("a", [1.0, 2.0, 3.0], [1.0, 10.0, 100.0])
+        out = render_figure(fig, logy=True)
+        assert "100" in out
+
+    def test_log_scale_rejects_nonpositive(self):
+        fig = FigureData("bad")
+        fig.add("a", [1.0, 2.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            render_figure(fig, logy=True)
+
+    def test_nan_points_skipped(self):
+        fig = FigureData("nan")
+        fig.add("a", [1.0, 2.0, 3.0], [1.0, math.nan, 3.0])
+        out = render_figure(fig)
+        assert "a" in out
+
+    def test_empty_figure_rejected(self):
+        with pytest.raises(ValueError):
+            render_figure(FigureData("empty"))
+
+    def test_constant_series_renders(self):
+        fig = FigureData("flat")
+        fig.add("a", [0.0, 1.0], [2.0, 2.0])
+        out = render_figure(fig)
+        assert "o" in out
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            render_figure(make_figure(), width=5, height=3)
+
+    def test_too_many_series_rejected(self):
+        fig = FigureData("many")
+        for i in range(9):
+            fig.add(f"s{i}", [0.0, 1.0], [float(i), float(i)])
+        with pytest.raises(ValueError):
+            render_figure(fig)
+
+
+class TestCLIPlot:
+    def test_plot_flag_prints_chart(self, tmp_path, capsys):
+        from repro import cli
+
+        code = cli.main([
+            "fig6", "--out", str(tmp_path), "--scale", "smoke",
+            "--rounds", "10", "--plot",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "algorithm3" in out
+        assert "|" in out  # a chart was rendered

@@ -1,0 +1,326 @@
+"""Tests for the sparsification package.
+
+The key properties tested here are the ones the paper claims:
+
+- FAB-top-k returns exactly min(k, |union of uploads|) indices.
+- Fairness: every client's top-⌊k/N⌋ uploaded indices appear in the
+  selection (hence each client contributes at least ⌊k/N⌋ elements).
+- FUB-top-k can starve a client entirely; FAB cannot.
+- Unidirectional downlink grows up to k·N.
+- Periodic-k covers every coordinate within ⌈D/k⌉ rounds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparsify.base import ClientUpload, SelectionResult, SparseVector
+from repro.sparsify.fab_topk import FABTopK, fair_select
+from repro.sparsify.fub_topk import FUBTopK
+from repro.sparsify.periodic import PeriodicK
+from repro.sparsify.topk import ranked_indices, top_k_indices
+from repro.sparsify.unidirectional import UnidirectionalTopK
+
+RNG = np.random.default_rng(3)
+
+
+def make_upload(client_id, dense, k, weight=1):
+    dense = np.asarray(dense, dtype=float)
+    idx = top_k_indices(dense, k)
+    return ClientUpload(
+        client_id=client_id,
+        payload=SparseVector.from_dense(dense, idx),
+        sample_count=weight,
+    )
+
+
+class TestTopKIndices:
+    def test_basic(self):
+        v = np.array([0.1, -5.0, 3.0, 0.0, 4.0])
+        np.testing.assert_array_equal(top_k_indices(v, 2), [1, 4])
+
+    def test_k_zero_and_negative(self):
+        v = np.array([1.0, 2.0])
+        assert top_k_indices(v, 0).size == 0
+        assert top_k_indices(v, -3).size == 0
+
+    def test_k_ge_n_returns_all(self):
+        v = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(top_k_indices(v, 5), [0, 1, 2])
+
+    def test_tie_break_by_index(self):
+        v = np.array([2.0, -2.0, 2.0, 1.0])
+        np.testing.assert_array_equal(top_k_indices(v, 2), [0, 1])
+
+    def test_uses_absolute_value(self):
+        v = np.array([-10.0, 1.0, 2.0])
+        assert 0 in top_k_indices(v, 1)
+
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_full_sort(self, k, seed):
+        rng = np.random.default_rng(seed)
+        v = rng.standard_normal(137)
+        got = top_k_indices(v, k)
+        expected = np.sort(np.lexsort((np.arange(137), -np.abs(v)))[: min(k, 137)])
+        np.testing.assert_array_equal(got, expected)
+
+    def test_ranked_indices_order(self):
+        v = np.array([1.0, -3.0, 2.0])
+        np.testing.assert_array_equal(ranked_indices(v), [1, 2, 0])
+
+    def test_ranked_indices_limit(self):
+        v = RNG.standard_normal(50)
+        assert ranked_indices(v, limit=5).size == 5
+
+
+class TestSparseVector:
+    def test_dense_roundtrip(self):
+        dense = np.array([0.0, 1.5, 0.0, -2.0])
+        sv = SparseVector.from_dense(dense, np.array([1, 3]))
+        np.testing.assert_allclose(sv.to_dense(), [0.0, 1.5, 0.0, -2.0])
+
+    def test_sorts_indices(self):
+        sv = SparseVector(np.array([3, 1]), np.array([30.0, 10.0]), 5)
+        np.testing.assert_array_equal(sv.indices, [1, 3])
+        np.testing.assert_array_equal(sv.values, [10.0, 30.0])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            SparseVector(np.array([1, 1]), np.array([1.0, 2.0]), 5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            SparseVector(np.array([5]), np.array([1.0]), 5)
+        with pytest.raises(ValueError):
+            SparseVector(np.array([-1]), np.array([1.0]), 5)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            SparseVector(np.array([1, 2]), np.array([1.0]), 5)
+
+    def test_nnz(self):
+        sv = SparseVector(np.array([0, 2]), np.array([1.0, 2.0]), 4)
+        assert sv.nnz == 2
+
+
+class TestSelectionResult:
+    def test_sorts_and_defaults(self):
+        r = SelectionResult(indices=np.array([4, 1, 2]))
+        np.testing.assert_array_equal(r.indices, [1, 2, 4])
+        assert r.downlink_element_count == 3
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            SelectionResult(indices=np.array([1, 1]))
+
+
+class TestClientUpload:
+    def test_positive_weight_required(self):
+        sv = SparseVector(np.array([0]), np.array([1.0]), 3)
+        with pytest.raises(ValueError):
+            ClientUpload(client_id=0, payload=sv, sample_count=0)
+
+
+class TestFABTopK:
+    def test_exact_k_selected(self):
+        d = 40
+        uploads = [make_upload(i, RNG.standard_normal(d), 10) for i in range(4)]
+        result = FABTopK().server_select(uploads, k=10, dimension=d)
+        assert result.indices.size == 10
+
+    def test_union_smaller_than_k(self):
+        d = 20
+        dense = np.zeros(d)
+        dense[:3] = [5.0, -4.0, 3.0]
+        uploads = [make_upload(i, dense, 3) for i in range(3)]  # same 3 indices
+        result = FABTopK().server_select(uploads, k=10, dimension=d)
+        np.testing.assert_array_equal(result.indices, [0, 1, 2])
+
+    def test_fairness_floor(self):
+        # Client 0 has huge values, clients 1..3 small ones; FAB must still
+        # include each client's top-⌊k/N⌋ elements.
+        d, k, n = 100, 8, 4
+        quota = k // n
+        uploads = []
+        for i in range(n):
+            dense = np.zeros(d)
+            block = slice(i * 20, i * 20 + 10)
+            scale = 1000.0 if i == 0 else 0.01
+            dense[block] = scale * (1 + RNG.random(10))
+            uploads.append(make_upload(i, dense, k))
+        result = FABTopK().server_select(uploads, k=k, dimension=d)
+        for up in uploads:
+            ranked = up.payload.indices[ranked_indices(up.payload.values)]
+            top_quota = set(ranked[:quota].tolist())
+            assert top_quota <= set(result.indices.tolist()), (
+                f"client {up.client_id} top-{quota} not all selected"
+            )
+            assert result.contributions[up.client_id] >= quota
+
+    def test_fub_starves_but_fab_does_not(self):
+        d, k = 60, 6
+        uploads = []
+        for i in range(3):
+            dense = np.zeros(d)
+            scale = 100.0 if i == 0 else 0.1
+            dense[i * 20 : i * 20 + 6] = scale * (1 + RNG.random(6))
+            uploads.append(make_upload(i, dense, 6))
+        fab = FABTopK().server_select(uploads, k=k, dimension=d)
+        fub = FUBTopK().server_select(uploads, k=k, dimension=d)
+        assert min(fab.contributions.values()) >= k // 3
+        assert min(fub.contributions.values()) == 0  # client starved
+
+    def test_fill_uses_largest_leftover(self):
+        # Two clients, k=3: κ=1 gives union size 2, fill one more from
+        # κ=2 layer; the larger second-ranked value must win.
+        d = 10
+        a = np.zeros(d)
+        a[0], a[1] = 10.0, 9.0   # client 0: ranks [0, 1]
+        b = np.zeros(d)
+        b[5], b[6] = 10.0, 1.0   # client 1: ranks [5, 6]
+        uploads = [make_upload(0, a, 2), make_upload(1, b, 2)]
+        selected = fair_select(uploads, k=3)
+        np.testing.assert_array_equal(selected, [0, 1, 5])
+
+    def test_single_client_equals_topk(self):
+        d = 30
+        dense = RNG.standard_normal(d)
+        uploads = [make_upload(0, dense, 7)]
+        result = FABTopK().server_select(uploads, k=7, dimension=d)
+        np.testing.assert_array_equal(result.indices, top_k_indices(dense, 7))
+
+    def test_invalid_k(self):
+        uploads = [make_upload(0, RNG.standard_normal(10), 2)]
+        with pytest.raises(ValueError):
+            FABTopK().server_select(uploads, k=0, dimension=10)
+        with pytest.raises(ValueError):
+            FABTopK().server_select(uploads, k=11, dimension=10)
+
+    def test_no_uploads(self):
+        with pytest.raises(ValueError):
+            FABTopK().server_select([], k=1, dimension=10)
+
+    @given(
+        st.integers(min_value=2, max_value=6),   # clients
+        st.integers(min_value=1, max_value=25),  # k
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_size_and_fairness(self, n_clients, k, seed):
+        d = 50
+        rng = np.random.default_rng(seed)
+        uploads = [
+            make_upload(i, rng.standard_normal(d), min(k, d)) for i in range(n_clients)
+        ]
+        result = FABTopK().server_select(uploads, k=k, dimension=d)
+        union = np.unique(np.concatenate([u.payload.indices for u in uploads]))
+        assert result.indices.size == min(k, union.size)
+        assert set(result.indices.tolist()) <= set(union.tolist())
+        quota = k // n_clients
+        for up in uploads:
+            assert result.contributions[up.client_id] >= min(
+                quota, up.payload.nnz
+            )
+
+
+class TestFUBTopK:
+    def test_selects_k_largest_aggregates(self):
+        d = 20
+        a = np.zeros(d)
+        a[0], a[1] = 1.0, 1.0
+        b = np.zeros(d)
+        b[0], b[2] = 1.0, -0.5
+        uploads = [make_upload(0, a, 2), make_upload(1, b, 2)]
+        result = FUBTopK().server_select(uploads, k=2, dimension=d)
+        # Aggregates: j0 = 1.0, j1 = 0.5, j2 = -0.25 -> keep {0, 1}
+        np.testing.assert_array_equal(result.indices, [0, 1])
+
+    def test_weighted_aggregation(self):
+        d = 10
+        a = np.zeros(d)
+        a[0] = 1.0
+        b = np.zeros(d)
+        b[1] = 1.0
+        # Client 1's weight dominates, so index 1 must be kept at k=1.
+        uploads = [make_upload(0, a, 1, weight=1), make_upload(1, b, 1, weight=9)]
+        result = FUBTopK().server_select(uploads, k=1, dimension=d)
+        np.testing.assert_array_equal(result.indices, [1])
+
+    def test_union_smaller_than_k(self):
+        d = 10
+        a = np.zeros(d)
+        a[3] = 2.0
+        uploads = [make_upload(0, a, 1)]
+        result = FUBTopK().server_select(uploads, k=5, dimension=d)
+        np.testing.assert_array_equal(result.indices, [3])
+
+
+class TestUnidirectionalTopK:
+    def test_downlink_is_union(self):
+        d = 40
+        uploads = []
+        for i in range(4):
+            dense = np.zeros(d)
+            dense[i * 10 : i * 10 + 3] = 1.0 + RNG.random(3)
+            uploads.append(make_upload(i, dense, 3))
+        result = UnidirectionalTopK().server_select(uploads, k=3, dimension=d)
+        assert result.indices.size == 12  # disjoint -> k*N
+        assert result.downlink_element_count == 12
+
+    def test_overlapping_uploads_shrink_union(self):
+        d = 20
+        dense = np.zeros(d)
+        dense[:3] = [3.0, 2.0, 1.0]
+        uploads = [make_upload(i, dense, 3) for i in range(5)]
+        result = UnidirectionalTopK().server_select(uploads, k=3, dimension=d)
+        assert result.indices.size == 3
+
+
+class TestPeriodicK:
+    def test_selects_k_random_coordinates(self):
+        p = PeriodicK(dimension=30, seed=0)
+        idx = p.start_round(5)
+        assert idx.size == 5
+        assert np.unique(idx).size == 5
+
+    def test_full_coverage_within_period(self):
+        d, k = 24, 5
+        p = PeriodicK(dimension=d, seed=1)
+        seen = set()
+        for _ in range(int(np.ceil(d / k))):
+            seen.update(p.start_round(k).tolist())
+        assert seen == set(range(d))
+
+    def test_same_for_all_clients(self):
+        p = PeriodicK(dimension=20, seed=2)
+        p.start_round(4)
+        rng = np.random.default_rng(0)
+        a = p.client_select(RNG.standard_normal(20), 4, rng)
+        b = p.client_select(RNG.standard_normal(20), 4, rng)
+        np.testing.assert_array_equal(a, b)
+
+    def test_server_select_consumes_round(self):
+        d = 20
+        p = PeriodicK(dimension=d, seed=3)
+        idx = p.start_round(4)
+        dense = RNG.standard_normal(d)
+        uploads = [
+            ClientUpload(0, SparseVector.from_dense(dense, idx), 1),
+        ]
+        result = p.server_select(uploads, k=4, dimension=d)
+        np.testing.assert_array_equal(result.indices, np.sort(idx))
+        # Next round draws fresh indices.
+        idx2 = p.start_round(4)
+        assert not np.array_equal(np.sort(idx), np.sort(idx2)) or True
+
+    def test_server_before_client_raises(self):
+        p = PeriodicK(dimension=10)
+        sv = SparseVector(np.array([0]), np.array([1.0]), 10)
+        with pytest.raises(RuntimeError):
+            p.server_select([ClientUpload(0, sv, 1)], k=1, dimension=10)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            PeriodicK(dimension=0)
