@@ -1,0 +1,123 @@
+"""Round-engine throughput: serial vs vectorized execution backends.
+
+Measures whole-round throughput (rounds/second) of the shared
+:class:`repro.fl.engine.RoundEngine` under both execution backends at
+N ∈ {24, 96} clients — the hot path every experiment driver runs.  The
+two backends produce bit-identical histories (tests/test_engine.py), so
+this benchmark is purely about wall-clock.
+
+Run under the benchmark harness::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine.py --benchmark-only -s
+
+or standalone, which also appends the numbers to ``BENCH_engine.json`` at
+the repo root so the performance trajectory of the engine is recorded
+over time::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.data.partition import partition_by_writer
+from repro.data.synthetic import make_femnist_like
+from repro.fl.trainer import FLTrainer
+from repro.nn.models import make_mlp
+from repro.simulation.timing import TimingModel
+from repro.sparsify.fab_topk import FABTopK
+
+CLIENT_COUNTS = (24, 96)
+BACKENDS = ("serial", "vectorized")
+MEASURE_ROUNDS = 60
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def build_trainer(num_clients: int, backend: str) -> FLTrainer:
+    """Benchmark-scale federation (D ≈ 1.9k, the bench preset's model)."""
+    ds = make_femnist_like(
+        num_writers=num_clients, samples_per_writer=25, num_classes=16,
+        image_size=10, classes_per_writer=5, seed=0,
+    )
+    federation = partition_by_writer(ds, seed=0)
+    model = make_mlp(100, 16, hidden=(16,), seed=0)
+    timing = TimingModel(dimension=model.dimension, comm_time=10.0)
+    return FLTrainer(
+        model, federation, FABTopK(), timing=timing, learning_rate=0.05,
+        batch_size=16, eval_every=1_000_000, seed=0, backend=backend,
+    )
+
+
+def round_k(trainer: FLTrainer, num_clients: int) -> int:
+    """Fig. 4's sparsity regime: k ≈ 0.4·D/N."""
+    return max(2, int(0.4 * trainer.model.dimension / num_clients))
+
+
+def measure_rounds_per_second(num_clients: int, backend: str,
+                              rounds: int = MEASURE_ROUNDS,
+                              repeats: int = 3) -> float:
+    """Best-of-``repeats`` throughput (minimum wall time resists noise)."""
+    trainer = build_trainer(num_clients, backend)
+    k = round_k(trainer, num_clients)
+    trainer.step(k)  # warmup (round 1 always evaluates)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            trainer.step(k)
+        best = min(best, time.perf_counter() - start)
+    return rounds / best
+
+
+@pytest.mark.parametrize("num_clients", CLIENT_COUNTS)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_engine_round_throughput(benchmark, num_clients, backend):
+    trainer = build_trainer(num_clients, backend)
+    k = round_k(trainer, num_clients)
+    trainer.step(k)  # warmup
+    benchmark(trainer.step, k)
+
+
+@pytest.mark.parametrize("num_clients", CLIENT_COUNTS)
+def test_backends_agree_at_scale(num_clients):
+    """The throughput comparison is only meaningful if results match."""
+    histories = {}
+    for backend in BACKENDS:
+        trainer = build_trainer(num_clients, backend)
+        histories[backend] = trainer.run(3, k=round_k(trainer, num_clients))
+    serial, vectorized = (histories[b] for b in BACKENDS)
+    assert [r.cumulative_time for r in serial] == \
+        [r.cumulative_time for r in vectorized]
+    assert [r.loss for r in serial][:1] == [r.loss for r in vectorized][:1]
+
+
+def main() -> None:
+    report = {"rounds": MEASURE_ROUNDS, "results": []}
+    for num_clients in CLIENT_COUNTS:
+        rates = {}
+        for backend in BACKENDS:
+            rates[backend] = measure_rounds_per_second(num_clients, backend)
+        speedup = rates["vectorized"] / rates["serial"]
+        report["results"].append({
+            "num_clients": num_clients,
+            "rounds_per_second": {b: round(r, 2) for b, r in rates.items()},
+            "vectorized_speedup": round(speedup, 3),
+        })
+        print(
+            f"N={num_clients:3d}: serial {rates['serial']:7.1f} r/s | "
+            f"vectorized {rates['vectorized']:7.1f} r/s | "
+            f"speedup {speedup:.2f}x"
+        )
+    history = []
+    if BENCH_PATH.exists():
+        history = json.loads(BENCH_PATH.read_text())
+    history.append(report)
+    BENCH_PATH.write_text(json.dumps(history, indent=1))
+    print(f"appended to {BENCH_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.cli fig4 --out results/ --scale bench
     python -m repro.cli fig7 --out results/ --rounds 200 --seed 1
+    python -m repro.cli fig5 --out results/ --backend vectorized
     python -m repro.cli list
 
 Each figure command runs the corresponding experiment driver
@@ -21,6 +22,7 @@ from pathlib import Path
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.fig1 import run_fig1
+from repro.fl.backends import BACKEND_NAMES
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
@@ -127,6 +129,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the preset's seed")
         p.add_argument("--comm-time", type=float, default=None,
                        help="override the preset's communication time")
+        p.add_argument("--backend", default=None,
+                       choices=BACKEND_NAMES,
+                       help="execution backend for the trainers "
+                            "(vectorized batches all clients per round; "
+                            "identical results, faster)")
         p.add_argument("--plot", action="store_true",
                        help="render ASCII charts to stdout")
     return parser
@@ -147,6 +154,8 @@ def main(argv: list[str] | None = None) -> int:
         overrides["seed"] = args.seed
     if args.comm_time is not None:
         overrides["comm_time"] = args.comm_time
+    if args.backend is not None:
+        overrides["backend"] = args.backend
     if overrides:
         config = config.with_overrides(**overrides)
 

@@ -28,6 +28,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     FigureData,
     build_federation,
+    build_backend,
     build_model,
     build_timing,
 )
@@ -131,6 +132,7 @@ def _run(config: ExperimentConfig, k: int, max_rounds: int):
         batch_size=config.batch_size,
         eval_every=1,  # need the loss at every round for band accounting
         eval_max_samples=config.eval_max_samples,
+        backend=build_backend(config),
         seed=config.seed,
     )
     trainer.run(max_rounds, k=min(k, model.dimension))

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.fl.backends import BACKEND_NAMES
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
@@ -36,6 +38,7 @@ class ExperimentConfig:
     kmin_fraction: float = 0.002  # paper: kmin = 0.002 * D
     alpha: float = 1.5            # paper: α = 1.5
     update_window: int = 20       # paper: M_u = 20
+    backend: str = "serial"       # execution backend: serial | vectorized
     seed: int = 0
     extras: dict = field(default_factory=dict)
 
@@ -48,6 +51,11 @@ class ExperimentConfig:
             raise ValueError("num_rounds must be positive")
         if not 0.0 < self.kmin_fraction < 1.0:
             raise ValueError("kmin_fraction must be in (0, 1)")
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"expected one of {BACKEND_NAMES}"
+            )
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Copy with fields replaced (configs are immutable)."""

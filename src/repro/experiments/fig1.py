@@ -20,6 +20,7 @@ import numpy as np
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     FigureData,
+    build_backend,
     build_federation,
     build_model,
     build_timing,
@@ -93,6 +94,7 @@ def run_fig1(
             batch_size=config.batch_size,
             eval_every=1,
             eval_max_samples=config.eval_max_samples,
+            backend=build_backend(config),
             seed=config.seed,
         )
         if psi is None and i == 0:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     FigureData,
+    build_backend,
     build_federation,
     build_model,
     build_timing,
@@ -132,6 +133,7 @@ def _run_method(
         batch_size=config.batch_size,
         eval_every=config.eval_every,
         eval_max_samples=config.eval_max_samples,
+        backend=build_backend(config),
         seed=config.seed,
     )
     if method == "fedavg":

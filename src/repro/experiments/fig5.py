@@ -23,6 +23,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     FigureData,
     build_federation,
+    build_backend,
     build_model,
     build_search_interval,
     build_timing,
@@ -100,6 +101,7 @@ def run_fig5(
             batch_size=config.batch_size,
             eval_every=config.eval_every,
             eval_max_samples=config.eval_max_samples,
+            backend=build_backend(config),
             seed=config.seed,
         )
         trainer.run(num_rounds)

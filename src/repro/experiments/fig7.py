@@ -22,6 +22,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     FigureData,
     build_federation,
+    build_backend,
     build_model,
     build_search_interval,
     build_timing,
@@ -96,6 +97,7 @@ def run_cross_application(
             batch_size=config.batch_size,
             eval_every=max(config.eval_every, 10),
             eval_max_samples=config.eval_max_samples,
+            backend=build_backend(config),
             seed=config.seed,
         )
         trainer.run(learn_rounds)
@@ -148,6 +150,7 @@ def _replay(
         batch_size=config.batch_size,
         eval_every=config.eval_every,
         eval_max_samples=config.eval_max_samples,
+        backend=build_backend(config),
         seed=config.seed,
     )
     int_sequence = [max(1, min(int(round(k)), model.dimension)) for k in sequence]

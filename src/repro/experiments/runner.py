@@ -15,6 +15,7 @@ from repro.data.partition import (
 )
 from repro.data.synthetic import make_cifar_like, make_femnist_like
 from repro.experiments.config import ExperimentConfig
+from repro.fl.backends import ExecutionBackend, resolve_backend
 from repro.nn.flat import FlatModel
 from repro.nn.models import make_cnn, make_mlp
 from repro.online.interval import SearchInterval
@@ -82,6 +83,18 @@ def build_timing(
         dimension=dimension,
         comm_time=comm_time if comm_time is not None else config.comm_time,
     )
+
+
+def build_backend(config: ExperimentConfig) -> ExecutionBackend:
+    """The execution backend the config's trainers should run on.
+
+    ``config.backend`` is a name ("serial" or "vectorized"); every figure
+    driver passes the resolved instance into its trainers so a whole
+    experiment switches backends from one config field (or the CLI's
+    ``--backend`` flag).  Histories are backend-independent — only
+    wall-clock speed changes.
+    """
+    return resolve_backend(config.backend)
 
 
 def build_search_interval(config: ExperimentConfig, dimension: int) -> SearchInterval:

@@ -1,5 +1,12 @@
 """Federated-learning core: Algorithm 1 of the paper plus baselines.
 
+- :class:`~repro.fl.engine.RoundEngine`: the shared Algorithm-1 round
+  skeleton all trainers delegate to, extensible via
+  :class:`~repro.fl.engine.RoundHooks`.
+- :mod:`repro.fl.backends`: pluggable execution backends for the
+  local-step phase — :class:`~repro.fl.backends.SerialBackend` (the
+  reference loop) and :class:`~repro.fl.backends.VectorizedBackend`
+  (batched across clients, identical histories).
 - :class:`~repro.fl.client.Client`: local data, residual accumulator
   ``a_i``, gradient computation, one-sample loss probes.
 - :class:`~repro.fl.server.Server`: weighted aggregation
@@ -12,7 +19,14 @@
   all trainers.
 """
 
+from repro.fl.backends import (
+    ExecutionBackend,
+    SerialBackend,
+    VectorizedBackend,
+    resolve_backend,
+)
 from repro.fl.client import Client
+from repro.fl.engine import RoundEngine, RoundHooks
 from repro.fl.fedavg import AlwaysSendAllTrainer, FedAvgTrainer
 from repro.fl.metrics import RoundRecord, TrainingHistory
 from repro.fl.server import Server
@@ -21,9 +35,15 @@ from repro.fl.trainer import FLTrainer
 __all__ = [
     "AlwaysSendAllTrainer",
     "Client",
+    "ExecutionBackend",
     "FedAvgTrainer",
     "FLTrainer",
+    "RoundEngine",
+    "RoundHooks",
     "RoundRecord",
+    "SerialBackend",
     "Server",
     "TrainingHistory",
+    "VectorizedBackend",
+    "resolve_backend",
 ]

@@ -69,10 +69,27 @@ class Client:
 
         ``model`` must hold the synchronized weights ``w(m-1)`` on entry;
         it is left unchanged (gradient computation does not move weights).
+
+        This is the serial reference path; execution backends may instead
+        compose the pieces (:meth:`draw_minibatch`,
+        :meth:`accumulate_gradient`, :meth:`select_upload` /
+        :meth:`build_upload`) so the gradient and selection can be batched
+        across clients — each piece touches the same per-client state in
+        the same order, so compositions reproduce this method exactly.
         """
+        x, y = self.draw_minibatch()
+        grad, _ = model.gradient(x, y)
+        self.accumulate_gradient(grad)
+        return self.select_upload(k, sparsifier)
+
+    def draw_minibatch(self) -> tuple[np.ndarray, np.ndarray]:
+        """Draw this round's minibatch (kept for the probe-sample draw)."""
         x, y = self.dataset.minibatch(self.batch_size)
         self._last_batch = (x, y)
-        grad, _ = model.gradient(x, y)
+        return x, y
+
+    def accumulate_gradient(self, grad: np.ndarray) -> None:
+        """Add the round's gradient (or its velocity) to the residual."""
         if self._velocity is not None:
             # Momentum correction (Deep Gradient Compression, Lin et al.,
             # the paper's reference [22]): accumulate the *velocity* into
@@ -81,9 +98,35 @@ class Client:
             self.residual += self._velocity
         else:
             self.residual += grad
+
+    def select_upload(self, k: int, sparsifier: Sparsifier) -> ClientUpload:
+        """Run the sparsifier's client selection and package the upload."""
         indices = sparsifier.client_select(self.residual, k, self._rng)
         self._last_upload_indices = np.sort(np.asarray(indices, dtype=np.int64))
         payload = SparseVector.from_dense(self.residual, self._last_upload_indices)
+        return ClientUpload(
+            client_id=self.client_id,
+            payload=payload,
+            sample_count=self.sample_count,
+        )
+
+    def build_upload(
+        self, sorted_indices: np.ndarray, values: np.ndarray | None = None
+    ) -> ClientUpload:
+        """Package an upload for externally selected (sorted) indices.
+
+        Used by vectorized backends whose batched selection already
+        produced each client's sorted unique index row; skips re-running
+        the per-client selection and the payload validation pass.
+        ``values``, when given, must equal ``residual[sorted_indices]``
+        (backends gather all clients' values in one batched operation).
+        """
+        self._last_upload_indices = sorted_indices
+        if values is None:
+            values = self.residual[sorted_indices]
+        payload = SparseVector.from_sorted(
+            sorted_indices, values, self.dimension
+        )
         return ClientUpload(
             client_id=self.client_id,
             payload=payload,

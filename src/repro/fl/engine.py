@@ -1,0 +1,434 @@
+"""The shared round engine: Algorithm 1's skeleton, written once.
+
+Every trainer in this repo runs the same synchronized round protocol
+(paper Fig. 3 / Algorithm 1); what differs between them is small and
+pluggable.  :class:`RoundEngine` owns the invariant skeleton:
+
+1.  participant sampling (all clients, or a ``ClientSampler`` subset),
+2.  local steps — delegated to an
+    :class:`~repro.fl.backends.ExecutionBackend` (serial reference loop or
+    the vectorized batched pass),
+3.  ``Sparsifier.preprocess_uploads`` → ``server_select`` → weighted
+    aggregation (:class:`~repro.fl.server.Server`),
+4.  the synchronized weight update (plain SGD step or a server-side
+    optimizer),
+5.  residual reset at ``J ∩ J_i`` (plus full reset for non-accumulating
+    schemes),
+6.  normalized-time accounting and the evaluation cadence,
+7.  :class:`~repro.fl.metrics.RoundRecord` construction and history
+    bookkeeping.
+
+What varies is injected through :class:`RoundHooks` — the adaptive-k
+trainer hooks in its probe-loss measurements, probe-weight derivation
+(step ③ of Fig. 3), extra probe communication charges, and the policy
+feedback, without duplicating any of the skeleton.  Trainers with a
+different *local* phase (FedAvg's local SGD on per-client weight copies,
+always-send-all's dense aggregation) reuse steps 6–7 through
+:meth:`RoundEngine.begin_round` / :meth:`RoundEngine.finish_round`.
+
+``FLTrainer``, ``AdaptiveKTrainer``, ``FedAvgTrainer`` and
+``AlwaysSendAllTrainer`` are thin façades over this class; their public
+APIs and produced histories are unchanged from the pre-engine
+implementations.  This is also the seam future scaling work (async
+rounds, client dropout, multiprocessing, sharding) plugs into: a new
+scenario is a new hook object or backend, not a fourth copy of the loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.partition import FederatedDataset
+from repro.fl.backends import ExecutionBackend, resolve_backend
+from repro.fl.client import Client
+from repro.fl.metrics import RoundRecord, TrainingHistory
+from repro.fl.server import Server
+from repro.nn.flat import FlatModel
+from repro.simulation.timing import RoundTiming, TimingModel
+from repro.sparsify.base import (
+    ClientUpload,
+    DownlinkMessage,
+    SelectionResult,
+    Sparsifier,
+)
+
+
+class RoundContext:
+    """Mutable state of one in-flight round, passed to every hook.
+
+    The engine fills fields progressively; a hook may only rely on the
+    fields populated before its call point (documented per hook).
+    """
+
+    def __init__(self, engine: "RoundEngine", round_index: int, k: int) -> None:
+        self.engine = engine
+        self.round_index = round_index
+        #: integer sparsity actually played this round
+        self.k = k
+        #: synchronized weights w(m-1), captured before local steps
+        self.w_prev: np.ndarray | None = None
+        self.participant_ids: list[int] | None = None
+        self.participants: list[Client] = []
+        self.uploads: list[ClientUpload] = []
+        self.selection: SelectionResult | None = None
+        self.downlink: DownlinkMessage | None = None
+        #: weights w(m) after the synchronized update
+        self.w_new: np.ndarray | None = None
+        self.uplink_elements: int = 0
+        self.round_timing: RoundTiming | None = None
+        #: total charged time including hook extras
+        self.round_time: float = 0.0
+
+
+class RoundHooks:
+    """Extension points for trainer-specific behaviour inside a round.
+
+    The default implementations are all no-ops, giving exactly the plain
+    Algorithm-1 round.  Call order within :meth:`RoundEngine.run_round`:
+
+    ``after_local_steps`` (uploads drawn, model still at ``w_prev``) →
+    ``after_aggregate`` (selection/downlink ready, update not applied) →
+    ``after_update`` (model at ``w_new``, residuals reset) →
+    ``extra_round_time`` (timing computed) → ``observe`` (round_time
+    final, before evaluation/record).
+    """
+
+    #: ask the backend to draw one-sample probes during local steps
+    wants_probes = False
+
+    def after_local_steps(self, ctx: RoundContext) -> None:
+        """Uploads collected; model still holds ``w_prev``."""
+
+    def after_aggregate(self, ctx: RoundContext) -> None:
+        """``ctx.selection``/``ctx.downlink`` ready; update not applied."""
+
+    def after_update(self, ctx: RoundContext) -> None:
+        """Model holds ``ctx.w_new``; residuals already reset."""
+
+    def extra_round_time(self, ctx: RoundContext) -> float:
+        """Additional normalized time to charge (e.g. probe downlink)."""
+        del ctx
+        return 0.0
+
+    def observe(self, ctx: RoundContext) -> None:
+        """``ctx.round_time`` final; called before evaluation/record."""
+
+    def record_k(self, ctx: RoundContext) -> float:
+        """The k value stored in the round's record (default: played k)."""
+        return float(ctx.k)
+
+
+_DEFAULT_HOOKS = RoundHooks()
+
+
+class EngineFacade:
+    """Engine-delegation mixin shared by the trainer façades.
+
+    Trainers set ``self.engine`` in their constructor; this mixin forwards
+    the public surface the seed trainers exposed, so the three façades
+    don't each carry a copy of the same property block.  Subclasses
+    override the evaluation methods when they report something other than
+    the current synchronized weights (FedAvg's weighted average).
+    """
+
+    engine: "RoundEngine"
+
+    @property
+    def model(self) -> FlatModel:
+        return self.engine.model
+
+    @property
+    def federation(self) -> FederatedDataset:
+        return self.engine.federation
+
+    @property
+    def sparsifier(self) -> Sparsifier | None:
+        return self.engine.sparsifier
+
+    @property
+    def timing(self) -> TimingModel:
+        return self.engine.timing
+
+    @property
+    def learning_rate(self) -> float:
+        return self.engine.learning_rate
+
+    @property
+    def eval_every(self) -> int:
+        return self.engine.eval_every
+
+    @property
+    def sampler(self):
+        return self.engine.sampler
+
+    @property
+    def optimizer(self):
+        return self.engine.optimizer
+
+    @property
+    def server(self) -> Server:
+        return self.engine.server
+
+    @property
+    def clients(self) -> list[Client]:
+        return self.engine.clients
+
+    @property
+    def history(self) -> TrainingHistory:
+        return self.engine.history
+
+    @property
+    def round_index(self) -> int:
+        """Index of the most recently completed round (0 before any)."""
+        return self.engine.round_index
+
+    @property
+    def clock(self) -> float:
+        """Cumulative normalized time elapsed."""
+        return self.engine.clock
+
+    @property
+    def _eval_x(self) -> np.ndarray:
+        return self.engine._eval_x
+
+    @property
+    def _eval_y(self) -> np.ndarray:
+        return self.engine._eval_y
+
+    def global_loss(self) -> float:
+        """Global training loss L(w) at the current weights."""
+        return self.engine.global_loss()
+
+    def test_accuracy(self) -> float | None:
+        """Accuracy on the held-out test pool, if the federation has one."""
+        return self.engine.test_accuracy()
+
+
+class RoundEngine:
+    """Owns the Algorithm-1 round skeleton and all round bookkeeping.
+
+    Parameters mirror the seed trainers'; see :class:`repro.fl.trainer.
+    FLTrainer` for their meaning.  ``backend`` selects the execution
+    strategy for the local-step phase (a name or an
+    :class:`~repro.fl.backends.ExecutionBackend` instance); ``sparsifier``
+    may be None for trainers that only use :meth:`begin_round` /
+    :meth:`finish_round` (FedAvg-style local phases).
+    """
+
+    def __init__(
+        self,
+        model: FlatModel,
+        federation: FederatedDataset,
+        sparsifier: Sparsifier | None,
+        timing: TimingModel,
+        learning_rate: float = 0.01,
+        batch_size: int = 32,
+        eval_every: int = 1,
+        eval_max_samples: int = 2000,
+        sampler=None,
+        momentum_correction: float = 0.0,
+        optimizer=None,
+        backend: str | ExecutionBackend | None = None,
+        seed: int = 0,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if eval_every < 1:
+            raise ValueError("eval_every must be >= 1")
+        self.model = model
+        self.federation = federation
+        self.sparsifier = sparsifier
+        self.timing = timing
+        self.learning_rate = learning_rate
+        self.eval_every = eval_every
+        self.sampler = sampler
+        self.optimizer = optimizer
+        self.backend = resolve_backend(backend)
+        self.server = Server(model.dimension)
+        self.clients = [
+            Client(shard, model.dimension, batch_size=batch_size,
+                   momentum_correction=momentum_correction, seed=seed)
+            for shard in federation.clients
+        ]
+        self._clients_by_id = {c.client_id: c for c in self.clients}
+        self.history = TrainingHistory()
+        self._round = 0
+        self._clock = 0.0
+        self._eval_x, self._eval_y = _build_eval_pool(
+            federation, eval_max_samples, seed
+        )
+
+    # ------------------------------------------------------------------
+    # State accessors
+    # ------------------------------------------------------------------
+    @property
+    def round_index(self) -> int:
+        """Index of the most recently started round (0 before any)."""
+        return self._round
+
+    @property
+    def clock(self) -> float:
+        """Cumulative normalized time elapsed."""
+        return self._clock
+
+    def global_loss(self) -> float:
+        """Global training loss L(w) at the current weights."""
+        return self.model.loss_value(self._eval_x, self._eval_y)
+
+    def test_accuracy(self) -> float | None:
+        """Accuracy on the held-out test pool, if the federation has one."""
+        if self.federation.test_x is None or self.federation.test_y is None:
+            return None
+        return self.model.accuracy(self.federation.test_x, self.federation.test_y)
+
+    # ------------------------------------------------------------------
+    # The full sparse-GS round (FLTrainer / AdaptiveKTrainer path)
+    # ------------------------------------------------------------------
+    def run_round(
+        self,
+        k: int,
+        hooks: RoundHooks | None = None,
+        ensure_loss: bool = False,
+    ) -> RoundRecord:
+        """Run one Algorithm-1 round with sparsity ``k`` and record it.
+
+        ``ensure_loss`` evaluates the global loss even on rounds the
+        evaluation cadence would skip (the stopping rule of
+        ``run_until_loss`` needs it); accuracy keeps the normal cadence.
+        """
+        if self.sparsifier is None:
+            raise RuntimeError("run_round requires a sparsifier")
+        if not 1 <= k <= self.model.dimension:
+            raise ValueError(
+                f"k must be in [1, {self.model.dimension}], got {k}"
+            )
+        hooks = hooks if hooks is not None else _DEFAULT_HOOKS
+        ctx = RoundContext(self, self.begin_round(), k)
+
+        start_round = getattr(self.sparsifier, "start_round", None)
+        if start_round is not None:
+            start_round(k)
+
+        if self.sampler is not None:
+            ctx.participant_ids = self.sampler.sample()
+            ctx.participants = [
+                self._clients_by_id[cid] for cid in ctx.participant_ids
+            ]
+        else:
+            ctx.participant_ids = None
+            ctx.participants = self.clients
+
+        ctx.w_prev = self.model.get_weights()
+        ctx.uploads = self.backend.local_steps(
+            self.model, ctx.participants, k, self.sparsifier,
+            draw_probes=hooks.wants_probes,
+        )
+        hooks.after_local_steps(ctx)
+
+        ctx.uploads = self.sparsifier.preprocess_uploads(ctx.uploads)
+        ctx.selection = self.sparsifier.server_select(
+            ctx.uploads, k, self.model.dimension
+        )
+        ctx.downlink = self.server.aggregate(ctx.uploads, ctx.selection)
+        hooks.after_aggregate(ctx)
+
+        sparse_update = ctx.downlink.payload
+        weights = ctx.w_prev.copy()
+        if self.optimizer is not None:
+            weights = self.optimizer.step(weights, sparse_update.to_dense())
+        else:
+            weights[sparse_update.indices] -= (
+                self.learning_rate * sparse_update.values
+            )
+        ctx.w_new = weights
+        self.model.set_weights(weights)
+
+        self.backend.reset_residuals(
+            ctx.participants, ctx.uploads, ctx.selection.indices
+        )
+        if self.sparsifier.discards_residual:
+            for client in ctx.participants:
+                client.reset_all()
+        hooks.after_update(ctx)
+
+        ctx.uplink_elements = max(up.payload.nnz for up in ctx.uploads)
+        sparse_round_for = getattr(self.timing, "sparse_round_for", None)
+        if sparse_round_for is not None:
+            ctx.round_timing = sparse_round_for(
+                ctx.uplink_elements, ctx.selection.downlink_element_count,
+                ctx.participant_ids,
+            )
+        else:
+            ctx.round_timing = self.timing.sparse_round(
+                ctx.uplink_elements, ctx.selection.downlink_element_count
+            )
+        ctx.round_time = ctx.round_timing.total + hooks.extra_round_time(ctx)
+        hooks.observe(ctx)
+
+        return self.finish_round(
+            k=hooks.record_k(ctx),
+            round_time=ctx.round_time,
+            uplink_elements=ctx.uplink_elements,
+            downlink_elements=ctx.selection.downlink_element_count,
+            contributions=dict(ctx.selection.contributions),
+            ensure_loss=ensure_loss,
+        )
+
+    # ------------------------------------------------------------------
+    # Skeleton primitives for trainers with a custom local phase
+    # ------------------------------------------------------------------
+    def begin_round(self) -> int:
+        """Advance and return the 1-based round counter."""
+        self._round += 1
+        return self._round
+
+    def finish_round(
+        self,
+        k: float,
+        round_time: float,
+        uplink_elements: int,
+        downlink_elements: int,
+        contributions: dict[int, int] | None = None,
+        loss_fn=None,
+        accuracy_fn=None,
+        ensure_loss: bool = False,
+    ) -> RoundRecord:
+        """Charge time, evaluate on cadence, record, and append the round.
+
+        ``loss_fn``/``accuracy_fn`` default to the engine's global loss
+        and test accuracy; FedAvg-style trainers override them to
+        evaluate their averaged model instead.
+        """
+        self._clock += round_time
+        evaluate = (self._round % self.eval_every == 0) or (self._round == 1)
+        if evaluate:
+            loss = (loss_fn or self.global_loss)()
+            accuracy = (accuracy_fn or self.test_accuracy)()
+        else:
+            loss = (loss_fn or self.global_loss)() if ensure_loss else float("nan")
+            accuracy = None
+        record = RoundRecord(
+            round_index=self._round,
+            k=k,
+            round_time=round_time,
+            cumulative_time=self._clock,
+            loss=loss,
+            accuracy=accuracy,
+            uplink_elements=uplink_elements,
+            downlink_elements=downlink_elements,
+            contributions=contributions if contributions is not None else {},
+        )
+        self.history.append(record)
+        return record
+
+
+def _build_eval_pool(
+    federation: FederatedDataset, max_samples: int, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministically subsample the global pool for loss evaluation."""
+    x, y = federation.global_pool()
+    if x.shape[0] > max_samples:
+        rng = np.random.default_rng((seed, 0xE0A1))
+        idx = rng.choice(x.shape[0], size=max_samples, replace=False)
+        x, y = x[idx], y[idx]
+    return x, y

@@ -8,6 +8,17 @@ footnote 5) so the *average* per-round communication equals k-element GS.
 
 Always-send-all: the degenerate GS with k = D and dense encoding — full
 gradient aggregation every round.
+
+Both trainers run their (non-sparse) local phases themselves and reuse
+the shared :class:`repro.fl.engine.RoundEngine` for everything a round
+has in common with Algorithm 1 — the round counter, normalized-time
+clock, evaluation cadence, and record/history bookkeeping — so none of
+that logic is duplicated.  Always-send-all computes its per-client dense
+gradients through the engine's execution backend and therefore benefits
+from the vectorized backend too; FedAvg's clients each hold *different*
+weights, which a single grouped model pass cannot express, so its local
+phase is inherently serial (``backend`` is accepted for interface
+uniformity and future per-client-weights batching).
 """
 
 from __future__ import annotations
@@ -15,13 +26,51 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.partition import FederatedDataset
-from repro.fl.client import Client
+from repro.fl.backends import ExecutionBackend
+from repro.fl.engine import EngineFacade, RoundEngine
 from repro.fl.metrics import RoundRecord, TrainingHistory
 from repro.nn.flat import FlatModel
 from repro.simulation.timing import TimingModel
 
 
-class FedAvgTrainer:
+class _BaselineTrainer(EngineFacade):
+    """Shared engine plumbing for the two dense baselines."""
+
+    def __init__(
+        self,
+        model: FlatModel,
+        federation: FederatedDataset,
+        timing: TimingModel,
+        learning_rate: float,
+        batch_size: int,
+        eval_every: int,
+        eval_max_samples: int,
+        backend: str | ExecutionBackend | None,
+        seed: int,
+    ) -> None:
+        self.engine = RoundEngine(
+            model=model,
+            federation=federation,
+            sparsifier=None,
+            timing=timing,
+            learning_rate=learning_rate,
+            batch_size=batch_size,
+            eval_every=eval_every,
+            eval_max_samples=eval_max_samples,
+            backend=backend,
+            seed=seed,
+        )
+
+    def run(self, num_rounds: int) -> TrainingHistory:
+        for _ in range(num_rounds):
+            self.step()
+        return self.history
+
+    def step(self) -> RoundRecord:
+        raise NotImplementedError
+
+
+class FedAvgTrainer(_BaselineTrainer):
     """FedAvg with periodic weight averaging (the paper's Fig. 4 baseline)."""
 
     def __init__(
@@ -34,33 +83,19 @@ class FedAvgTrainer:
         batch_size: int = 32,
         eval_every: int = 1,
         eval_max_samples: int = 2000,
+        backend: str | ExecutionBackend | None = None,
         seed: int = 0,
     ) -> None:
         if aggregation_period < 1:
             raise ValueError("aggregation_period must be >= 1")
-        self.model = model
-        self.federation = federation
-        self.timing = timing
+        super().__init__(
+            model, federation, timing, learning_rate, batch_size,
+            eval_every, eval_max_samples, backend, seed,
+        )
         self.period = aggregation_period
-        self.learning_rate = learning_rate
-        self.eval_every = eval_every
-        self.clients = [
-            Client(shard, model.dimension, batch_size=batch_size, seed=seed)
-            for shard in federation.clients
-        ]
         # Per-client local weight copies, initially synchronized.
         w0 = model.get_weights()
         self._local_weights = [w0.copy() for _ in self.clients]
-        self.history = TrainingHistory()
-        self._round = 0
-        self._clock = 0.0
-        self._eval_x, self._eval_y = _build_eval_pool(
-            federation, eval_max_samples, seed
-        )
-
-    @property
-    def clock(self) -> float:
-        return self._clock
 
     def global_loss(self) -> float:
         """Loss of the weighted-average model (the quantity FedAvg reports)."""
@@ -84,16 +119,21 @@ class FedAvgTrainer:
             [w * lw for w, lw in zip(weights, self._local_weights)], axis=0
         )
 
+    def _evaluate_average(self) -> float:
+        """Install the averaged weights and return their global loss."""
+        self.model.set_weights(self._average_weights())
+        return self.model.loss_value(self._eval_x, self._eval_y)
+
     def step(self) -> RoundRecord:
         """One local SGD step everywhere; aggregate if the period elapsed."""
-        self._round += 1
+        round_index = self.engine.begin_round()
         for client, w in zip(self.clients, self._local_weights):
             self.model.set_weights(w)
-            x, y = client.dataset.minibatch(client.batch_size)
+            x, y = client.draw_minibatch()
             grad, _ = self.model.gradient(x, y)
             w -= self.learning_rate * grad
 
-        aggregated = self._round % self.period == 0
+        aggregated = round_index % self.period == 0
         if aggregated:
             avg = self._average_weights()
             for w in self._local_weights:
@@ -101,35 +141,19 @@ class FedAvgTrainer:
             round_timing = self.timing.dense_round()
         else:
             round_timing = self.timing.local_round()
-        self._clock += round_timing.total
 
-        evaluate = (self._round % self.eval_every == 0) or (self._round == 1)
-        if evaluate:
-            self.model.set_weights(self._average_weights())
-            loss = self.model.loss_value(self._eval_x, self._eval_y)
-            accuracy = self.test_accuracy()
-        else:
-            loss, accuracy = float("nan"), None
-        record = RoundRecord(
-            round_index=self._round,
-            k=float(self.model.dimension if aggregated else 0),
+        dimension = self.model.dimension
+        return self.engine.finish_round(
+            k=float(dimension if aggregated else 0),
             round_time=round_timing.total,
-            cumulative_time=self._clock,
-            loss=loss,
-            accuracy=accuracy,
-            uplink_elements=self.model.dimension if aggregated else 0,
-            downlink_elements=self.model.dimension if aggregated else 0,
+            uplink_elements=dimension if aggregated else 0,
+            downlink_elements=dimension if aggregated else 0,
+            loss_fn=self._evaluate_average,
+            accuracy_fn=self.test_accuracy,
         )
-        self.history.append(record)
-        return record
-
-    def run(self, num_rounds: int) -> TrainingHistory:
-        for _ in range(num_rounds):
-            self.step()
-        return self.history
 
 
-class AlwaysSendAllTrainer:
+class AlwaysSendAllTrainer(_BaselineTrainer):
     """Full dense gradient aggregation every round (Fig. 4 baseline)."""
 
     def __init__(
@@ -141,79 +165,29 @@ class AlwaysSendAllTrainer:
         batch_size: int = 32,
         eval_every: int = 1,
         eval_max_samples: int = 2000,
+        backend: str | ExecutionBackend | None = None,
         seed: int = 0,
     ) -> None:
-        self.model = model
-        self.federation = federation
-        self.timing = timing
-        self.learning_rate = learning_rate
-        self.eval_every = eval_every
-        self.clients = [
-            Client(shard, model.dimension, batch_size=batch_size, seed=seed)
-            for shard in federation.clients
-        ]
-        self.history = TrainingHistory()
-        self._round = 0
-        self._clock = 0.0
-        self._eval_x, self._eval_y = _build_eval_pool(
-            federation, eval_max_samples, seed
+        super().__init__(
+            model, federation, timing, learning_rate, batch_size,
+            eval_every, eval_max_samples, backend, seed,
         )
 
-    @property
-    def clock(self) -> float:
-        return self._clock
-
     def step(self) -> RoundRecord:
-        self._round += 1
+        self.engine.begin_round()
         counts = np.array([c.sample_count for c in self.clients], dtype=float)
         total = counts.sum()
+        grads = self.engine.backend.compute_gradients(self.model, self.clients)
         aggregate = np.zeros(self.model.dimension)
-        for client, count in zip(self.clients, counts):
-            x, y = client.dataset.minibatch(client.batch_size)
-            grad, _ = self.model.gradient(x, y)
+        for grad, count in zip(grads, counts):
             aggregate += (count / total) * grad
         self.model.set_weights(
             self.model.get_weights() - self.learning_rate * aggregate
         )
-        round_timing = self.timing.dense_round()
-        self._clock += round_timing.total
-
-        evaluate = (self._round % self.eval_every == 0) or (self._round == 1)
-        loss = (
-            self.model.loss_value(self._eval_x, self._eval_y)
-            if evaluate
-            else float("nan")
+        dimension = self.model.dimension
+        return self.engine.finish_round(
+            k=float(dimension),
+            round_time=self.timing.dense_round().total,
+            uplink_elements=dimension,
+            downlink_elements=dimension,
         )
-        accuracy = None
-        if evaluate and self.federation.test_x is not None:
-            accuracy = self.model.accuracy(
-                self.federation.test_x, self.federation.test_y
-            )
-        record = RoundRecord(
-            round_index=self._round,
-            k=float(self.model.dimension),
-            round_time=round_timing.total,
-            cumulative_time=self._clock,
-            loss=loss,
-            accuracy=accuracy,
-            uplink_elements=self.model.dimension,
-            downlink_elements=self.model.dimension,
-        )
-        self.history.append(record)
-        return record
-
-    def run(self, num_rounds: int) -> TrainingHistory:
-        for _ in range(num_rounds):
-            self.step()
-        return self.history
-
-
-def _build_eval_pool(
-    federation: FederatedDataset, max_samples: int, seed: int
-) -> tuple[np.ndarray, np.ndarray]:
-    x, y = federation.global_pool()
-    if x.shape[0] > max_samples:
-        rng = np.random.default_rng((seed, 0xE0A1))
-        idx = rng.choice(x.shape[0], size=max_samples, replace=False)
-        x, y = x[idx], y[idx]
-    return x, y

@@ -12,6 +12,13 @@ One round of :class:`FLTrainer`:
    zero their residual at ``J ∩ J_i``.
 4. The timing model charges computation plus uplink/downlink transfer.
 
+The round protocol itself lives in :class:`repro.fl.engine.RoundEngine`
+(shared with the adaptive-k trainer and the baselines); this class is the
+constant-or-scheduled-k façade over it.  ``backend`` selects how the
+local steps execute — ``"serial"`` (the reference loop) or
+``"vectorized"`` (one batched pass over all participants, identical
+histories, faster wall-clock).
+
 The per-round sparsity ``k`` may be a constant or a schedule (mapping from
 round index to k), which is how learned {k_m} sequences from the adaptive
 algorithm are replayed in the Fig. 7/8 cross-application experiments.
@@ -24,9 +31,9 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.data.partition import FederatedDataset
-from repro.fl.client import Client
+from repro.fl.backends import ExecutionBackend
+from repro.fl.engine import EngineFacade, RoundEngine
 from repro.fl.metrics import RoundRecord, TrainingHistory
-from repro.fl.server import Server
 from repro.nn.flat import FlatModel
 from repro.simulation.timing import TimingModel
 from repro.sparsify.base import Sparsifier
@@ -34,7 +41,7 @@ from repro.sparsify.base import Sparsifier
 KSchedule = Callable[[int], int]
 
 
-class FLTrainer:
+class FLTrainer(EngineFacade):
     """Federated training with a pluggable gradient sparsifier.
 
     Parameters
@@ -62,6 +69,10 @@ class FLTrainer:
         :class:`repro.simulation.heterogeneous.ClientSampler`); when
         given, only sampled clients compute and upload in a round — the
         heterogeneous-clients extension of the paper's Section VI.
+    backend:
+        Execution backend for the local-step phase: ``"serial"``
+        (default), ``"vectorized"``, or an
+        :class:`~repro.fl.backends.ExecutionBackend` instance.
     """
 
     def __init__(
@@ -77,140 +88,31 @@ class FLTrainer:
         sampler=None,
         momentum_correction: float = 0.0,
         optimizer=None,
+        backend: str | ExecutionBackend | None = None,
         seed: int = 0,
     ) -> None:
-        if learning_rate <= 0:
-            raise ValueError("learning_rate must be positive")
-        if eval_every < 1:
-            raise ValueError("eval_every must be >= 1")
-        self.model = model
-        self.federation = federation
-        self.sparsifier = sparsifier
-        self.timing = timing if timing is not None else TimingModel(
-            dimension=model.dimension, comm_time=0.0
+        self.engine = RoundEngine(
+            model=model,
+            federation=federation,
+            sparsifier=sparsifier,
+            timing=timing if timing is not None else TimingModel(
+                dimension=model.dimension, comm_time=0.0
+            ),
+            learning_rate=learning_rate,
+            batch_size=batch_size,
+            eval_every=eval_every,
+            eval_max_samples=eval_max_samples,
+            sampler=sampler,
+            momentum_correction=momentum_correction,
+            optimizer=optimizer,
+            backend=backend,
+            seed=seed,
         )
-        self.learning_rate = learning_rate
-        self.eval_every = eval_every
-        self.sampler = sampler
-        #: optional server-side optimizer (repro.nn.optim.SGD); when given
-        #: it replaces the plain `w -= eta * update` step, enabling e.g.
-        #: server momentum or learning-rate schedules on sparse updates.
-        self.optimizer = optimizer
-        self.server = Server(model.dimension)
-        self.clients = [
-            Client(shard, model.dimension, batch_size=batch_size,
-                   momentum_correction=momentum_correction, seed=seed)
-            for shard in federation.clients
-        ]
-        self._clients_by_id = {c.client_id: c for c in self.clients}
-        self.history = TrainingHistory()
-        self._round = 0
-        self._clock = 0.0
-        self._eval_x, self._eval_y = self._build_eval_pool(eval_max_samples, seed)
-
-    # ------------------------------------------------------------------
-    def _build_eval_pool(
-        self, max_samples: int, seed: int
-    ) -> tuple[np.ndarray, np.ndarray]:
-        x, y = self.federation.global_pool()
-        if x.shape[0] > max_samples:
-            rng = np.random.default_rng((seed, 0xE0A1))
-            idx = rng.choice(x.shape[0], size=max_samples, replace=False)
-            x, y = x[idx], y[idx]
-        return x, y
-
-    @property
-    def round_index(self) -> int:
-        """Index of the next round to run (1-based once running)."""
-        return self._round
-
-    @property
-    def clock(self) -> float:
-        """Cumulative normalized time elapsed."""
-        return self._clock
-
-    def global_loss(self) -> float:
-        """Global training loss L(w) at the current weights."""
-        return self.model.loss_value(self._eval_x, self._eval_y)
-
-    def test_accuracy(self) -> float | None:
-        """Accuracy on the held-out test pool, if the federation has one."""
-        if self.federation.test_x is None or self.federation.test_y is None:
-            return None
-        return self.model.accuracy(self.federation.test_x, self.federation.test_y)
 
     # ------------------------------------------------------------------
     def step(self, k: int) -> RoundRecord:
         """Run one training round with k-element GS and record it."""
-        if not 1 <= k <= self.model.dimension:
-            raise ValueError(f"k must be in [1, {self.model.dimension}], got {k}")
-        self._round += 1
-
-        start_round = getattr(self.sparsifier, "start_round", None)
-        if start_round is not None:
-            start_round(k)
-
-        if self.sampler is not None:
-            participant_ids = self.sampler.sample()
-            participants = [self._clients_by_id[cid] for cid in participant_ids]
-        else:
-            participant_ids = None
-            participants = self.clients
-
-        uploads = [
-            client.local_step(self.model, k, self.sparsifier)
-            for client in participants
-        ]
-        uploads = self.sparsifier.preprocess_uploads(uploads)
-        selection = self.sparsifier.server_select(
-            uploads, k, self.model.dimension
-        )
-        downlink = self.server.aggregate(uploads, selection)
-
-        sparse_update = downlink.payload
-        weights = self.model.get_weights()
-        if self.optimizer is not None:
-            weights = self.optimizer.step(weights, sparse_update.to_dense())
-        else:
-            weights[sparse_update.indices] -= (
-                self.learning_rate * sparse_update.values
-            )
-        self.model.set_weights(weights)
-
-        for client, upload in zip(participants, uploads):
-            client.reset_transmitted(selection.indices, upload.payload)
-            if self.sparsifier.discards_residual:
-                client.reset_all()
-
-        uplink_elements = max(up.payload.nnz for up in uploads)
-        sparse_round_for = getattr(self.timing, "sparse_round_for", None)
-        if sparse_round_for is not None:
-            round_timing = sparse_round_for(
-                uplink_elements, selection.downlink_element_count,
-                participant_ids,
-            )
-        else:
-            round_timing = self.timing.sparse_round(
-                uplink_elements, selection.downlink_element_count
-            )
-        self._clock += round_timing.total
-
-        evaluate = (self._round % self.eval_every == 0) or (self._round == 1)
-        loss = self.global_loss() if evaluate else float("nan")
-        accuracy = self.test_accuracy() if evaluate else None
-        record = RoundRecord(
-            round_index=self._round,
-            k=float(k),
-            round_time=round_timing.total,
-            cumulative_time=self._clock,
-            loss=loss,
-            accuracy=accuracy,
-            uplink_elements=uplink_elements,
-            downlink_elements=selection.downlink_element_count,
-            contributions=dict(selection.contributions),
-        )
-        self.history.append(record)
-        return record
+        return self.engine.run_round(k)
 
     # ------------------------------------------------------------------
     def run(
@@ -219,7 +121,7 @@ class FLTrainer:
         """Run ``num_rounds`` rounds with constant, listed, or scheduled k."""
         schedule = _as_schedule(k, self.model.dimension)
         for m in range(num_rounds):
-            self.step(schedule(self._round + 1))
+            self.step(schedule(self.engine.round_index + 1))
             del m
         return self.history
 
@@ -233,12 +135,17 @@ class FLTrainer:
 
         Used by the Fig. 1 Assumption-1 experiment, where training runs
         with one k until a target loss ψ is reached and then switches.
+        The stopping rule needs the loss every round, so the engine is
+        asked to evaluate it once per round and record it (accuracy keeps
+        the ``eval_every`` cadence) — no duplicate evaluation outside the
+        history as in earlier revisions.
         """
         schedule = _as_schedule(k, self.model.dimension)
-        while self._round < max_rounds:
-            record = self.step(schedule(self._round + 1))
-            loss = record.loss if not np.isnan(record.loss) else self.global_loss()
-            if loss <= target_loss:
+        while self.engine.round_index < max_rounds:
+            record = self.engine.run_round(
+                schedule(self.engine.round_index + 1), ensure_loss=True
+            )
+            if record.loss <= target_loss:
                 break
         return self.history
 

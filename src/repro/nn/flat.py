@@ -92,6 +92,57 @@ class FlatModel:
         flat_grad = np.concatenate([g.ravel() for g in self._grad_arrays])
         return flat_grad, loss_value
 
+    def supports_batched_gradients(self) -> bool:
+        """Whether :meth:`gradients_batched` can reproduce per-group calls.
+
+        True when every layer processes samples independently and consumes
+        no per-call RNG (no training-mode BatchNorm, no active Dropout).
+        """
+        return self.network.supports_grouped_batch()
+
+    def gradients_batched(
+        self, xs: list[np.ndarray], ys: list[np.ndarray]
+    ) -> np.ndarray:
+        """Per-group flat gradients in one stacked forward/backward pass.
+
+        ``xs``/``ys`` are per-group minibatches of one common batch size
+        (in FL: one minibatch per client, all at the synchronized weights).
+        Returns an array of shape ``(groups, dimension)`` whose row ``g``
+        equals ``self.gradient(xs[g], ys[g])[0]``, but the network runs a
+        single stacked pass: the O(groups) Python loop over clients
+        collapses into batched NumPy/BLAS work.
+
+        The loss gradient is still taken per group (each group's loss is
+        the *mean* over its own batch), and parameterized layers reduce
+        their parameter gradients per group via
+        :meth:`repro.nn.layers.Layer.backward_grouped`.  Raises
+        ``ValueError`` when the network contains a layer for which the
+        stacked pass is not equivalent (see
+        :meth:`supports_batched_gradients`) or batch sizes differ.
+        """
+        groups = len(xs)
+        if groups == 0 or len(ys) != groups:
+            raise ValueError("need matching, non-empty xs and ys")
+        batch = xs[0].shape[0]
+        if any(x.shape[0] != batch for x in xs) or any(
+            np.shape(y)[0] != batch for y in ys
+        ):
+            raise ValueError("all groups must share one batch size")
+        if not self.supports_batched_gradients():
+            raise ValueError(
+                "network contains a layer without grouped-batch support"
+            )
+        x3 = np.stack(xs)  # (groups, batch, *feature_dims)
+        logits3 = self.network.forward_grouped(x3)
+        # The loss gradient normalizes by each group's own batch size, so
+        # it is taken per group (vectorized when the loss supports it).
+        grad3 = self.loss.backward_grouped(logits3, ys)
+        _, param_grads = self.network.backward_grouped(grad3)
+        flat = np.empty((groups, self.dimension))
+        for grads, lo, hi in zip(param_grads, self._offsets[:-1], self._offsets[1:]):
+            flat[:, lo:hi] = grads.reshape(groups, hi - lo)
+        return flat
+
     def loss_value(self, x: np.ndarray, y: np.ndarray) -> float:
         """Mean loss on ``(x, y)`` at the current weights (no gradients)."""
         was_training = self.network.training

@@ -56,6 +56,40 @@ class Layer:
     def train(self, mode: bool = True) -> None:
         self.training = mode
 
+    # ------------------------------------------------------------------
+    # Grouped (multi-client) batched execution support
+    #
+    # A grouped pass carries a stack of G independent minibatches with a
+    # leading group axis: inputs have shape (G, batch, *feature_dims).
+    # Linear algebra runs through np.matmul's batched-gemm path, whose
+    # per-slice calls have exactly the shapes and strides of the serial
+    # per-group calls — so results are bit-identical, not merely close.
+    # Layers that mix samples across a batch (training-mode BatchNorm) or
+    # consume RNG per forward call (active Dropout) cannot claim support.
+    # ------------------------------------------------------------------
+    def supports_grouped_batch(self) -> bool:
+        """Whether this layer implements the grouped (G, batch, ...) pass
+        with results identical to running each group separately."""
+        return False
+
+    def forward_grouped(self, x: np.ndarray) -> np.ndarray:
+        """Forward for a grouped input of shape ``(G, batch, *dims)``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support grouped execution"
+        )
+
+    def backward_grouped(
+        self, grad_out: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Grouped backward; returns ``(grad_in, per_group_param_grads)``.
+
+        The second item holds one array per entry of ``params``, each with
+        a leading group axis; it is empty for parameter-free layers.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support grouped execution"
+        )
+
 
 class Linear(Layer):
     """Fully-connected layer: ``y = x @ W + b`` with W of shape (in, out)."""
@@ -75,6 +109,7 @@ class Linear(Layer):
         self.params = [w, b]
         self.grads = [np.zeros_like(w), np.zeros_like(b)]
         self._x: np.ndarray | None = None
+        self._x3: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 2 or x.shape[1] != self.in_features:
@@ -95,8 +130,53 @@ class Linear(Layer):
         self.grads[1][...] = grad_out.sum(axis=0)
         return grad_out @ w.T
 
+    def supports_grouped_batch(self) -> bool:
+        return True
 
-class ReLU(Layer):
+    def forward_grouped(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[2] != self.in_features:
+            raise ValueError(
+                f"grouped Linear expected (groups, batch, {self.in_features}), "
+                f"got {x.shape}"
+            )
+        self._x3 = x
+        w, b = self.params
+        return np.matmul(x, w) + b
+
+    def backward_grouped(
+        self, grad_out: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        if self._x3 is None:
+            raise RuntimeError("grouped backward called before forward")
+        x3 = self._x3
+        w, _ = self.params
+        # Batched x_g.T @ g_g / g_g @ w.T — per group the identical dgemm
+        # calls the serial path makes, so results are bit-exact.
+        grad_w = np.matmul(x3.transpose(0, 2, 1), grad_out)
+        grad_b = grad_out.sum(axis=1)
+        return np.matmul(grad_out, w.T), [grad_w, grad_b]
+
+
+class _ElementwiseLayer(Layer):
+    """Base for parameter-free per-element layers.
+
+    Their forward/backward are shape-agnostic, so the grouped pass simply
+    reuses them on the (G, batch, *dims) stack.
+    """
+
+    def supports_grouped_batch(self) -> bool:
+        return True
+
+    def forward_grouped(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def backward_grouped(
+        self, grad_out: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        return self.backward(grad_out), []
+
+
+class ReLU(_ElementwiseLayer):
     """Rectified linear unit."""
 
     def __init__(self) -> None:
@@ -113,7 +193,7 @@ class ReLU(Layer):
         return grad_out * self._mask
 
 
-class Tanh(Layer):
+class Tanh(_ElementwiseLayer):
     """Hyperbolic-tangent activation."""
 
     def __init__(self) -> None:
@@ -130,7 +210,7 @@ class Tanh(Layer):
         return grad_out * (1.0 - self._y**2)
 
 
-class Sigmoid(Layer):
+class Sigmoid(_ElementwiseLayer):
     """Logistic sigmoid activation."""
 
     def __init__(self) -> None:
@@ -238,6 +318,20 @@ class Flatten(Layer):
             raise RuntimeError("backward called before forward")
         return grad_out.reshape(self._shape)
 
+    def supports_grouped_batch(self) -> bool:
+        return True
+
+    def forward_grouped(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], x.shape[1], -1)
+
+    def backward_grouped(
+        self, grad_out: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        if self._shape is None:
+            raise RuntimeError("grouped backward called before forward")
+        return grad_out.reshape(self._shape), []
+
 
 class Dropout(Layer):
     """Inverted dropout; identity at evaluation time.
@@ -266,6 +360,20 @@ class Dropout(Layer):
         if self._mask is None:
             return grad_out
         return grad_out * self._mask
+
+    def supports_grouped_batch(self) -> bool:
+        # An active mask is drawn per forward call, so a single grouped
+        # forward consumes the RNG differently than per-group forwards.
+        return self.rate == 0.0
+
+    def forward_grouped(self, x: np.ndarray) -> np.ndarray:
+        self._mask = None
+        return x
+
+    def backward_grouped(
+        self, grad_out: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        return grad_out, []
 
 
 class Conv2D(Layer):
@@ -387,6 +495,25 @@ class Sequential(Layer):
         self.training = mode
         for layer in self.layers:
             layer.train(mode)
+
+    def supports_grouped_batch(self) -> bool:
+        return all(layer.supports_grouped_batch() for layer in self.layers)
+
+    def forward_grouped(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward_grouped(x)
+        return x
+
+    def backward_grouped(
+        self, grad_out: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Grouped backward; parameter gradients come back in layer order."""
+        per_layer: list[list[np.ndarray]] = []
+        for layer in reversed(self.layers):
+            grad_out, param_grads = layer.backward_grouped(grad_out)
+            per_layer.append(param_grads)
+        per_layer.reverse()
+        return grad_out, [g for grads in per_layer for g in grads]
 
     def parameter_arrays(self) -> list[np.ndarray]:
         """All parameter arrays, in deterministic layer order."""

@@ -26,6 +26,20 @@ class Loss:
         """Gradient of the *mean* loss w.r.t. ``predictions``."""
         raise NotImplementedError
 
+    def backward_grouped(self, predictions: np.ndarray, targets) -> np.ndarray:
+        """Per-group :meth:`backward` for stacked predictions.
+
+        ``predictions`` has shape ``(groups, batch, ...)`` and
+        ``targets[g]`` is group g's target array; each group's gradient is
+        normalized by its own batch size, exactly as the per-group calls
+        would be.  Subclasses may override with a vectorized computation
+        as long as results stay bit-identical to this loop.
+        """
+        return np.stack(
+            [self.backward(predictions[g], targets[g])
+             for g in range(predictions.shape[0])]
+        )
+
 
 class SoftmaxCrossEntropy(Loss):
     """Softmax + cross-entropy on integer class labels.
@@ -46,6 +60,14 @@ class SoftmaxCrossEntropy(Loss):
         grad[batch, targets.astype(np.intp)] -= 1.0
         return grad / predictions.shape[0]
 
+    def backward_grouped(self, predictions: np.ndarray, targets) -> np.ndarray:
+        probs = _softmax(predictions)
+        groups, batch = predictions.shape[0], predictions.shape[1]
+        labels = np.asarray(targets).astype(np.intp)
+        grad = probs
+        grad[np.arange(groups)[:, None], np.arange(batch)[None, :], labels] -= 1.0
+        return grad / batch
+
     def predict(self, predictions: np.ndarray) -> np.ndarray:
         """Hard class decisions from logits."""
         return predictions.argmax(axis=1)
@@ -61,13 +83,16 @@ class MSELoss(Loss):
     def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
         return (predictions - targets) / predictions.shape[0]
 
+    def backward_grouped(self, predictions: np.ndarray, targets) -> np.ndarray:
+        return (predictions - np.asarray(targets)) / predictions.shape[1]
+
 
 def _log_softmax(logits: np.ndarray) -> np.ndarray:
-    shifted = logits - logits.max(axis=1, keepdims=True)
-    return shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
 
 
 def _softmax(logits: np.ndarray) -> np.ndarray:
-    shifted = logits - logits.max(axis=1, keepdims=True)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
     exp = np.exp(shifted)
-    return exp / exp.sum(axis=1, keepdims=True)
+    return exp / exp.sum(axis=-1, keepdims=True)

@@ -19,11 +19,14 @@ This is the full system of the paper's Fig. 3.  Each round m:
 5. The timing model charges the round: computation, k-pair uplink, |J|-
    pair downlink, plus the (k − k')-pair probe difference downlink.
 
-The k'-GS probe derivation differs per sparsifier in principle; we use the
-generic server-side derivation (largest-|value| k' elements of the
-aggregated downlink) which is available for every scheme and matches the
-paper's requirement that the probe be derivable from the k-element result
-without extra uplink.
+The Algorithm-1 skeleton itself (steps 2–3 and the timing/eval/record
+bookkeeping) is :class:`repro.fl.engine.RoundEngine`; this trainer adds
+the probe machinery through a :class:`repro.fl.engine.RoundHooks` object
+and keeps only the policy interaction here.  The k'-GS probe derivation
+differs per sparsifier in principle; we use the generic server-side
+derivation (largest-|value| k' elements of the aggregated downlink) which
+is available for every scheme and matches the paper's requirement that
+the probe be derivable from the k-element result without extra uplink.
 """
 
 from __future__ import annotations
@@ -31,9 +34,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.partition import FederatedDataset
-from repro.fl.client import Client
+from repro.fl.backends import ExecutionBackend
+from repro.fl.engine import EngineFacade, RoundContext, RoundEngine, RoundHooks
 from repro.fl.metrics import RoundRecord, TrainingHistory
-from repro.fl.server import Server
 from repro.nn.flat import FlatModel
 from repro.online.interval import stochastic_round
 from repro.online.policy import KPolicy, RoundObservation
@@ -42,7 +45,96 @@ from repro.sparsify.base import Sparsifier
 from repro.sparsify.topk import top_k_indices
 
 
-class AdaptiveKTrainer:
+class _ProbeHooks(RoundHooks):
+    """One round's probe measurements and policy feedback (Fig. 3 ③–④)."""
+
+    wants_probes = True
+
+    def __init__(
+        self,
+        trainer: "AdaptiveKTrainer",
+        k_continuous: float,
+        probe_continuous: float | None,
+        probe_int: int | None,
+    ) -> None:
+        self.trainer = trainer
+        self.k_continuous = k_continuous
+        self.probe_continuous = probe_continuous
+        self.probe_int = probe_int
+        self.loss_prev = float("nan")
+        self.loss_now = float("nan")
+        self.loss_probe: float | None = None
+        self.w_probe: np.ndarray | None = None
+
+    def after_local_steps(self, ctx: RoundContext) -> None:
+        # f_{i,h}(w(m-1)), averaged over the round's participants.
+        model = ctx.engine.model
+        self.loss_prev = float(
+            np.mean([c.probe_loss(model, ctx.w_prev) for c in ctx.participants])
+        )
+
+    def after_aggregate(self, ctx: RoundContext) -> None:
+        if self.probe_int is None:
+            return
+        payload = ctx.downlink.payload
+        keep = top_k_indices(payload.values, self.probe_int)
+        w_probe = ctx.w_prev.copy()
+        w_probe[payload.indices[keep]] -= (
+            ctx.engine.learning_rate * payload.values[keep]
+        )
+        self.w_probe = w_probe
+
+    def after_update(self, ctx: RoundContext) -> None:
+        model = ctx.engine.model
+        self.loss_now = float(
+            np.mean([c.probe_loss(model, ctx.w_new) for c in ctx.participants])
+        )
+        if self.w_probe is not None:
+            self.loss_probe = float(
+                np.mean(
+                    [c.probe_loss(model, self.w_probe) for c in ctx.participants]
+                )
+            )
+
+    def extra_round_time(self, ctx: RoundContext) -> float:
+        if not (
+            self.trainer.charge_probe_communication
+            and self.probe_int is not None
+        ):
+            return 0.0
+        # Step ③ of Fig. 3: the downlink difference message lets each
+        # client reconstruct the k'-GS result from the k-GS one.
+        diff_elements = max(0, ctx.k - self.probe_int)
+        return ctx.engine.timing.sparse_round(0, diff_elements).communication
+
+    def observe(self, ctx: RoundContext) -> None:
+        timing = ctx.engine.timing
+        probe_round_time = None
+        if self.probe_int is not None:
+            probe_round_time = timing.sparse_round(
+                self.probe_int, self.probe_int
+            ).total
+        loss_decrease = self.loss_prev - self.loss_now
+        cost = ctx.round_time / loss_decrease if loss_decrease > 0 else None
+        self.trainer.policy.observe(RoundObservation(
+            k=self.k_continuous,
+            round_time=ctx.round_time,
+            loss_prev=self.loss_prev,
+            loss_now=self.loss_now,
+            loss_probe=self.loss_probe,
+            probe_k=(
+                self.probe_continuous if self.probe_int is not None else None
+            ),
+            probe_round_time=probe_round_time,
+            cost=cost,
+        ))
+
+    def record_k(self, ctx: RoundContext) -> float:
+        del ctx
+        return self.k_continuous
+
+
+class AdaptiveKTrainer(EngineFacade):
     """Federated training with online-learned sparsity k."""
 
     def __init__(
@@ -58,59 +150,30 @@ class AdaptiveKTrainer:
         eval_max_samples: int = 2000,
         charge_probe_communication: bool = True,
         sampler=None,
+        backend: str | ExecutionBackend | None = None,
         seed: int = 0,
     ) -> None:
-        if learning_rate <= 0:
-            raise ValueError("learning_rate must be positive")
-        if eval_every < 1:
-            raise ValueError("eval_every must be >= 1")
-        self.model = model
-        self.federation = federation
-        self.sparsifier = sparsifier
+        self.engine = RoundEngine(
+            model=model,
+            federation=federation,
+            sparsifier=sparsifier,
+            timing=timing,
+            learning_rate=learning_rate,
+            batch_size=batch_size,
+            eval_every=eval_every,
+            eval_max_samples=eval_max_samples,
+            sampler=sampler,
+            backend=backend,
+            seed=seed,
+        )
         self.policy = policy
-        self.timing = timing
-        self.learning_rate = learning_rate
-        self.eval_every = eval_every
         self.charge_probe_communication = charge_probe_communication
-        #: optional per-round client sampler (heterogeneous extension);
-        #: probe losses are then averaged over the participants only.
-        self.sampler = sampler
-        self.server = Server(model.dimension)
-        self.clients = [
-            Client(shard, model.dimension, batch_size=batch_size, seed=seed)
-            for shard in federation.clients
-        ]
-        self._clients_by_id = {c.client_id: c for c in self.clients}
-        self.history = TrainingHistory()
         self._rng = np.random.default_rng((seed, 0xADA9))
-        self._round = 0
-        self._clock = 0.0
-        x, y = federation.global_pool()
-        if x.shape[0] > eval_max_samples:
-            rng = np.random.default_rng((seed, 0xE0A1))
-            idx = rng.choice(x.shape[0], size=eval_max_samples, replace=False)
-            x, y = x[idx], y[idx]
-        self._eval_x, self._eval_y = x, y
-
-    # ------------------------------------------------------------------
-    @property
-    def clock(self) -> float:
-        return self._clock
-
-    def global_loss(self) -> float:
-        return self.model.loss_value(self._eval_x, self._eval_y)
-
-    def test_accuracy(self) -> float | None:
-        if self.federation.test_x is None or self.federation.test_y is None:
-            return None
-        return self.model.accuracy(self.federation.test_x, self.federation.test_y)
 
     # ------------------------------------------------------------------
     def step(self) -> RoundRecord:
         """Run one adaptive round; returns its record."""
-        self._round += 1
-        dimension = self.model.dimension
-
+        dimension = self.engine.model.dimension
         k_continuous = float(self.policy.propose())
         k_int = stochastic_round(
             min(max(k_continuous, 1.0), float(dimension)), self._rng
@@ -120,115 +183,8 @@ class AdaptiveKTrainer:
         probe_continuous = self.policy.probe_k()
         probe_int = self._round_probe(probe_continuous, k_int)
 
-        start_round = getattr(self.sparsifier, "start_round", None)
-        if start_round is not None:
-            start_round(k_int)
-
-        if self.sampler is not None:
-            participant_ids = self.sampler.sample()
-            participants = [self._clients_by_id[cid] for cid in participant_ids]
-        else:
-            participant_ids = None
-            participants = self.clients
-
-        w_prev = self.model.get_weights()
-        uploads = []
-        for client in participants:
-            uploads.append(client.local_step(self.model, k_int, self.sparsifier))
-            client.draw_probe_sample()
-        loss_prev = float(
-            np.mean([c.probe_loss(self.model, w_prev) for c in participants])
-        )
-
-        uploads = self.sparsifier.preprocess_uploads(uploads)
-        selection = self.sparsifier.server_select(uploads, k_int, dimension)
-        downlink = self.server.aggregate(uploads, selection)
-
-        w_new = w_prev.copy()
-        w_new[downlink.payload.indices] -= (
-            self.learning_rate * downlink.payload.values
-        )
-
-        w_probe = None
-        if probe_int is not None:
-            keep = top_k_indices(downlink.payload.values, probe_int)
-            w_probe = w_prev.copy()
-            probe_idx = downlink.payload.indices[keep]
-            probe_val = downlink.payload.values[keep]
-            w_probe[probe_idx] -= self.learning_rate * probe_val
-
-        for client, upload in zip(participants, uploads):
-            client.reset_transmitted(selection.indices, upload.payload)
-            if self.sparsifier.discards_residual:
-                client.reset_all()
-        self.model.set_weights(w_new)
-
-        loss_now = float(
-            np.mean([c.probe_loss(self.model, w_new) for c in participants])
-        )
-        loss_probe = None
-        if w_probe is not None:
-            loss_probe = float(
-                np.mean([c.probe_loss(self.model, w_probe) for c in participants])
-            )
-
-        uplink_elements = max(up.payload.nnz for up in uploads)
-        sparse_round_for = getattr(self.timing, "sparse_round_for", None)
-        if sparse_round_for is not None:
-            round_timing = sparse_round_for(
-                uplink_elements, selection.downlink_element_count,
-                participant_ids,
-            )
-        else:
-            round_timing = self.timing.sparse_round(
-                uplink_elements, selection.downlink_element_count
-            )
-        round_time = round_timing.total
-        if (
-            self.charge_probe_communication
-            and probe_int is not None
-        ):
-            # Step ③ of Fig. 3: the downlink difference message lets each
-            # client reconstruct the k'-GS result from the k-GS one.
-            diff_elements = max(0, k_int - probe_int)
-            round_time += self.timing.sparse_round(0, diff_elements).communication
-        self._clock += round_time
-
-        probe_round_time = None
-        if probe_int is not None:
-            probe_round_time = self.timing.sparse_round(probe_int, probe_int).total
-
-        loss_decrease = loss_prev - loss_now
-        cost = round_time / loss_decrease if loss_decrease > 0 else None
-
-        observation = RoundObservation(
-            k=k_continuous,
-            round_time=round_time,
-            loss_prev=loss_prev,
-            loss_now=loss_now,
-            loss_probe=loss_probe,
-            probe_k=probe_continuous if probe_int is not None else None,
-            probe_round_time=probe_round_time,
-            cost=cost,
-        )
-        self.policy.observe(observation)
-
-        evaluate = (self._round % self.eval_every == 0) or (self._round == 1)
-        loss = self.global_loss() if evaluate else float("nan")
-        accuracy = self.test_accuracy() if evaluate else None
-        record = RoundRecord(
-            round_index=self._round,
-            k=k_continuous,
-            round_time=round_time,
-            cumulative_time=self._clock,
-            loss=loss,
-            accuracy=accuracy,
-            uplink_elements=uplink_elements,
-            downlink_elements=selection.downlink_element_count,
-            contributions=dict(selection.contributions),
-        )
-        self.history.append(record)
-        return record
+        hooks = _ProbeHooks(self, k_continuous, probe_continuous, probe_int)
+        return self.engine.run_round(k_int, hooks=hooks)
 
     def _round_probe(self, probe_continuous: float | None, k_int: int) -> int | None:
         """Stochastic-round the probe k' and keep it in [1, k_int)."""
@@ -248,6 +204,9 @@ class AdaptiveKTrainer:
     def run_for_time(self, time_budget: float, max_rounds: int = 1_000_000
                      ) -> TrainingHistory:
         """Run until the normalized clock exceeds ``time_budget``."""
-        while self._clock < time_budget and self._round < max_rounds:
+        while (
+            self.engine.clock < time_budget
+            and self.engine.round_index < max_rounds
+        ):
             self.step()
         return self.history

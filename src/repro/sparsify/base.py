@@ -66,6 +66,24 @@ class SparseVector:
         indices = np.asarray(indices, dtype=np.int64)
         return cls(indices=indices, values=dense[indices], dimension=dense.shape[0])
 
+    @classmethod
+    def from_sorted(
+        cls, indices: np.ndarray, values: np.ndarray, dimension: int
+    ) -> "SparseVector":
+        """Trusted constructor for pre-validated inputs.
+
+        ``indices`` must already be sorted, unique, in-range int64 and
+        ``values`` float64 of equal length (e.g. the output of a batched
+        top-k selection).  Skips the normalization/validation pass of
+        ``__post_init__`` — the hot-path constructor for vectorized
+        execution; content is identical to the checked construction.
+        """
+        vector = object.__new__(cls)
+        object.__setattr__(vector, "indices", indices)
+        object.__setattr__(vector, "values", values)
+        object.__setattr__(vector, "dimension", dimension)
+        return vector
+
 
 @dataclass(frozen=True)
 class ClientUpload:
@@ -145,6 +163,28 @@ class Sparsifier:
         Default: top-k by absolute value, shared by all top-k schemes.
         """
         raise NotImplementedError
+
+    def supports_batched_select(self) -> bool:
+        """Whether :meth:`client_select_batched` has an implementation.
+
+        Callers check this *before* stacking client residuals into a
+        matrix, so unsupported schemes never pay that copy.
+        """
+        return False
+
+    def client_select_batched(
+        self, residuals: np.ndarray, k: int
+    ) -> np.ndarray | None:
+        """Vectorized :meth:`client_select` over a ``(clients, D)`` matrix.
+
+        Returns a ``(clients, k')`` array of sorted index rows identical to
+        per-client :meth:`client_select` calls, or None when no batched
+        implementation exists (callers then fall back to the per-client
+        path).  Only sparsifiers whose selection ignores the per-client RNG
+        may implement this — a batched path must not alter RNG streams.
+        """
+        del residuals, k
+        return None
 
     def preprocess_uploads(
         self, uploads: list["ClientUpload"]

@@ -16,7 +16,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sparsify.base import ClientUpload, SelectionResult, Sparsifier
-from repro.sparsify.topk import ranked_indices, top_k_indices
+from repro.sparsify.topk import (
+    ranked_indices,
+    top_k_indices,
+    top_k_indices_batched,
+)
 
 
 class FABTopK(Sparsifier):
@@ -29,6 +33,14 @@ class FABTopK(Sparsifier):
     ) -> np.ndarray:
         del rng  # deterministic top-k; accepted for interface uniformity
         return top_k_indices(residual, k)
+
+    def supports_batched_select(self) -> bool:
+        return True
+
+    def client_select_batched(
+        self, residuals: np.ndarray, k: int
+    ) -> np.ndarray | None:
+        return top_k_indices_batched(residuals, k)
 
     def server_select(
         self, uploads: list[ClientUpload], k: int, dimension: int
@@ -48,27 +60,18 @@ def fair_select(uploads: list[ClientUpload], k: int) -> np.ndarray:
     client's accumulated residuals at those indices.  Returns the sorted
     downlink index set ``J`` with ``|J| = min(k, |∪_i J_i|)``.
     """
-    # Rank each client's uploaded indices by |value| descending so that
-    # J_i^κ is simply the first κ entries of the ranked array.
-    ranked: list[np.ndarray] = []
-    value_of: dict[int, float] = {}
-    for up in uploads:
-        order = ranked_indices(up.payload.values)
-        ranked.append(up.payload.indices[order])
-        for j, v in zip(up.payload.indices, up.payload.values):
-            magnitude = abs(float(v))
-            if magnitude > value_of.get(int(j), -1.0):
-                value_of[int(j)] = magnitude
+    ranked, magnitude_of = _rank_uploads(uploads)
+    max_len = _max_upload_length(ranked)
 
-    total_union = _union_size(ranked, max(len(r) for r in ranked))
+    total_union = _union_size(ranked, max_len)
     if total_union <= k:
         # Every uploaded index fits in the downlink budget.
-        return _union(ranked, max(len(r) for r in ranked))
+        return _union(ranked, max_len)
 
     # Binary search the largest κ with |∪_i J_i^κ| <= k.  Union size is
     # nondecreasing in κ and reaches > k at κ = max upload length, while
     # κ = 0 gives size 0 <= k, so the invariant lo <= κ* < hi holds.
-    lo, hi = 0, max(len(r) for r in ranked)
+    lo, hi = 0, max_len
     while hi - lo > 1:
         mid = (lo + hi) // 2
         if _union_size(ranked, mid) <= k:
@@ -85,23 +88,88 @@ def fair_select(uploads: list[ClientUpload], k: int) -> np.ndarray:
     # first, ties broken by index for determinism.
     next_union = _union(ranked, kappa + 1)
     candidates = np.setdiff1d(next_union, base, assume_unique=True)
-    candidate_values = np.array([value_of[int(j)] for j in candidates])
+    candidate_values = magnitude_of(candidates)
     order = np.lexsort((candidates, -candidate_values))
     fill = candidates[order[:shortfall]]
     return np.sort(np.concatenate([base, fill]))
 
 
-def _union(ranked: list[np.ndarray], kappa: int) -> np.ndarray:
-    """∪_i (first κ entries of client i's ranking), sorted unique."""
+def _rank_uploads(uploads: list[ClientUpload]):
+    """Per-client |value|-descending rankings plus a max-|value| lookup.
+
+    Returns ``(ranked, magnitude_of)``: client i's uploaded indices
+    ordered by (|value| descending, index ascending) so that ``J_i^κ`` is
+    simply the first κ entries, and a callable mapping a sorted index
+    array to the largest |value| any client uploaded there.  When all
+    uploads carry the same number of pairs (the common top-k case) both
+    are computed with stacked array ops instead of per-client Python
+    loops; the ranking/maximum are deterministic functions of the upload
+    values, so results are identical either way.
+    """
+    nnz = uploads[0].payload.nnz if uploads else 0
+    if nnz > 0 and all(up.payload.nnz == nnz for up in uploads):
+        index_matrix = np.stack([up.payload.indices for up in uploads])
+        magnitudes = np.abs(np.stack([up.payload.values for up in uploads]))
+        # Within an upload the indices are sorted, so tie-breaking by
+        # position equals tie-breaking by index (as ranked_indices does).
+        positions = np.broadcast_to(np.arange(nnz), index_matrix.shape)
+        order = np.lexsort((positions, -magnitudes))
+        ranked = np.take_along_axis(index_matrix, order, axis=1)
+
+        flat_order = np.argsort(index_matrix, axis=None, kind="stable")
+        sorted_indices = index_matrix.ravel()[flat_order]
+        sorted_magnitudes = magnitudes.ravel()[flat_order]
+        starts = np.flatnonzero(
+            np.r_[True, sorted_indices[1:] != sorted_indices[:-1]]
+        )
+        unique_indices = sorted_indices[starts]
+        max_magnitudes = np.maximum.reduceat(sorted_magnitudes, starts)
+
+        def magnitude_of(query: np.ndarray) -> np.ndarray:
+            return max_magnitudes[np.searchsorted(unique_indices, query)]
+
+        return ranked, magnitude_of
+
+    ranked = []
+    value_of: dict[int, float] = {}
+    for up in uploads:
+        order = ranked_indices(up.payload.values)
+        ranked.append(up.payload.indices[order])
+        for j, v in zip(up.payload.indices, up.payload.values):
+            magnitude = abs(float(v))
+            if magnitude > value_of.get(int(j), -1.0):
+                value_of[int(j)] = magnitude
+
+    def magnitude_of(query: np.ndarray) -> np.ndarray:
+        return np.array([value_of[int(j)] for j in query])
+
+    return ranked, magnitude_of
+
+
+def _max_upload_length(ranked) -> int:
+    if isinstance(ranked, np.ndarray):
+        return int(ranked.shape[1])
+    return max(len(r) for r in ranked)
+
+
+def _union(ranked, kappa: int) -> np.ndarray:
+    """∪_i (first κ entries of client i's ranking), sorted unique.
+
+    ``ranked`` is the rectangular ranking matrix (one row per client) or,
+    for ragged uploads, a list of per-client arrays; either way the union
+    is the same set.
+    """
     if kappa <= 0:
         return np.empty(0, dtype=np.int64)
+    if isinstance(ranked, np.ndarray):
+        return np.unique(ranked[:, :kappa])
     parts = [r[:kappa] for r in ranked if r.size]
     if not parts:
         return np.empty(0, dtype=np.int64)
     return np.unique(np.concatenate(parts))
 
 
-def _union_size(ranked: list[np.ndarray], kappa: int) -> int:
+def _union_size(ranked, kappa: int) -> int:
     return int(_union(ranked, kappa).size)
 
 
@@ -109,6 +177,15 @@ def _count_contributions(
     uploads: list[ClientUpload], selected: np.ndarray
 ) -> dict[int, int]:
     """Per-client count of uploaded indices that made it into ``selected``."""
+    nnz = uploads[0].payload.nnz if uploads else 0
+    if selected.size and nnz > 0 and all(up.payload.nnz == nnz for up in uploads):
+        index_matrix = np.stack([up.payload.indices for up in uploads])
+        pos = np.searchsorted(selected, index_matrix)
+        hits = (pos < selected.size) & (
+            selected[np.minimum(pos, selected.size - 1)] == index_matrix
+        )
+        counts = hits.sum(axis=1)
+        return {up.client_id: int(c) for up, c in zip(uploads, counts)}
     selected_set = selected  # sorted; use searchsorted membership
     out: dict[int, int] = {}
     for up in uploads:

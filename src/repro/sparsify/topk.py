@@ -35,6 +35,31 @@ def top_k_indices(values: np.ndarray, k: int) -> np.ndarray:
     return np.sort(chosen.astype(np.int64))
 
 
+def top_k_indices_batched(values: np.ndarray, k: int) -> np.ndarray:
+    """Row-wise :func:`top_k_indices` for a ``(rows, D)`` matrix.
+
+    Returns a ``(rows, min(k, D))`` int64 array whose row ``r`` equals
+    ``top_k_indices(values[r], k)``.  The selection rule — top k by
+    (|value| descending, index ascending), output sorted ascending — is a
+    deterministic function of each row, so the batched result is identical
+    to the per-row calls by specification, while argpartition/lexsort run
+    once over the whole matrix.
+    """
+    rows, n = values.shape
+    if k <= 0:
+        return np.empty((rows, 0), dtype=np.int64)
+    if k >= n:
+        return np.tile(np.arange(n, dtype=np.int64), (rows, 1))
+    magnitude = np.abs(values)
+    pool = min(n, 2 * k + 16)
+    candidates = np.argpartition(magnitude, n - pool, axis=1)[:, n - pool:]
+    cand_mag = np.take_along_axis(magnitude, candidates, axis=1)
+    # lexsort with 2-D keys orders each row independently along axis -1.
+    order = np.lexsort((candidates, -cand_mag))
+    chosen = np.take_along_axis(candidates, order[:, :k], axis=1)
+    return np.sort(chosen.astype(np.int64), axis=1)
+
+
 def ranked_indices(values: np.ndarray, limit: int | None = None) -> np.ndarray:
     """All indices ordered by (|value| descending, index ascending).
 
