@@ -1,0 +1,36 @@
+"""Host metadata stamped into the standalone benchmark reports.
+
+``BENCH_engine.json`` / ``BENCH_parallel.json`` accumulate one entry per
+benchmark run across PRs; without knowing *where* each entry ran (CPU
+count above all — the parallel numbers are meaningless without it) the
+trajectory cannot be compared.  Import as a sibling module: both pytest
+(rootdir insertion) and standalone ``python benchmarks/bench_*.py``
+(script-directory insertion) put this directory on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from datetime import datetime, timezone
+
+import numpy
+
+from repro.parallel.pool import default_worker_count
+
+
+def host_metadata() -> dict:
+    """Everything needed to interpret a benchmark entry later."""
+    usable_cpus = default_worker_count()
+    return {
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count() or 1,
+        "usable_cpus": usable_cpus,
+    }

@@ -23,6 +23,7 @@ import time
 
 import pytest
 
+from _hostmeta import host_metadata
 from repro.data.partition import partition_by_writer
 from repro.data.synthetic import make_femnist_like
 from repro.fl.trainer import FLTrainer
@@ -95,7 +96,9 @@ def test_backends_agree_at_scale(num_clients):
 
 
 def main() -> None:
-    report = {"rounds": MEASURE_ROUNDS, "results": []}
+    # Host metadata makes the perf trajectory across PRs interpretable:
+    # rounds/sec entries from different machines must not be compared raw.
+    report = {"host": host_metadata(), "rounds": MEASURE_ROUNDS, "results": []}
     for num_clients in CLIENT_COUNTS:
         rates = {}
         for backend in BACKENDS:

@@ -1,0 +1,160 @@
+"""Parallel subsystem throughput: sharded backend scaling + sweep cache.
+
+Two measurements, both appended (with host metadata) to
+``BENCH_parallel.json`` at the repo root:
+
+1. **Rounds/sec vs worker count** — the 96-client bench-scale federation
+   of ``bench_engine.py`` run under ``SerialBackend`` and under
+   ``ShardedBackend`` at 2 and 4 workers.  The backends produce
+   bit-identical histories (tests/test_engine.py), so this is purely
+   wall-clock; the recorded ``usable_cpus`` decides whether a speedup is
+   even possible (a 1-core container timeshares the workers and the
+   sharded numbers go *down* — that is the honest reading, not a bug).
+2. **Sweep wall-clock: cold vs cached** — a small figure grid run cold
+   into a fresh results store, then re-run; the second pass must be
+   served entirely from the cache.
+
+Run under the benchmark harness::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel.py --benchmark-only -s
+
+or standalone to append to ``BENCH_parallel.json``::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+"""
+
+import json
+import pathlib
+import tempfile
+import time
+
+import pytest
+
+from _hostmeta import host_metadata
+from bench_engine import build_trainer, round_k
+from repro.data.partition import partition_by_writer
+from repro.data.synthetic import make_femnist_like
+from repro.fl.trainer import FLTrainer
+from repro.nn.models import make_mlp
+from repro.parallel.sharded import ShardedBackend
+from repro.parallel.sweep import SweepSpec, run_sweep
+from repro.simulation.timing import TimingModel
+from repro.sparsify.fab_topk import FABTopK
+
+NUM_CLIENTS = 96
+WORKER_COUNTS = (2, 4)
+MEASURE_ROUNDS = 40
+SWEEP_SPEC = SweepSpec(figures=("fig1", "fig6"), scales=("smoke",), rounds=10)
+BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+)
+
+
+def build_sharded_trainer(jobs: int) -> FLTrainer:
+    """The bench_engine federation on a forced ``jobs``-worker pool."""
+    trainer = build_trainer(NUM_CLIENTS, ShardedBackend(jobs=jobs))
+    return trainer
+
+
+def measure_rounds_per_second(backend_spec, rounds: int = MEASURE_ROUNDS,
+                              repeats: int = 3) -> float:
+    """Best-of-``repeats`` whole-round throughput for one backend spec."""
+    if isinstance(backend_spec, int):
+        trainer = build_sharded_trainer(backend_spec)
+    else:
+        trainer = build_trainer(NUM_CLIENTS, backend_spec)
+    k = round_k(trainer, NUM_CLIENTS)
+    trainer.step(k)  # warmup: first round evaluates + spawns the pool
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            trainer.step(k)
+        best = min(best, time.perf_counter() - start)
+    trainer.close()
+    return rounds / best
+
+
+def measure_sweep() -> dict:
+    """Cold sweep vs fully cached re-run on a throwaway store."""
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-") as tmp:
+        cache = pathlib.Path(tmp) / "cache"
+        start = time.perf_counter()
+        cold = run_sweep(SWEEP_SPEC, cache_dir=cache, jobs=2)
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = run_sweep(SWEEP_SPEC, cache_dir=cache, jobs=2)
+        warm_seconds = time.perf_counter() - start
+    assert cold.computed == len(cold.results) and warm.cached == len(warm.results)
+    return {
+        "units": len(cold.results),
+        "cold_seconds": round(cold_seconds, 4),
+        "cached_seconds": round(warm_seconds, 4),
+        "cached_fraction_of_cold": round(warm_seconds / cold_seconds, 4),
+    }
+
+
+@pytest.mark.parametrize("jobs", WORKER_COUNTS)
+def test_sharded_round_throughput(benchmark, jobs):
+    trainer = build_sharded_trainer(jobs)
+    k = round_k(trainer, NUM_CLIENTS)
+    trainer.step(k)  # warmup
+    benchmark(trainer.step, k)
+    trainer.close()
+
+
+def test_sharded_agrees_with_serial_at_scale():
+    """The throughput comparison is only meaningful if results match."""
+    serial = build_trainer(NUM_CLIENTS, "serial")
+    sharded = build_sharded_trainer(2)
+    k = round_k(serial, NUM_CLIENTS)
+    hs = serial.run(3, k=k)
+    hh = sharded.run(3, k=k)
+    sharded.close()
+    assert [r.cumulative_time for r in hs] == [r.cumulative_time for r in hh]
+    assert [r.loss for r in hs][:1] == [r.loss for r in hh][:1]
+
+
+def main() -> None:
+    report = {
+        "host": host_metadata(),
+        "rounds": MEASURE_ROUNDS,
+        "num_clients": NUM_CLIENTS,
+        "results": {},
+    }
+    serial_rate = measure_rounds_per_second("serial")
+    rates = {"serial": serial_rate}
+    print(f"N={NUM_CLIENTS}: serial {serial_rate:7.1f} r/s")
+    for jobs in WORKER_COUNTS:
+        rate = measure_rounds_per_second(jobs)
+        rates[f"sharded-{jobs}"] = rate
+        print(
+            f"N={NUM_CLIENTS}: sharded x{jobs} {rate:7.1f} r/s | "
+            f"speedup {rate / serial_rate:.2f}x"
+        )
+    report["results"]["rounds_per_second"] = {
+        name: round(rate, 2) for name, rate in rates.items()
+    }
+    report["results"]["sharded_speedup"] = {
+        f"jobs={jobs}": round(rates[f"sharded-{jobs}"] / serial_rate, 3)
+        for jobs in WORKER_COUNTS
+    }
+
+    sweep = measure_sweep()
+    report["results"]["sweep"] = sweep
+    print(
+        f"sweep ({sweep['units']} units): cold {sweep['cold_seconds']:.2f}s | "
+        f"cached {sweep['cached_seconds']:.3f}s "
+        f"({100 * sweep['cached_fraction_of_cold']:.1f}% of cold)"
+    )
+
+    history = []
+    if BENCH_PATH.exists():
+        history = json.loads(BENCH_PATH.read_text())
+    history.append(report)
+    BENCH_PATH.write_text(json.dumps(history, indent=1))
+    print(f"appended to {BENCH_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,8 @@ Usage::
     python -m repro.cli fig4 --out results/ --scale bench
     python -m repro.cli fig7 --out results/ --rounds 200 --seed 1
     python -m repro.cli fig5 --out results/ --backend vectorized
+    python -m repro.cli fig4 --backend sharded --jobs 4
+    python -m repro.cli sweep --scale smoke --jobs 2
     python -m repro.cli list
 
 Each figure command runs the corresponding experiment driver
@@ -12,6 +14,18 @@ Each figure command runs the corresponding experiment driver
 ``--scale`` picks a configuration preset: ``smoke`` (seconds), ``bench``
 (tens of seconds, the benchmark suite's setting), ``default`` (minutes),
 or ``paper`` (the paper's 156-client scale; hours).
+
+``--backend`` selects the execution backend (``serial``, ``vectorized``,
+or the multiprocessing ``sharded``); ``--jobs N`` sets the sharded worker
+count (0 = all usable CPUs) and implies ``--backend sharded`` when more
+than one worker is requested without an explicit backend.  Histories are
+bit-identical across backends — only wall-clock speed changes.
+
+``sweep`` runs a whole grid of figure configurations
+(``--figures × --scales × --seeds × --backends``) across a process pool
+(``--jobs`` sweep workers) with completed runs cached in a
+content-addressed store (``--cache-dir``), so re-running a sweep only
+computes what changed; see :mod:`repro.parallel.sweep`.
 """
 
 from __future__ import annotations
@@ -20,94 +34,53 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.fig1 import run_fig1
+from repro.experiments.config import (
+    SCALE_NAMES,
+    ExperimentConfig,
+    scaled_config,
+)
 from repro.fl.backends import BACKEND_NAMES
-from repro.experiments.fig4 import run_fig4
-from repro.experiments.fig5 import run_fig5
-from repro.experiments.fig6 import run_fig6
-from repro.experiments.fig7 import run_fig7, run_fig8
-from repro.experiments.io import export_figure_csv, save_figure, save_history
+from repro.experiments.io import (
+    export_figure_csv,
+    figure_from_dict,
+    write_json,
+)
 from repro.experiments.plotting import render_figure
+from repro.parallel.sweep import (
+    SWEEP_FIGURES,
+    SweepSpec,
+    collect_artifacts,
+    run_sweep,
+)
 
 FIGURES = ("fig1", "fig4", "fig5", "fig6", "fig7", "fig8")
 
 
-def _scaled_config(scale: str, figure: str) -> ExperimentConfig:
-    if scale == "smoke":
-        base = ExperimentConfig.smoke()
-    elif scale == "bench":
-        base = ExperimentConfig(
-            num_clients=24, samples_per_client=25, image_size=10,
-            num_classes=16, classes_per_writer=5, hidden=(16,),
-            learning_rate=0.05, batch_size=16, num_rounds=150,
-            eval_every=5, eval_max_samples=300,
-        )
-    elif scale == "default":
-        base = ExperimentConfig.default()
-    elif scale == "paper":
-        base = ExperimentConfig.paper_scale()
-    else:
-        raise ValueError(f"unknown scale {scale!r}")
-    if figure == "fig8":
-        cifar = ExperimentConfig.cifar_default()
-        base = cifar.with_overrides(
-            num_rounds=base.num_rounds, eval_every=base.eval_every,
-            learning_rate=base.learning_rate, batch_size=base.batch_size,
-        )
-    return base
-
-
-def _write(figure_data, name: str, out: Path) -> None:
-    save_figure(figure_data, out / f"{name}.json")
-    export_figure_csv(figure_data, out / f"{name}.csv")
-
-
 def _run_figure(figure: str, config: ExperimentConfig, out: Path,
                 plot: bool = False) -> list[str]:
-    """Run one figure driver and write its artifacts; returns filenames."""
-    written: list[str] = []
+    """Run one figure driver and write its artifacts; returns filenames.
 
-    def emit(fig_data, name):
-        _write(fig_data, name, out)
-        written.extend([f"{name}.json", f"{name}.csv"])
+    The figure → artifacts mapping is :func:`repro.parallel.sweep.
+    collect_artifacts` — the same collector the sweep orchestrator
+    caches, so `repro <figN>` output and cached sweep exports cannot
+    drift apart.  Figure artifacts additionally get a CSV (and an
+    optional ASCII chart); history artifacts are JSON-only.
+    """
+    written: list[str] = []
+    for name, payload in collect_artifacts(figure, config).items():
+        write_json(out / f"{name}.json", payload)
+        written.append(f"{name}.json")
+        if payload.get("kind") != "figure":
+            continue
+        fig_data = figure_from_dict(payload)
+        export_figure_csv(fig_data, out / f"{name}.csv")
+        written.append(f"{name}.csv")
         if plot:
             try:
                 print(render_figure(fig_data))
                 print()
             except ValueError:
                 pass  # empty panel (e.g. no accuracy series)
-
-    if figure == "fig1":
-        result = run_fig1(config)
-        emit(result.figure, "fig1_post_switch_loss")
-    elif figure == "fig4":
-        result = run_fig4(config)
-        emit(result.loss_vs_time, "fig4_loss_vs_time")
-        emit(result.accuracy_vs_time, "fig4_accuracy_vs_time")
-        emit(result.contribution_cdf, "fig4_contribution_cdf")
-        for method, history in result.histories.items():
-            path = out / f"fig4_history_{method}.json"
-            save_history(history, path)
-            written.append(path.name)
-    elif figure == "fig5":
-        result = run_fig5(config)
-        emit(result.loss_vs_time, "fig5_loss_vs_time")
-        emit(result.accuracy_vs_time, "fig5_accuracy_vs_time")
-        emit(result.k_traces, "fig5_k_traces")
-    elif figure == "fig6":
-        result = run_fig6(config)
-        emit(result.loss_vs_time, "fig6_loss_vs_time")
-        emit(result.k_traces, "fig6_k_traces")
-    elif figure in ("fig7", "fig8"):
-        runner = run_fig7 if figure == "fig7" else run_fig8
-        result = runner(config)
-        assert result.k_traces is not None
-        emit(result.k_traces, f"{figure}_k_traces")
-        for beta, fig_data in result.loss_curves.items():
-            emit(fig_data, f"{figure}_replay_beta_{beta:g}")
-    else:
-        raise ValueError(f"unknown figure {figure!r}")
     return written
 
 
@@ -121,8 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     for figure in FIGURES:
         p = sub.add_parser(figure, help=f"reproduce {figure} of the paper")
         p.add_argument("--out", default="results", help="output directory")
-        p.add_argument("--scale", default="bench",
-                       choices=("smoke", "bench", "default", "paper"))
+        p.add_argument("--scale", default="bench", choices=SCALE_NAMES)
         p.add_argument("--rounds", type=int, default=None,
                        help="override the preset's round count")
         p.add_argument("--seed", type=int, default=None,
@@ -132,11 +104,66 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--backend", default=None,
                        choices=BACKEND_NAMES,
                        help="execution backend for the trainers "
-                            "(vectorized batches all clients per round; "
+                            "(vectorized batches all clients per round, "
+                            "sharded fans them out over worker processes; "
                             "identical results, faster)")
+        p.add_argument("--jobs", type=int, default=None,
+                       help="sharded worker processes (0 = all usable "
+                            "CPUs); any value except 1 implies "
+                            "--backend sharded")
         p.add_argument("--plot", action="store_true",
                        help="render ASCII charts to stdout")
+    ps = sub.add_parser(
+        "sweep",
+        help="run a cached grid of figure configs over a process pool",
+    )
+    ps.add_argument("--figures", nargs="+", default=list(SWEEP_FIGURES),
+                    choices=SWEEP_FIGURES, metavar="FIG",
+                    help=f"figures to sweep (default: all of {SWEEP_FIGURES})")
+    ps.add_argument("--scale", "--scales", nargs="+", dest="scales",
+                    default=["bench"], choices=SCALE_NAMES)
+    ps.add_argument("--seeds", nargs="+", type=int, default=[0])
+    ps.add_argument("--backends", nargs="+", default=["serial"],
+                    choices=BACKEND_NAMES)
+    ps.add_argument("--rounds", type=int, default=None,
+                    help="override every unit's round count")
+    ps.add_argument("--jobs", type=int, default=1,
+                    help="sweep pool worker processes (1 = run inline, "
+                         "0 = all usable CPUs)")
+    ps.add_argument("--out", default=None,
+                    help="also export every unit's artifacts here")
+    ps.add_argument("--cache-dir", default="results/sweep-cache",
+                    help="content-addressed results store directory")
+    ps.add_argument("--force", action="store_true",
+                    help="recompute cached units")
     return parser
+
+
+def _run_sweep_command(args) -> int:
+    spec = SweepSpec(
+        figures=tuple(args.figures),
+        scales=tuple(args.scales),
+        seeds=tuple(args.seeds),
+        backends=tuple(args.backends),
+        rounds=args.rounds,
+    )
+    from repro.parallel.pool import default_worker_count
+
+    report = run_sweep(
+        spec,
+        cache_dir=args.cache_dir,
+        out=args.out,
+        jobs=args.jobs if args.jobs >= 1 else default_worker_count(),
+        force=args.force,
+        echo=print,
+    )
+    for result in report.results:
+        timing = "cache hit" if result.status == "cached" else (
+            f"{result.seconds:.2f}s"
+        )
+        print(f"{result.unit.run_id}: {result.status} ({timing}), "
+              f"{len(result.artifacts)} artifacts [{result.key[:12]}]")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -145,8 +172,10 @@ def main(argv: list[str] | None = None) -> int:
         for figure in FIGURES:
             print(figure)
         return 0
+    if args.command == "sweep":
+        return _run_sweep_command(args)
 
-    config = _scaled_config(args.scale, args.command)
+    config = scaled_config(args.scale, args.command)
     overrides = {}
     if args.rounds is not None:
         overrides["num_rounds"] = args.rounds
@@ -156,6 +185,10 @@ def main(argv: list[str] | None = None) -> int:
         overrides["comm_time"] = args.comm_time
     if args.backend is not None:
         overrides["backend"] = args.backend
+    if args.jobs is not None:
+        overrides["jobs"] = args.jobs
+        if args.backend is None and args.jobs != 1:
+            overrides["backend"] = "sharded"
     if overrides:
         config = config.with_overrides(**overrides)
 

@@ -95,20 +95,24 @@ def run_assumption2(
         ))
     max_rounds = max_rounds if max_rounds is not None else config.num_rounds
 
-    # Establish the common loss range from a pilot run at the middle k.
-    pilot = _run(config, k_grid[len(k_grid) // 2], max_rounds)
-    losses = [r.loss for r in pilot if r.loss == r.loss]
-    top = losses[0]
-    bottom = min(losses)
-    edges = np.linspace(top, bottom, num_bands + 1)
-    loss_bands = [(float(edges[i]), float(edges[i + 1]))
-                  for i in range(num_bands)]
+    backend = build_backend(config)
+    try:
+        # Establish the common loss range from a pilot run at the middle k.
+        pilot = _run(config, k_grid[len(k_grid) // 2], max_rounds, backend)
+        losses = [r.loss for r in pilot if r.loss == r.loss]
+        top = losses[0]
+        bottom = min(losses)
+        edges = np.linspace(top, bottom, num_bands + 1)
+        loss_bands = [(float(edges[i]), float(edges[i + 1]))
+                      for i in range(num_bands)]
 
-    t_hat = np.full((num_bands, len(k_grid)), np.nan)
-    for j, k in enumerate(k_grid):
-        history = _run(config, k, max_rounds)
-        for i, (hi, lo_band) in enumerate(loss_bands):
-            t_hat[i, j] = _band_density(history, hi, lo_band)
+        t_hat = np.full((num_bands, len(k_grid)), np.nan)
+        for j, k in enumerate(k_grid):
+            history = _run(config, k, max_rounds, backend)
+            for i, (hi, lo_band) in enumerate(loss_bands):
+                t_hat[i, j] = _band_density(history, hi, lo_band)
+    finally:
+        backend.close()
 
     figure = FigureData(title="Assumption 2: measured t(k, l) per loss band")
     for i, (hi, lo_band) in enumerate(loss_bands):
@@ -122,7 +126,7 @@ def run_assumption2(
     )
 
 
-def _run(config: ExperimentConfig, k: int, max_rounds: int):
+def _run(config: ExperimentConfig, k: int, max_rounds: int, backend=None):
     model = build_model(config)
     federation = build_federation(config)
     trainer = FLTrainer(
@@ -132,7 +136,7 @@ def _run(config: ExperimentConfig, k: int, max_rounds: int):
         batch_size=config.batch_size,
         eval_every=1,  # need the loss at every round for band accounting
         eval_max_samples=config.eval_max_samples,
-        backend=build_backend(config),
+        backend=backend if backend is not None else build_backend(config),
         seed=config.seed,
     )
     trainer.run(max_rounds, k=min(k, model.dimension))

@@ -9,7 +9,7 @@ which are preserved at reduced dimension — see DESIGN.md §7.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.fl.backends import BACKEND_NAMES
 
@@ -38,7 +38,8 @@ class ExperimentConfig:
     kmin_fraction: float = 0.002  # paper: kmin = 0.002 * D
     alpha: float = 1.5            # paper: α = 1.5
     update_window: int = 20       # paper: M_u = 20
-    backend: str = "serial"       # execution backend: serial | vectorized
+    backend: str = "serial"       # execution: serial | vectorized | sharded
+    jobs: int = 0                 # sharded worker count; 0 = all usable CPUs
     seed: int = 0
     extras: dict = field(default_factory=dict)
 
@@ -56,10 +57,29 @@ class ExperimentConfig:
                 f"unknown backend {self.backend!r}; "
                 f"expected one of {BACKEND_NAMES}"
             )
+        if self.jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 = all usable CPUs)")
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Copy with fields replaced (configs are immutable)."""
         return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Serialization (sweep cache keys, cross-process dispatch)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready mapping of every field; round-trips via from_dict."""
+        data = asdict(self)
+        data["hidden"] = list(self.hidden)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output (or parsed JSON)."""
+        data = dict(data)
+        if "hidden" in data:
+            data["hidden"] = tuple(data["hidden"])
+        return cls(**data)
 
     # ------------------------------------------------------------------
     # Presets
@@ -111,3 +131,40 @@ class ExperimentConfig:
             num_classes=10,
             hidden=(32,),
         )
+
+
+SCALE_NAMES = ("smoke", "bench", "default", "paper")
+
+
+def scaled_config(scale: str, figure: str | None = None) -> ExperimentConfig:
+    """The preset behind a CLI/sweep ``--scale`` name, per target figure.
+
+    ``smoke`` runs in seconds, ``bench`` in tens of seconds (the
+    benchmark suite's setting), ``default`` in minutes, ``paper`` at the
+    paper's 156-client scale (hours).  Fig. 8 swaps in the CIFAR-like
+    federation while keeping the scale's round/evaluation budget.
+    """
+    if scale == "smoke":
+        base = ExperimentConfig.smoke()
+    elif scale == "bench":
+        base = ExperimentConfig(
+            num_clients=24, samples_per_client=25, image_size=10,
+            num_classes=16, classes_per_writer=5, hidden=(16,),
+            learning_rate=0.05, batch_size=16, num_rounds=150,
+            eval_every=5, eval_max_samples=300,
+        )
+    elif scale == "default":
+        base = ExperimentConfig.default()
+    elif scale == "paper":
+        base = ExperimentConfig.paper_scale()
+    else:
+        raise ValueError(
+            f"unknown scale {scale!r}; expected one of {SCALE_NAMES}"
+        )
+    if figure == "fig8":
+        cifar = ExperimentConfig.cifar_default()
+        base = cifar.with_overrides(
+            num_rounds=base.num_rounds, eval_every=base.eval_every,
+            learning_rate=base.learning_rate, batch_size=base.batch_size,
+        )
+    return base

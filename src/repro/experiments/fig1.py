@@ -81,38 +81,44 @@ def run_fig1(
     figure = FigureData(title=f"Fig1 Assumption-1 validation")
     result = Fig1Result(psi=0.0, k_common=k_common, figure=figure)
 
-    for i, k_pre in enumerate(pre_ks):
-        model = build_model(config)
-        federation = build_federation(config)
-        timing = build_timing(config, model.dimension)
-        trainer = FLTrainer(
-            model,
-            federation,
-            FABTopK(),
-            timing=timing,
-            learning_rate=config.learning_rate,
-            batch_size=config.batch_size,
-            eval_every=1,
-            eval_max_samples=config.eval_max_samples,
-            backend=build_backend(config),
-            seed=config.seed,
-        )
-        if psi is None and i == 0:
-            psi = trainer.global_loss() * 0.85
-        assert psi is not None
-        result.psi = psi
+    backend = build_backend(config)
+    try:
+        for i, k_pre in enumerate(pre_ks):
+            model = build_model(config)
+            federation = build_federation(config)
+            timing = build_timing(config, model.dimension)
+            trainer = FLTrainer(
+                model,
+                federation,
+                FABTopK(),
+                timing=timing,
+                learning_rate=config.learning_rate,
+                batch_size=config.batch_size,
+                eval_every=1,
+                eval_max_samples=config.eval_max_samples,
+                backend=backend,
+                seed=config.seed,
+            )
+            if psi is None and i == 0:
+                psi = trainer.global_loss() * 0.85
+            assert psi is not None
+            result.psi = psi
 
-        trainer.run_until_loss(psi, k=k_pre, max_rounds=config.num_rounds * 10)
-        result.pre_rounds[k_pre] = len(trainer.history)
-        post_losses = [trainer.global_loss()]
-        for _ in range(post_rounds):
-            record = trainer.step(k_common)
-            post_losses.append(record.loss)
-        figure.add(
-            label=f"pre-k={k_pre}",
-            x=list(range(len(post_losses))),
-            y=post_losses,
-        )
+            trainer.run_until_loss(
+                psi, k=k_pre, max_rounds=config.num_rounds * 10
+            )
+            result.pre_rounds[k_pre] = len(trainer.history)
+            post_losses = [trainer.global_loss()]
+            for _ in range(post_rounds):
+                record = trainer.step(k_common)
+                post_losses.append(record.loss)
+            figure.add(
+                label=f"pre-k={k_pre}",
+                x=list(range(len(post_losses))),
+                y=post_losses,
+            )
+    finally:
+        backend.close()
     figure.notes.append(
         f"psi={result.psi:.4f}, common k={k_common}, dimension={dimension}"
     )

@@ -99,23 +99,29 @@ def run_fig4(
         contribution_cdf=cdf_fig,
     )
 
-    for method in METHODS:
-        history = _run_method(method, config, k, timing, time_budget)
-        result.histories[method] = history
-        xs, losses, accs = [], [], []
-        for record in history:
-            if record.loss == record.loss:  # skip NaN (non-eval rounds)
-                xs.append(record.cumulative_time)
-                losses.append(record.loss)
-                if record.accuracy is not None:
-                    accs.append(record.accuracy)
-        loss_fig.add(method, xs, losses)
-        acc_fig.add(method, xs, accs)
-        if method in ("fab-top-k", "fub-top-k", "unidirectional-top-k"):
-            totals = history.contribution_counts()
-            if totals:
-                values, cdf = contribution_cdf(totals)
-                cdf_fig.add(method, values.tolist(), cdf.tolist())
+    backend = build_backend(config)
+    try:
+        for method in METHODS:
+            history = _run_method(
+                method, config, k, timing, time_budget, backend
+            )
+            result.histories[method] = history
+            xs, losses, accs = [], [], []
+            for record in history:
+                if record.loss == record.loss:  # skip NaN (non-eval rounds)
+                    xs.append(record.cumulative_time)
+                    losses.append(record.loss)
+                    if record.accuracy is not None:
+                        accs.append(record.accuracy)
+            loss_fig.add(method, xs, losses)
+            acc_fig.add(method, xs, accs)
+            if method in ("fab-top-k", "fub-top-k", "unidirectional-top-k"):
+                totals = history.contribution_counts()
+                if totals:
+                    values, cdf = contribution_cdf(totals)
+                    cdf_fig.add(method, values.tolist(), cdf.tolist())
+    finally:
+        backend.close()
     return result
 
 
@@ -125,6 +131,7 @@ def _run_method(
     k: int,
     timing,
     time_budget: float,
+    backend,
 ) -> TrainingHistory:
     model = build_model(config)
     federation = build_federation(config)
@@ -133,7 +140,7 @@ def _run_method(
         batch_size=config.batch_size,
         eval_every=config.eval_every,
         eval_max_samples=config.eval_max_samples,
-        backend=build_backend(config),
+        backend=backend,
         seed=config.seed,
     )
     if method == "fedavg":

@@ -90,35 +90,39 @@ def run_fig5(
     result = Fig5Result(loss_vs_time=loss_fig, accuracy_vs_time=acc_fig,
                         k_traces=k_fig)
 
-    for name in policies:
-        model = build_model(config)
-        federation = build_federation(config)
-        timing = build_timing(config, model.dimension, comm_time)
-        policy = make_policy(name, config, model.dimension)
-        trainer = AdaptiveKTrainer(
-            model, federation, FABTopK(), policy, timing,
-            learning_rate=config.learning_rate,
-            batch_size=config.batch_size,
-            eval_every=config.eval_every,
-            eval_max_samples=config.eval_max_samples,
-            backend=build_backend(config),
-            seed=config.seed,
-        )
-        trainer.run(num_rounds)
-        result.histories[name] = trainer.history
-        xs, losses, accs, acc_xs = [], [], [], []
-        for record in trainer.history:
-            if record.loss == record.loss:
-                xs.append(record.cumulative_time)
-                losses.append(record.loss)
-                if record.accuracy is not None:
-                    acc_xs.append(record.cumulative_time)
-                    accs.append(record.accuracy)
-        loss_fig.add(name, xs, losses)
-        acc_fig.add(name, acc_xs, accs)
-        k_fig.add(
-            name,
-            [float(r.round_index) for r in trainer.history],
-            trainer.history.ks(),
-        )
+    backend = build_backend(config)
+    try:
+        for name in policies:
+            model = build_model(config)
+            federation = build_federation(config)
+            timing = build_timing(config, model.dimension, comm_time)
+            policy = make_policy(name, config, model.dimension)
+            trainer = AdaptiveKTrainer(
+                model, federation, FABTopK(), policy, timing,
+                learning_rate=config.learning_rate,
+                batch_size=config.batch_size,
+                eval_every=config.eval_every,
+                eval_max_samples=config.eval_max_samples,
+                backend=backend,
+                seed=config.seed,
+            )
+            trainer.run(num_rounds)
+            result.histories[name] = trainer.history
+            xs, losses, accs, acc_xs = [], [], [], []
+            for record in trainer.history:
+                if record.loss == record.loss:
+                    xs.append(record.cumulative_time)
+                    losses.append(record.loss)
+                    if record.accuracy is not None:
+                        acc_xs.append(record.cumulative_time)
+                        accs.append(record.accuracy)
+            loss_fig.add(name, xs, losses)
+            acc_fig.add(name, acc_xs, accs)
+            k_fig.add(
+                name,
+                [float(r.round_index) for r in trainer.history],
+                trainer.history.ks(),
+            )
+    finally:
+        backend.close()
     return result

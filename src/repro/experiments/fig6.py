@@ -58,34 +58,41 @@ def run_fig6(
     k_fig = FigureData(title="Fig6 k_m traces")
     result = Fig6Result(loss_vs_time=loss_fig, k_traces=k_fig)
 
-    for label in ("algorithm3", "algorithm2"):
-        model = build_model(config)
-        federation = build_federation(config)
-        timing = build_timing(config, model.dimension, comm_time)
-        interval = build_search_interval(config, model.dimension)
-        if label == "algorithm3":
-            algorithm = AdaptiveSignOGD(
-                interval, alpha=config.alpha, update_window=config.update_window
+    backend = build_backend(config)
+    try:
+        for label in ("algorithm3", "algorithm2"):
+            model = build_model(config)
+            federation = build_federation(config)
+            timing = build_timing(config, model.dimension, comm_time)
+            interval = build_search_interval(config, model.dimension)
+            if label == "algorithm3":
+                algorithm = AdaptiveSignOGD(
+                    interval, alpha=config.alpha,
+                    update_window=config.update_window,
+                )
+            else:
+                algorithm = SignOGD(interval)
+            trainer = AdaptiveKTrainer(
+                model, federation, FABTopK(), SignPolicy(algorithm), timing,
+                learning_rate=config.learning_rate,
+                batch_size=config.batch_size,
+                eval_every=config.eval_every,
+                eval_max_samples=config.eval_max_samples,
+                backend=backend,
+                seed=config.seed,
             )
-        else:
-            algorithm = SignOGD(interval)
-        trainer = AdaptiveKTrainer(
-            model, federation, FABTopK(), SignPolicy(algorithm), timing,
-            learning_rate=config.learning_rate,
-            batch_size=config.batch_size,
-            eval_every=config.eval_every,
-            eval_max_samples=config.eval_max_samples,
-            backend=build_backend(config),
-            seed=config.seed,
-        )
-        trainer.run(num_rounds)
-        result.histories[label] = trainer.history
-        xs = [r.cumulative_time for r in trainer.history if r.loss == r.loss]
-        ys = [r.loss for r in trainer.history if r.loss == r.loss]
-        loss_fig.add(label, xs, ys)
-        k_fig.add(
-            label,
-            [float(r.round_index) for r in trainer.history],
-            trainer.history.ks(),
-        )
+            trainer.run(num_rounds)
+            result.histories[label] = trainer.history
+            xs = [
+                r.cumulative_time for r in trainer.history if r.loss == r.loss
+            ]
+            ys = [r.loss for r in trainer.history if r.loss == r.loss]
+            loss_fig.add(label, xs, ys)
+            k_fig.add(
+                label,
+                [float(r.round_index) for r in trainer.history],
+                trainer.history.ks(),
+            )
+    finally:
+        backend.close()
     return result

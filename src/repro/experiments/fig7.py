@@ -80,58 +80,63 @@ def run_cross_application(
     result = CrossApplicationResult(comm_times=comm_times)
     result.k_traces = FigureData(title="learned k_m sequences")
 
-    # Phase 1: learn {k_m, beta} with Algorithm 3 at each beta.
-    for beta in comm_times:
-        model = build_model(config)
-        federation = build_federation(config)
-        timing = build_timing(config, model.dimension, beta)
-        interval = build_search_interval(config, model.dimension)
-        policy = SignPolicy(
-            AdaptiveSignOGD(
-                interval, alpha=config.alpha, update_window=config.update_window
-            )
-        )
-        trainer = AdaptiveKTrainer(
-            model, federation, FABTopK(), policy, timing,
-            learning_rate=config.learning_rate,
-            batch_size=config.batch_size,
-            eval_every=max(config.eval_every, 10),
-            eval_max_samples=config.eval_max_samples,
-            backend=build_backend(config),
-            seed=config.seed,
-        )
-        trainer.run(learn_rounds)
-        sequence = trainer.history.ks()
-        result.sequences[beta] = sequence
-        result.k_traces.add(
-            f"beta={beta:g}",
-            [float(i + 1) for i in range(len(sequence))],
-            sequence,
-        )
-
-    # Phase 2: replay every sequence at every beta for a common budget.
-    for replay_beta in comm_times:
-        fig = FigureData(title=f"replay at beta={replay_beta:g}")
-        result.loss_curves[replay_beta] = fig
-        budget = replay_time_budget
-        if budget is None:
-            # Budget = the time the matched sequence's rounds take.
+    backend = build_backend(config)
+    try:
+        # Phase 1: learn {k_m, beta} with Algorithm 3 at each beta.
+        for beta in comm_times:
             model = build_model(config)
-            timing = build_timing(config, model.dimension, replay_beta)
-            matched = result.sequences[replay_beta]
-            budget = sum(
-                timing.sparse_round(int(max(k, 1)), int(max(k, 1))).total
-                for k in matched
+            federation = build_federation(config)
+            timing = build_timing(config, model.dimension, beta)
+            interval = build_search_interval(config, model.dimension)
+            policy = SignPolicy(
+                AdaptiveSignOGD(
+                    interval, alpha=config.alpha,
+                    update_window=config.update_window,
+                )
             )
-        for seq_beta in comm_times:
-            history = _replay(config, result.sequences[seq_beta], replay_beta,
-                              budget)
-            xs = [r.cumulative_time for r in history if r.loss == r.loss]
-            ys = [r.loss for r in history if r.loss == r.loss]
-            fig.add(f"k-seq(beta={seq_beta:g})", xs, ys)
-            result.final_loss[(seq_beta, replay_beta)] = (
-                ys[-1] if ys else float("inf")
+            trainer = AdaptiveKTrainer(
+                model, federation, FABTopK(), policy, timing,
+                learning_rate=config.learning_rate,
+                batch_size=config.batch_size,
+                eval_every=max(config.eval_every, 10),
+                eval_max_samples=config.eval_max_samples,
+                backend=backend,
+                seed=config.seed,
             )
+            trainer.run(learn_rounds)
+            sequence = trainer.history.ks()
+            result.sequences[beta] = sequence
+            result.k_traces.add(
+                f"beta={beta:g}",
+                [float(i + 1) for i in range(len(sequence))],
+                sequence,
+            )
+
+        # Phase 2: replay every sequence at every beta for a common budget.
+        for replay_beta in comm_times:
+            fig = FigureData(title=f"replay at beta={replay_beta:g}")
+            result.loss_curves[replay_beta] = fig
+            budget = replay_time_budget
+            if budget is None:
+                # Budget = the time the matched sequence's rounds take.
+                model = build_model(config)
+                timing = build_timing(config, model.dimension, replay_beta)
+                matched = result.sequences[replay_beta]
+                budget = sum(
+                    timing.sparse_round(int(max(k, 1)), int(max(k, 1))).total
+                    for k in matched
+                )
+            for seq_beta in comm_times:
+                history = _replay(config, result.sequences[seq_beta],
+                                  replay_beta, budget, backend)
+                xs = [r.cumulative_time for r in history if r.loss == r.loss]
+                ys = [r.loss for r in history if r.loss == r.loss]
+                fig.add(f"k-seq(beta={seq_beta:g})", xs, ys)
+                result.final_loss[(seq_beta, replay_beta)] = (
+                    ys[-1] if ys else float("inf")
+                )
+    finally:
+        backend.close()
     return result
 
 
@@ -140,6 +145,7 @@ def _replay(
     sequence: list[float],
     beta: float,
     time_budget: float,
+    backend,
 ):
     model = build_model(config)
     federation = build_federation(config)
@@ -150,7 +156,7 @@ def _replay(
         batch_size=config.batch_size,
         eval_every=config.eval_every,
         eval_max_samples=config.eval_max_samples,
-        backend=build_backend(config),
+        backend=backend,
         seed=config.seed,
     )
     int_sequence = [max(1, min(int(round(k)), model.dimension)) for k in sequence]

@@ -8,12 +8,46 @@ re-running.  The JSON schema is versioned and round-trips exactly.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 from repro.experiments.runner import FigureData, Series
 from repro.fl.metrics import RoundRecord, TrainingHistory
 
 SCHEMA_VERSION = 1
+
+
+def write_json(path: str | Path, payload: dict, indent: int | None = 1) -> None:
+    """Atomically write ``payload`` as JSON (tmp file + rename).
+
+    Concurrent writers (the sweep orchestrator's pool workers and its
+    results store) never leave a half-written artifact behind: readers
+    see either the old file or the complete new one.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            fd = -1  # the handle owns it now
+            json.dump(payload, handle, indent=indent)
+        # mkstemp creates 0600; widen to the umask-derived mode a plain
+        # open() would have used, so artifacts stay world-readable.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp, 0o666 & ~umask)
+        os.replace(tmp, path)
+    except BaseException:
+        if fd >= 0:
+            os.close(fd)
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 # ----------------------------------------------------------------------
@@ -42,7 +76,7 @@ def figure_from_dict(data: dict) -> FigureData:
 
 
 def save_figure(figure: FigureData, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(figure_to_dict(figure), indent=1))
+    write_json(path, figure_to_dict(figure))
 
 
 def load_figure(path: str | Path) -> FigureData:
@@ -95,7 +129,7 @@ def history_from_dict(data: dict) -> TrainingHistory:
 
 
 def save_history(history: TrainingHistory, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(history_to_dict(history), indent=1))
+    write_json(path, history_to_dict(history))
 
 
 def load_history(path: str | Path) -> TrainingHistory:

@@ -88,13 +88,15 @@ def build_timing(
 def build_backend(config: ExperimentConfig) -> ExecutionBackend:
     """The execution backend the config's trainers should run on.
 
-    ``config.backend`` is a name ("serial" or "vectorized"); every figure
-    driver passes the resolved instance into its trainers so a whole
-    experiment switches backends from one config field (or the CLI's
-    ``--backend`` flag).  Histories are backend-independent — only
-    wall-clock speed changes.
+    ``config.backend`` is a name ("serial", "vectorized" or "sharded");
+    every figure driver builds one instance per run and passes it into
+    all its trainers, so a whole experiment switches backends from one
+    config field (or the CLI's ``--backend``/``--jobs`` flags).
+    Histories are backend-independent — only wall-clock speed changes.
+    Sharded backends honor ``config.jobs`` (0 = all usable CPUs); the
+    driver must call ``backend.close()`` when its trainers are done.
     """
-    return resolve_backend(config.backend)
+    return resolve_backend(config.backend, jobs=config.jobs)
 
 
 def build_search_interval(config: ExperimentConfig, dimension: int) -> SearchInterval:

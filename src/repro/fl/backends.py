@@ -5,7 +5,7 @@ their gradients and produce uploads?  The protocol they implement — the
 Algorithm-1 round skeleton — lives in :class:`repro.fl.engine.RoundEngine`
 and is backend-independent.
 
-Two implementations ship:
+Three implementations ship:
 
 - :class:`SerialBackend` — the reference: a Python loop calling
   ``Client.local_step`` once per participant, exactly the seed trainers'
@@ -19,6 +19,11 @@ Two implementations ship:
   training histories; whenever a model or sparsifier lacks batched
   support the backend silently falls back to the serial path for that
   piece, trading speed, never correctness.
+- :class:`repro.parallel.sharded.ShardedBackend` ("sharded") — partitions
+  clients into shards and runs the gradient phase on a persistent
+  multiprocessing worker pool for multi-core scaling, with the same
+  bit-identity guarantee.  It lives in :mod:`repro.parallel` and is
+  resolved lazily here to keep this module import-light.
 
 Per-client RNG streams are preserved by construction: minibatch draws use
 each client's dataset generator, selection/probe draws use each client's
@@ -38,7 +43,7 @@ from repro.fl.client import Client
 from repro.nn.flat import FlatModel
 from repro.sparsify.base import ClientUpload, Sparsifier
 
-BACKEND_NAMES = ("serial", "vectorized")
+BACKEND_NAMES = ("serial", "vectorized", "sharded")
 
 
 class ExecutionBackend:
@@ -85,6 +90,14 @@ class ExecutionBackend:
         compression error stays in the residual (error feedback)."""
         for client, upload in zip(participants, uploads):
             client.reset_transmitted(selected, upload.payload)
+
+    def close(self) -> None:
+        """Release backend-held resources (worker pools); default: none.
+
+        Figure drivers call this once their trainers are done so
+        process-backed backends shut down deterministically instead of
+        waiting for garbage collection.
+        """
 
 
 class SerialBackend(ExecutionBackend):
@@ -230,11 +243,14 @@ class VectorizedBackend(ExecutionBackend):
 
 def resolve_backend(
     backend: str | ExecutionBackend | None,
+    jobs: int | None = None,
 ) -> ExecutionBackend:
     """Normalize a backend spec (name, instance, or None) to an instance.
 
     None means the default :class:`SerialBackend` — the reference
-    semantics every trainer had before backends existed.
+    semantics every trainer had before backends existed.  ``jobs`` is
+    the sharded worker count (None/0 = all usable CPUs) and is ignored
+    by the in-process backends and pre-built instances.
     """
     if backend is None:
         return SerialBackend()
@@ -244,6 +260,12 @@ def resolve_backend(
         return SerialBackend()
     if backend == "vectorized":
         return VectorizedBackend()
+    if backend == "sharded":
+        # Imported lazily: repro.parallel pulls in multiprocessing and
+        # imports this module back.
+        from repro.parallel.sharded import ShardedBackend
+
+        return ShardedBackend(jobs=jobs)
     raise ValueError(
         f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}"
     )

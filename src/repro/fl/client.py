@@ -88,6 +88,16 @@ class Client:
         self._last_batch = (x, y)
         return x, y
 
+    def adopt_minibatch(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Record a minibatch drawn on this client's behalf elsewhere.
+
+        The sharded backend draws each round's minibatch on the worker
+        that owns this client's dataset copy; adopting it here keeps
+        :meth:`draw_probe_sample` working on the round's actual batch,
+        exactly as if :meth:`draw_minibatch` had run in this process.
+        """
+        self._last_batch = (x, y)
+
     def accumulate_gradient(self, grad: np.ndarray) -> None:
         """Add the round's gradient (or its velocity) to the residual."""
         if self._velocity is not None:

@@ -203,6 +203,10 @@ class EngineFacade:
         """Accuracy on the held-out test pool, if the federation has one."""
         return self.engine.test_accuracy()
 
+    def close(self) -> None:
+        """Release the engine's execution backend (see RoundEngine.close)."""
+        self.engine.close()
+
 
 class RoundEngine:
     """Owns the Algorithm-1 round skeleton and all round bookkeeping.
@@ -280,6 +284,17 @@ class RoundEngine:
         if self.federation.test_x is None or self.federation.test_y is None:
             return None
         return self.model.accuracy(self.federation.test_x, self.federation.test_y)
+
+    def close(self) -> None:
+        """Release the execution backend's resources once training is done.
+
+        Process-backed backends (sharded) hold a worker pool; closing the
+        engine shuts it down deterministically.  Serial/vectorized
+        backends make this a no-op.  Only call when this engine is the
+        backend's sole user — drivers sharing one backend across trainers
+        close the backend itself instead.
+        """
+        self.backend.close()
 
     # ------------------------------------------------------------------
     # The full sparse-GS round (FLTrainer / AdaptiveKTrainer path)

@@ -100,6 +100,17 @@ class FlatModel:
         """
         return self.network.supports_grouped_batch()
 
+    def deterministic_gradients(self) -> bool:
+        """Whether :meth:`gradient` is a pure function of (weights, batch).
+
+        False when a layer draws per-call RNG in training mode (active
+        Dropout): the gradient then also depends on the layer's RNG
+        stream position, so it cannot be reproduced from a model replica
+        in another process.  Process-based backends must fall back to
+        in-process gradients for such models.
+        """
+        return not self.network.consumes_forward_rng()
+
     def gradients_batched(
         self, xs: list[np.ndarray], ys: list[np.ndarray]
     ) -> np.ndarray:

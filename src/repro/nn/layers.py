@@ -72,6 +72,17 @@ class Layer:
         with results identical to running each group separately."""
         return False
 
+    def consumes_forward_rng(self) -> bool:
+        """Whether a training-mode forward draws from a per-layer RNG.
+
+        Such layers (active Dropout) make the gradient a function of the
+        layer's RNG *stream position*, not just (weights, batch) — so
+        execution backends that replicate the model into worker processes
+        (sharded) must fall back to in-process gradients to keep the
+        single stream's draw order, exactly like grouped execution does.
+        """
+        return False
+
     def forward_grouped(self, x: np.ndarray) -> np.ndarray:
         """Forward for a grouped input of shape ``(G, batch, *dims)``."""
         raise NotImplementedError(
@@ -366,6 +377,9 @@ class Dropout(Layer):
         # forward consumes the RNG differently than per-group forwards.
         return self.rate == 0.0
 
+    def consumes_forward_rng(self) -> bool:
+        return self.rate > 0.0
+
     def forward_grouped(self, x: np.ndarray) -> np.ndarray:
         self._mask = None
         return x
@@ -498,6 +512,9 @@ class Sequential(Layer):
 
     def supports_grouped_batch(self) -> bool:
         return all(layer.supports_grouped_batch() for layer in self.layers)
+
+    def consumes_forward_rng(self) -> bool:
+        return any(layer.consumes_forward_rng() for layer in self.layers)
 
     def forward_grouped(self, x: np.ndarray) -> np.ndarray:
         for layer in self.layers:

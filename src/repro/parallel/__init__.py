@@ -1,0 +1,29 @@
+"""Parallel execution subsystem: multi-core training and cached sweeps.
+
+Two layers built on the round-engine seam (see ROADMAP.md, "Parallel
+execution & sweeps"):
+
+- :mod:`repro.parallel.sharded` — :class:`ShardedBackend`, an
+  :class:`repro.fl.backends.ExecutionBackend` that partitions clients into
+  per-worker shards and runs the round's gradient phase in a persistent
+  multiprocessing pool (:mod:`repro.parallel.pool`), producing histories
+  bit-identical to the serial reference.
+- :mod:`repro.parallel.sweep` — declarative experiment grids
+  (figure × scale × seed × backend) fanned out over a process pool, with
+  completed runs cached in a content-addressed on-disk store
+  (:mod:`repro.parallel.store`) so re-running a sweep only computes what
+  changed.
+"""
+
+from repro.parallel.sharded import ShardedBackend
+from repro.parallel.store import ResultsStore, content_key
+from repro.parallel.sweep import SweepReport, SweepSpec, run_sweep
+
+__all__ = [
+    "ShardedBackend",
+    "ResultsStore",
+    "content_key",
+    "SweepSpec",
+    "SweepReport",
+    "run_sweep",
+]

@@ -1,0 +1,234 @@
+"""Persistent multiprocessing worker pool for the sharded backend.
+
+A :class:`WorkerPool` owns N long-lived worker processes plus one
+shared-memory buffer holding the flat model weights.  Each round the
+parent writes the synchronized weights ``w(m-1)`` into the buffer once
+(the broadcast), then sends every worker only the ids of the clients it
+should step; workers reply with the computed gradients.  Client state —
+the local dataset with its minibatch RNG — is pickled to its worker
+*once*, on registration, and lives there for the rest of the run, so the
+steady-state per-round traffic is ids out, gradients back.
+
+Workers are grouped into *sessions*: one session per registered model
+(one per trainer/engine).  A worker keeps an independent model replica
+and client shard per session, which makes a single pool safe to reuse
+across the several trainers a figure driver runs back to back — each
+trainer's clients keep their own uninterrupted RNG streams.
+
+Determinism: a worker's dataset copy is the *only* consumer of that
+client's minibatch RNG stream (the parent's copy is never drawn from
+while the pool is in use), and ``FlatModel.gradient`` is a pure function
+of (weights, batch).  Both are therefore bit-identical to the serial
+reference — see :class:`repro.parallel.sharded.ShardedBackend` for the
+full invariant and ``tests/test_engine.py`` for its enforcement.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import traceback
+import weakref
+
+import numpy as np
+
+
+def preferred_start_method() -> str:
+    """``fork`` where available (cheap, COW pages); ``spawn`` otherwise."""
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def default_worker_count() -> int:
+    """Usable CPUs for this process (affinity-aware where supported)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def in_daemon_process() -> bool:
+    """Daemonic processes (e.g. sweep pool workers) cannot fork children."""
+    return mp.current_process().daemon
+
+
+def _worker_main(conn, weights_buf, dimension: int) -> None:
+    """Worker loop: serve gradient requests against per-session state.
+
+    ``weights_buf`` is the shared flat-weight buffer; it is re-read at
+    every ``grads`` request, so the parent's single write per round
+    broadcasts to all workers.
+    """
+    weights = np.frombuffer(weights_buf, dtype=np.float64, count=dimension)
+    models: dict[int, object] = {}
+    # session token -> {client_id: (ClientDataset, batch_size)}
+    shards: dict[int, dict[int, tuple]] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            return
+        try:
+            cmd = msg[0]
+            if cmd == "stop":
+                conn.close()
+                return
+            if cmd == "model":
+                _, token, model, drop_tokens = msg
+                for dead in drop_tokens:
+                    models.pop(dead, None)
+                    shards.pop(dead, None)
+                models[token] = model
+                shards.setdefault(token, {})
+                conn.send(("ok", None))
+            elif cmd == "register":
+                _, token, clients = msg
+                shards.setdefault(token, {}).update(clients)
+                conn.send(("ok", None))
+            elif cmd == "grads":
+                _, token, client_ids, want_batches = msg
+                model = models[token]
+                model.set_weights(weights.copy())
+                out = []
+                for cid in client_ids:
+                    dataset, batch_size = shards[token][cid]
+                    x, y = dataset.minibatch(batch_size)
+                    grad, _ = model.gradient(x, y)
+                    out.append((cid, grad, (x, y) if want_batches else None))
+                conn.send(("ok", out))
+            else:
+                conn.send(("error", f"unknown command {cmd!r}"))
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+
+
+class WorkerPool:
+    """N persistent workers around one shared flat-weight buffer.
+
+    The pool is sized for one model dimension; the sharded backend
+    recreates it if a model of a different dimension shows up.  All
+    methods are synchronous and must be called from the owning process.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        dimension: int,
+        start_method: str | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if dimension < 1:
+            raise ValueError("dimension must be >= 1")
+        ctx = mp.get_context(start_method or preferred_start_method())
+        self.num_workers = num_workers
+        self.dimension = dimension
+        self._weights = ctx.RawArray("d", dimension)
+        self._weights_view = np.frombuffer(self._weights, dtype=np.float64)
+        self._conns = []
+        self._procs = []
+        for _ in range(num_workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, self._weights, dimension),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self._finalizer = weakref.finalize(
+            self, _shutdown, list(self._conns), list(self._procs)
+        )
+
+    # ------------------------------------------------------------------
+    def worker_of(self, client_id: int) -> int:
+        """Stable shard layout: clients assigned round-robin by id."""
+        return client_id % self.num_workers
+
+    def broadcast_model(
+        self, token: int, model, drop_tokens: tuple[int, ...] = ()
+    ) -> None:
+        """Open session ``token`` on every worker with a model replica.
+
+        ``drop_tokens`` names finished sessions (their models were
+        garbage-collected in the parent) whose replicas and shards the
+        workers release first — without this, a driver running many
+        trainers on one pool would grow worker memory per trainer.
+        """
+        for conn in self._conns:
+            conn.send(("model", token, model, drop_tokens))
+        for worker in range(self.num_workers):
+            self._receive(worker)
+
+    def register_clients(self, worker: int, token: int, clients: dict) -> None:
+        """Pickle client shards (dataset + batch size) to one worker, once."""
+        self._conns[worker].send(("register", token, clients))
+        self._receive(worker)
+
+    def compute_gradients(
+        self,
+        token: int,
+        client_ids: list[int],
+        weights: np.ndarray,
+        want_batches: bool = False,
+    ) -> list[tuple[np.ndarray, tuple[np.ndarray, np.ndarray] | None]]:
+        """One parallel gradient phase over ``client_ids`` at ``weights``.
+
+        Returns, in ``client_ids`` order, each client's flat gradient
+        and — only with ``want_batches`` (probe rounds) — the minibatch
+        it was computed on; shipping batches every round would roughly
+        double the steady-state IPC for nothing.
+        """
+        self._weights_view[:] = weights
+        by_worker: dict[int, list[int]] = {}
+        for cid in client_ids:
+            by_worker.setdefault(self.worker_of(cid), []).append(cid)
+        for worker, cids in by_worker.items():
+            self._conns[worker].send(("grads", token, cids, want_batches))
+        results = {}
+        for worker in by_worker:
+            for cid, grad, batch in self._receive(worker):
+                results[cid] = (grad, batch)
+        return [results[cid] for cid in client_ids]
+
+    def _receive(self, worker: int):
+        try:
+            status, payload = self._conns[worker].recv()
+        except EOFError as exc:
+            self.close()
+            raise RuntimeError(
+                f"sharded worker {worker} died unexpectedly"
+            ) from exc
+        if status != "ok":
+            # The request fanned out to several workers; their queued
+            # replies would be mistaken for the *next* request's answers
+            # if this pool were used again.  Tear it down so a caught
+            # error can never turn into silently stale gradients.
+            self.close()
+            raise RuntimeError(f"sharded worker {worker} failed:\n{payload}")
+        return payload
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self._finalizer.alive
+
+    def close(self) -> None:
+        """Stop the workers; idempotent (also runs on garbage collection)."""
+        self._finalizer()
+
+
+def _shutdown(conns, procs) -> None:
+    for conn in conns:
+        try:
+            conn.send(("stop",))
+        except (OSError, ValueError):
+            pass
+    for proc in procs:
+        proc.join(timeout=2.0)
+        if proc.is_alive():  # pragma: no cover - stuck worker
+            proc.terminate()
+            proc.join(timeout=1.0)
+    for conn in conns:
+        conn.close()

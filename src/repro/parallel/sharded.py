@@ -1,0 +1,251 @@
+"""ShardedBackend: the round's gradient phase on a multiprocessing pool.
+
+The round skeleton (:class:`repro.fl.engine.RoundEngine`) stays in the
+parent process and keeps owning *all* client state — residuals, momentum,
+selection/probe RNG.  Only the embarrassingly parallel piece moves out:
+each participant's minibatch draw and gradient computation runs on the
+worker owning that client's shard (:class:`repro.parallel.pool.
+WorkerPool`), with the synchronized weights broadcast through shared
+memory and each client's dataset pickled to its worker exactly once.
+
+Bit-identity with :class:`repro.fl.backends.SerialBackend` holds by
+construction, the same argument as the vectorized backend's:
+
+- per-client RNG streams are disjoint, so executing clients on different
+  workers cannot reorder any stream's draws;
+- a client's minibatch stream has exactly one consumer — the worker-side
+  dataset copy, registered before its first draw (the parent's copy is
+  never drawn from while sharded) — so it yields the serial sequence;
+- ``FlatModel.gradient`` is a deterministic function of (weights, batch)
+  and every worker runs the same NumPy build as the parent;
+- residual accumulation, top-k selection, probe draws and residual reset
+  all run in the parent on the parent's clients, in participant order,
+  exactly as :class:`~repro.fl.backends.SerialBackend` interleaves them.
+
+``tests/test_engine.py`` enforces the invariant across the sparsifier
+matrix (histories, weights, residuals).
+
+When real parallelism is unavailable — one usable core, a daemonic
+parent (nested pools), or a pool that failed to start — the backend
+degrades to the in-process serial path, which is trivially identical.
+The same fallback covers models whose gradient is *not* a pure function
+of (weights, batch) — active Dropout draws per-call RNG, so worker
+replicas could not share the serial model's single stream
+(``FlatModel.deterministic_gradients``).
+"""
+
+from __future__ import annotations
+
+import warnings
+import weakref
+
+import numpy as np
+
+from repro.fl.backends import ExecutionBackend, SerialBackend
+from repro.fl.client import Client
+from repro.nn.flat import FlatModel
+from repro.parallel.pool import (
+    WorkerPool,
+    default_worker_count,
+    in_daemon_process,
+)
+from repro.sparsify.base import ClientUpload, Sparsifier
+
+
+class ShardedBackend(ExecutionBackend):
+    """Execution backend fanning the gradient phase across worker shards.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``None``/``0`` means all usable CPUs.  With
+        ``jobs=1`` no pool is spawned and the backend runs the serial
+        path in process.
+    start_method:
+        Multiprocessing start method override (default: ``fork`` where
+        available).
+
+    Unlike the serial/vectorized backends this one holds resources (the
+    worker pool) and per-trainer RNG continuations (the worker-side
+    dataset copies), so it must not be used again after :meth:`close`,
+    and every trainer fed into it must bring a freshly built federation
+    — the repo-wide convention of the figure drivers and tests.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self, jobs: int | None = None, start_method: str | None = None
+    ) -> None:
+        self.jobs = int(jobs) if jobs else default_worker_count()
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self._start_method = start_method
+        self._pool: WorkerPool | None = None
+        self._serial = SerialBackend()
+        self._closed = False
+        self._warned_fallback = False
+        # model -> session token; dead models just strand a token.
+        self._tokens: "weakref.WeakKeyDictionary[FlatModel, int]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._issued_tokens: set[int] = set()
+        self._next_token = 0
+        # (token, client_id) -> weakref to the registered Client, so a new
+        # trainer's client (same id, new object) re-registers its fresh
+        # dataset while the same client never registers twice.
+        self._registered: dict[tuple[int, int], weakref.ref] = {}
+
+    # ------------------------------------------------------------------
+    # ExecutionBackend interface
+    # ------------------------------------------------------------------
+    def local_steps(
+        self,
+        model: FlatModel,
+        participants: list[Client],
+        k: int,
+        sparsifier: Sparsifier,
+        draw_probes: bool = False,
+    ) -> list[ClientUpload]:
+        grads = self._compute(model, participants, want_batches=draw_probes)
+        for client, grad in zip(participants, grads):
+            client.accumulate_gradient(grad)
+        uploads = [
+            client.select_upload(k, sparsifier) for client in participants
+        ]
+        if draw_probes:
+            for client in participants:
+                client.draw_probe_sample()
+        return uploads
+
+    def compute_gradients(
+        self, model: FlatModel, participants: list[Client]
+    ) -> list[np.ndarray]:
+        return self._compute(model, participants, want_batches=False)
+
+    def _compute(
+        self,
+        model: FlatModel,
+        participants: list[Client],
+        want_batches: bool,
+    ) -> list[np.ndarray]:
+        if self._closed:
+            raise RuntimeError(
+                "ShardedBackend used after close(); worker-side RNG state "
+                "is gone, so resuming would break bit-identity"
+            )
+        if not model.deterministic_gradients():
+            # Active Dropout: the gradient depends on the model's RNG
+            # stream position, which worker replicas cannot share.  Run
+            # in process on the one true model, like the vectorized
+            # backend's fallback — slower, never different.
+            return self._serial.compute_gradients(model, participants)
+        pool = self._ensure_pool(model)
+        if pool is None:
+            return self._serial.compute_gradients(model, participants)
+        token = self._session_token(pool, model)
+        self._register_missing(pool, token, participants)
+        results = pool.compute_gradients(
+            token,
+            [client.client_id for client in participants],
+            model.get_weights(),
+            want_batches=want_batches,
+        )
+        grads = []
+        for client, (grad, batch) in zip(participants, results):
+            if batch is not None:
+                # The worker drew the minibatch; mirror it so probe draws
+                # see the round's batch exactly as under serial execution.
+                client.adopt_minibatch(*batch)
+            grads.append(grad)
+        return grads
+
+    def close(self) -> None:
+        """Shut the worker pool down; the backend is unusable afterwards."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._tokens = weakref.WeakKeyDictionary()
+        self._issued_tokens.clear()
+        self._registered.clear()
+
+    # ------------------------------------------------------------------
+    # Pool/session bookkeeping
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, model: FlatModel) -> WorkerPool | None:
+        """The live pool for this model's dimension, or None to fall back."""
+        if self.jobs <= 1 or in_daemon_process():
+            return None
+        if self._pool is not None and not self._pool.alive:
+            # The pool tore itself down after a worker failure; the
+            # worker-side RNG continuations died with it, so restarting
+            # here would silently diverge from the serial histories.
+            self.close()
+            raise RuntimeError(
+                "ShardedBackend's worker pool died mid-run; restart "
+                "training from a fresh trainer and backend"
+            )
+        if self._pool is not None and self._pool.dimension != model.dimension:
+            # A new engine with a different architecture; earlier sessions
+            # are complete (trainers run back to back), so restart clean.
+            self._pool.close()
+            self._pool = None
+            self._tokens = weakref.WeakKeyDictionary()
+            self._issued_tokens.clear()
+            self._registered.clear()
+        if self._pool is None:
+            try:
+                self._pool = WorkerPool(
+                    self.jobs, model.dimension, self._start_method
+                )
+            except OSError as exc:  # pragma: no cover - resource limits
+                if not self._warned_fallback:
+                    warnings.warn(
+                        "sharded backend could not start its worker pool "
+                        f"({exc}); falling back to serial execution",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    self._warned_fallback = True
+                self.jobs = 1
+                return None
+        return self._pool
+
+    def _session_token(self, pool: WorkerPool, model: FlatModel) -> int:
+        token = self._tokens.get(model)
+        if token is None:
+            token = self._next_token
+            self._next_token += 1
+            self._tokens[model] = token
+            # Sessions whose model died (trainer finished and was
+            # collected) are done for good; have the workers drop their
+            # replicas/shards so memory tracks *live* trainers only.
+            dead = self._issued_tokens - set(self._tokens.values())
+            self._issued_tokens -= dead
+            self._issued_tokens.add(token)
+            if dead:
+                self._registered = {
+                    key: ref
+                    for key, ref in self._registered.items()
+                    if key[0] not in dead
+                }
+            pool.broadcast_model(token, model, drop_tokens=tuple(dead))
+        return token
+
+    def _register_missing(
+        self, pool: WorkerPool, token: int, participants: list[Client]
+    ) -> None:
+        pending: dict[int, dict[int, tuple]] = {}
+        for client in participants:
+            known = self._registered.get((token, client.client_id))
+            if known is not None and known() is client:
+                continue
+            worker = pool.worker_of(client.client_id)
+            pending.setdefault(worker, {})[client.client_id] = (
+                client.dataset,
+                client.batch_size,
+            )
+            self._registered[(token, client.client_id)] = weakref.ref(client)
+        for worker, clients in pending.items():
+            pool.register_clients(worker, token, clients)

@@ -223,13 +223,35 @@ class TestCLI:
         assert code == 0
 
     def test_overrides_applied(self):
-        config = cli._scaled_config("smoke", "fig5")
+        config = cli.scaled_config("smoke", "fig5")
         assert config.with_overrides(num_rounds=7).num_rounds == 7
 
     def test_fig8_uses_cifar(self):
-        config = cli._scaled_config("bench", "fig8")
+        config = cli.scaled_config("bench", "fig8")
         assert config.dataset == "cifar"
 
     def test_unknown_scale(self):
         with pytest.raises(ValueError):
-            cli._scaled_config("galactic", "fig4")
+            cli.scaled_config("galactic", "fig4")
+
+    def test_sweep_command_uses_cache(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--scale", "smoke", "--figures", "fig6",
+            "--rounds", "4", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(tmp_path / "artifacts"),
+        ]
+        assert cli.main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "1 to compute" in cold
+        run_dir = tmp_path / "artifacts" / "fig6_smoke_seed0_serial"
+        restored = load_figure(run_dir / "fig6_k_traces.json")
+        assert set(restored.labels()) == {"algorithm2", "algorithm3"}
+        # The re-run must be served entirely from the results store.
+        assert cli.main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "1 cached, 0 to compute" in warm
+
+    def test_jobs_flag_implies_sharded_backend(self):
+        args = cli.build_parser().parse_args(["fig4", "--jobs", "4"])
+        assert args.jobs == 4 and args.backend is None

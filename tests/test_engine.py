@@ -6,10 +6,12 @@ Three layers of guarantees:
    bit, histories captured from the pre-engine (seed) implementations of
    ``FLTrainer``, ``AdaptiveKTrainer``, ``FedAvgTrainer`` and
    ``AlwaysSendAllTrainer`` (``tests/data/golden_histories.json``).
-2. **Backend equivalence** — ``VectorizedBackend`` produces histories
-   (losses, clocks, uplink/downlink counts, contributions) and final
-   weights *identical* to ``SerialBackend`` across sparsifier families,
-   including the batched-unsupported fallbacks (CNN models, momentum).
+2. **Backend equivalence** — ``VectorizedBackend`` and the
+   multiprocessing ``ShardedBackend`` produce histories (losses, clocks,
+   uplink/downlink counts, contributions) and final weights *identical*
+   to ``SerialBackend`` across sparsifier families (including the
+   quantization-wrapped path), plus the batched-unsupported fallbacks
+   (CNN models, momentum).
 3. **Batched kernels** — ``FlatModel.gradients_batched`` and
    ``top_k_indices_batched`` equal their per-client counterparts exactly.
 """
@@ -24,10 +26,12 @@ from repro.compress.quantization import QuantizedSparsifier, UniformQuantizer
 from repro.data.partition import partition_by_writer, partition_iid
 from repro.data.synthetic import make_femnist_like, make_gaussian_blobs
 from repro.fl.backends import (
+    BACKEND_NAMES,
     SerialBackend,
     VectorizedBackend,
     resolve_backend,
 )
+from repro.parallel.sharded import ShardedBackend
 from repro.fl.fedavg import AlwaysSendAllTrainer, FedAvgTrainer
 from repro.fl.trainer import FLTrainer
 from repro.nn.models import make_cnn, make_logistic, make_mlp
@@ -137,8 +141,23 @@ class TestGoldenHistories:
 
 
 # ----------------------------------------------------------------------
-# Serial vs vectorized backend equivalence
+# Serial vs vectorized vs sharded backend equivalence
 # ----------------------------------------------------------------------
+#: non-reference backends that must match SerialBackend bit for bit
+FAST_BACKENDS = ("vectorized", "sharded")
+
+
+def make_backend(name):
+    """Backend spec under test; sharded forces a real 2-worker pool.
+
+    (``jobs`` defaults to the machine's CPU count, which would silently
+    take the in-process fallback on single-core CI runners.)
+    """
+    if name == "sharded":
+        return ShardedBackend(jobs=2)
+    return name
+
+
 def _federation(num_writers=10, seed=5):
     ds = make_femnist_like(num_writers=num_writers, samples_per_writer=20,
                            num_classes=10, image_size=8, classes_per_writer=4,
@@ -167,28 +186,35 @@ SPARSIFIER_FACTORIES = {
 
 
 class TestBackendEquivalence:
+    @pytest.mark.parametrize("backend_name", FAST_BACKENDS)
     @pytest.mark.parametrize("name", sorted(SPARSIFIER_FACTORIES))
-    def test_fl_histories_identical(self, name):
+    def test_fl_histories_identical(self, name, backend_name):
         factory = SPARSIFIER_FACTORIES[name]
         serial = _fl_trainer("serial", factory)
-        vectorized = _fl_trainer("vectorized", factory)
+        fast = _fl_trainer(make_backend(backend_name), factory)
         hs = serial.run(10, k=15)
-        hv = vectorized.run(10, k=15)
-        assert history_rows(hs) == history_rows(hv)
-        assert contribution_rows(hs) == contribution_rows(hv)
+        hf = fast.run(10, k=15)
+        assert history_rows(hs) == history_rows(hf)
+        assert contribution_rows(hs) == contribution_rows(hf)
         np.testing.assert_array_equal(
-            serial.model.get_weights(), vectorized.model.get_weights()
+            serial.model.get_weights(), fast.model.get_weights()
         )
+        fast.close()
 
-    def test_residuals_identical_after_run(self):
+    @pytest.mark.parametrize("backend_name", FAST_BACKENDS)
+    def test_residuals_identical_after_run(self, backend_name):
         serial = _fl_trainer("serial", SPARSIFIER_FACTORIES["fab-top-k"])
-        vectorized = _fl_trainer("vectorized", SPARSIFIER_FACTORIES["fab-top-k"])
+        fast = _fl_trainer(
+            make_backend(backend_name), SPARSIFIER_FACTORIES["fab-top-k"]
+        )
         serial.run(8, k=12)
-        vectorized.run(8, k=12)
-        for cs, cv in zip(serial.clients, vectorized.clients):
-            np.testing.assert_array_equal(cs.residual, cv.residual)
+        fast.run(8, k=12)
+        for cs, cf in zip(serial.clients, fast.clients):
+            np.testing.assert_array_equal(cs.residual, cf.residual)
+        fast.close()
 
-    def test_adaptive_histories_identical(self):
+    @pytest.mark.parametrize("backend_name", FAST_BACKENDS)
+    def test_adaptive_histories_identical(self, backend_name):
         def build(backend):
             fed = _federation()
             model = make_mlp(64, 10, hidden=(12,), seed=5)
@@ -199,11 +225,14 @@ class TestBackendEquivalence:
             return AdaptiveKTrainer(model, fed, FABTopK(), policy, timing,
                                     learning_rate=0.05, batch_size=8,
                                     eval_every=2, seed=5, backend=backend)
+        fast = build(make_backend(backend_name))
         assert history_rows(build("serial").run(8)) == history_rows(
-            build("vectorized").run(8)
+            fast.run(8)
         )
+        fast.close()
 
-    def test_always_send_all_identical(self):
+    @pytest.mark.parametrize("backend_name", FAST_BACKENDS)
+    def test_always_send_all_identical(self, backend_name):
         def build(backend):
             fed = _federation()
             model = make_mlp(64, 10, hidden=(12,), seed=5)
@@ -211,11 +240,16 @@ class TestBackendEquivalence:
             return AlwaysSendAllTrainer(model, fed, timing, learning_rate=0.05,
                                         batch_size=8, eval_every=2, seed=5,
                                         backend=backend)
+        fast = build(make_backend(backend_name))
         assert history_rows(build("serial").run(5)) == history_rows(
-            build("vectorized").run(5)
+            fast.run(5)
         )
+        fast.close()
 
-    def test_sampler_subset_identical(self):
+    @pytest.mark.parametrize("backend_name", FAST_BACKENDS)
+    def test_sampler_subset_identical(self, backend_name):
+        # Partial participation also exercises the sharded backend's lazy
+        # client registration (clients join the pool on first selection).
         def build(backend):
             fed = _federation()
             model = make_mlp(64, 10, hidden=(12,), seed=5)
@@ -226,23 +260,32 @@ class TestBackendEquivalence:
             return FLTrainer(model, fed, FABTopK(), timing=timing,
                              learning_rate=0.05, batch_size=8, eval_every=3,
                              sampler=sampler, seed=5, backend=backend)
+        fast = build(make_backend(backend_name))
         assert history_rows(build("serial").run(8, k=12)) == history_rows(
-            build("vectorized").run(8, k=12)
+            fast.run(8, k=12)
         )
+        fast.close()
 
-    def test_momentum_fallback_identical(self):
+    @pytest.mark.parametrize("backend_name", FAST_BACKENDS)
+    def test_momentum_fallback_identical(self, backend_name):
         # Momentum masking disables the batched residual reset; the
-        # vectorized backend must fall back without changing results.
+        # vectorized backend must fall back without changing results
+        # (momentum state stays in the parent under sharding anyway).
         factory = SPARSIFIER_FACTORIES["fab-top-k"]
         serial = _fl_trainer("serial", factory, momentum_correction=0.5)
-        vectorized = _fl_trainer("vectorized", factory, momentum_correction=0.5)
-        assert history_rows(serial.run(8, k=12)) == history_rows(
-            vectorized.run(8, k=12)
+        fast = _fl_trainer(
+            make_backend(backend_name), factory, momentum_correction=0.5
         )
+        assert history_rows(serial.run(8, k=12)) == history_rows(
+            fast.run(8, k=12)
+        )
+        fast.close()
 
-    def test_cnn_model_falls_back_and_matches(self):
+    @pytest.mark.parametrize("backend_name", FAST_BACKENDS)
+    def test_cnn_model_falls_back_and_matches(self, backend_name):
         # Conv layers have no grouped-batch support; the vectorized
-        # backend must quietly use per-client gradients instead.
+        # backend must quietly use per-client gradients instead (the
+        # sharded workers call per-client model.gradient regardless).
         def build(backend):
             ds = make_femnist_like(num_writers=6, samples_per_writer=12,
                                    num_classes=6, image_size=8,
@@ -254,10 +297,12 @@ class TestBackendEquivalence:
             return FLTrainer(model, fed, FABTopK(), timing=timing,
                              learning_rate=0.05, batch_size=6, eval_every=2,
                              seed=5, backend=backend)
-        assert not build("vectorized").model.supports_batched_gradients()
+        fast = build(make_backend(backend_name))
+        assert not fast.model.supports_batched_gradients()
         assert history_rows(build("serial").run(3, k=20)) == history_rows(
-            build("vectorized").run(3, k=20)
+            fast.run(3, k=20)
         )
+        fast.close()
 
 
 # ----------------------------------------------------------------------
@@ -375,21 +420,50 @@ class TestEngineBehaviour:
         assert resolve_backend(None).name == "serial"
         assert resolve_backend("serial").name == "serial"
         assert resolve_backend("vectorized").name == "vectorized"
+        sharded = resolve_backend("sharded")
+        assert sharded.name == "sharded"
+        sharded.close()
         backend = VectorizedBackend()
         assert resolve_backend(backend) is backend
-        with pytest.raises(ValueError, match="unknown backend"):
-            resolve_backend("warp-drive")
+
+    @pytest.mark.parametrize("bogus", ["warp-drive", "", "Serial"])
+    def test_resolve_backend_rejects_unknown_names(self, bogus):
+        # The error must name every valid backend so a bad --backend or
+        # config value is self-diagnosing.
+        with pytest.raises(ValueError, match="unknown backend") as excinfo:
+            resolve_backend(bogus)
+        for name in BACKEND_NAMES:
+            assert name in str(excinfo.value)
 
     def test_config_validates_backend(self):
         from repro.experiments.config import ExperimentConfig
 
         config = ExperimentConfig.smoke().with_overrides(backend="vectorized")
         assert config.backend == "vectorized"
+        assert ExperimentConfig.smoke().with_overrides(
+            backend="sharded", jobs=2
+        ).jobs == 2
         with pytest.raises(ValueError, match="backend"):
             ExperimentConfig.smoke().with_overrides(backend="bogus")
+        with pytest.raises(ValueError, match="jobs"):
+            ExperimentConfig.smoke().with_overrides(jobs=-1)
 
-    def test_cli_exposes_backend_flag(self):
+    def test_cli_exposes_backend_flags(self):
         from repro.cli import build_parser
 
         args = build_parser().parse_args(["fig4", "--backend", "vectorized"])
         assert args.backend == "vectorized"
+        args = build_parser().parse_args(
+            ["fig4", "--backend", "sharded", "--jobs", "4"]
+        )
+        assert args.backend == "sharded" and args.jobs == 4
+
+    def test_engine_close_shuts_backend_down(self):
+        backend = ShardedBackend(jobs=2)
+        trainer = _fl_trainer(backend, SPARSIFIER_FACTORIES["fab-top-k"])
+        trainer.run(2, k=12)
+        assert backend._pool is not None and backend._pool.alive
+        trainer.close()
+        assert backend._pool is None
+        with pytest.raises(RuntimeError, match="close"):
+            trainer.step(12)

@@ -1,0 +1,416 @@
+"""Parallel subsystem tests: worker pool, sharded backend, store, sweep.
+
+Backend *equivalence* (sharded == serial bit for bit across the
+sparsifier matrix) lives in ``tests/test_engine.py``; this file covers
+the subsystem's own machinery — pool protocol and failure modes, session
+bookkeeping, the content-addressed results store, and the sweep
+orchestrator's expand/cache/fan-out behaviour.
+"""
+
+import copy
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.partition import partition_by_writer
+from repro.data.synthetic import make_femnist_like
+from repro.experiments.config import ExperimentConfig, scaled_config
+from repro.fl.trainer import FLTrainer
+from repro.nn.flat import FlatModel
+from repro.nn.layers import Dropout, Linear, ReLU, Sequential
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.models import make_logistic, make_mlp
+from repro.parallel.pool import WorkerPool, default_worker_count
+from repro.parallel.sharded import ShardedBackend
+from repro.parallel.store import ResultsStore, canonical_json, content_key
+from repro.parallel.sweep import (
+    SWEEP_FIGURES,
+    SweepSpec,
+    collect_artifacts,
+    expand,
+    run_sweep,
+)
+from repro.simulation.timing import TimingModel
+from repro.sparsify.fab_topk import FABTopK
+
+
+def _federation(num_writers=6, seed=3):
+    ds = make_femnist_like(num_writers=num_writers, samples_per_writer=15,
+                           num_classes=8, image_size=6, classes_per_writer=3,
+                           seed=seed)
+    return partition_by_writer(ds, seed=seed)
+
+
+def _trainer(backend, seed=3):
+    fed = _federation(seed=seed)
+    model = make_mlp(36, 8, hidden=(10,), seed=seed)
+    timing = TimingModel(dimension=model.dimension, comm_time=10.0)
+    return FLTrainer(model, fed, FABTopK(), timing=timing, learning_rate=0.05,
+                     batch_size=8, eval_every=3, seed=seed, backend=backend)
+
+
+# ----------------------------------------------------------------------
+# WorkerPool
+# ----------------------------------------------------------------------
+class TestWorkerPool:
+    def test_round_robin_shard_layout(self):
+        pool = WorkerPool(num_workers=3, dimension=4)
+        try:
+            assert [pool.worker_of(cid) for cid in range(7)] == \
+                [0, 1, 2, 0, 1, 2, 0]
+        finally:
+            pool.close()
+
+    def test_gradients_match_in_process_reference(self):
+        fed = _federation()
+        model = make_logistic(36, 8, seed=1)
+        # Reference copies BEFORE registration pickles the live datasets:
+        # both sides then consume identical RNG streams.
+        reference = copy.deepcopy(fed)
+        pool = WorkerPool(num_workers=2, dimension=model.dimension)
+        try:
+            pool.broadcast_model(0, model)
+            for shard in fed.clients:  # federation shards ARE the datasets
+                pool.register_clients(
+                    pool.worker_of(shard.client_id), 0,
+                    {shard.client_id: (shard, 8)},
+                )
+            weights = model.get_weights()
+            ids = [c.client_id for c in fed.clients]
+            for _ in range(2):  # streams must stay aligned across rounds
+                results = pool.compute_gradients(
+                    0, ids, weights, want_batches=True
+                )
+                for shard, (grad, (x, y)) in zip(reference.clients, results):
+                    rx, ry = shard.minibatch(8)
+                    np.testing.assert_array_equal(rx, x)
+                    np.testing.assert_array_equal(ry, y)
+                    np.testing.assert_array_equal(
+                        grad, model.gradient(rx, ry)[0]
+                    )
+            # Batches are only shipped on probe rounds; the steady state
+            # returns gradients alone.
+            (_, batch), = pool.compute_gradients(0, ids[:1], weights)
+            assert batch is None
+        finally:
+            pool.close()
+
+    def test_broadcast_weights_reach_workers(self):
+        model = make_logistic(4, 3, seed=0)  # 2x2 images below
+        pool = WorkerPool(num_workers=2, dimension=model.dimension)
+        try:
+            pool.broadcast_model(0, model)
+            fed = make_femnist_like(num_writers=2, samples_per_writer=10,
+                                    num_classes=3, image_size=2,
+                                    classes_per_writer=2, seed=0)
+            parts = partition_by_writer(fed, seed=0)
+            shard = parts.clients[0]
+            pool.register_clients(0, 0, {0: (shard, 4)})
+            zeros = np.zeros(model.dimension)
+            (grad_zero, batch), = pool.compute_gradients(
+                0, [0], zeros, want_batches=True
+            )
+            # Same batch at different broadcast weights must change the
+            # gradient: proof the worker reads the shared buffer, not a
+            # stale model pickle.
+            ones = np.full(model.dimension, 0.5)
+            (grad_half, _), = pool.compute_gradients(0, [0], ones)
+            model.set_weights(zeros)
+            np.testing.assert_array_equal(
+                grad_zero, model.gradient(*batch)[0]
+            )
+            assert not np.array_equal(grad_zero, grad_half)
+        finally:
+            pool.close()
+
+    def test_worker_error_propagates_and_poisons_pool(self):
+        model = make_logistic(4, 2, seed=0)
+        pool = WorkerPool(num_workers=1, dimension=model.dimension)
+        try:
+            pool.broadcast_model(0, model)
+            with pytest.raises(RuntimeError, match="KeyError"):
+                pool.compute_gradients(0, [99], model.get_weights())
+            # Other workers' queued replies would desync the protocol, so
+            # a failed request tears the whole pool down.
+            assert not pool.alive
+        finally:
+            pool.close()
+
+    def test_backend_refuses_to_restart_a_dead_pool(self):
+        backend = ShardedBackend(jobs=2)
+        trainer = _trainer(backend)
+        trainer.run(2, k=8)
+        backend._pool.close()  # simulate a mid-run pool death
+        with pytest.raises(RuntimeError, match="died mid-run"):
+            trainer.step(8)
+        # ...and the backend stays poisoned afterwards.
+        with pytest.raises(RuntimeError, match="close"):
+            trainer.step(8)
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(num_workers=2, dimension=4)
+        assert pool.alive
+        pool.close()
+        assert not pool.alive
+        pool.close()
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            WorkerPool(num_workers=0, dimension=4)
+        with pytest.raises(ValueError):
+            WorkerPool(num_workers=1, dimension=0)
+
+
+# ----------------------------------------------------------------------
+# ShardedBackend bookkeeping (equivalence is in test_engine.py)
+# ----------------------------------------------------------------------
+class TestShardedBackend:
+    def test_single_job_runs_in_process(self):
+        backend = ShardedBackend(jobs=1)
+        trainer = _trainer(backend)
+        trainer.run(3, k=8)
+        assert backend._pool is None  # serial fallback, no processes
+        reference = _trainer("serial")
+        reference.run(3, k=8)
+        np.testing.assert_array_equal(
+            trainer.model.get_weights(), reference.model.get_weights()
+        )
+
+    def test_default_jobs_follow_cpu_count(self):
+        assert ShardedBackend().jobs == default_worker_count()
+        assert ShardedBackend(jobs=0).jobs == default_worker_count()
+        with pytest.raises(ValueError):
+            ShardedBackend(jobs=-2)
+
+    def test_backend_reuse_across_sequential_trainers(self):
+        # The figure-driver pattern: one backend, several trainers back
+        # to back, each with a fresh federation; sessions keep every
+        # trainer bit-identical to its serial twin.
+        backend = ShardedBackend(jobs=2)
+        try:
+            for seed in (3, 4):
+                fast = _trainer(backend, seed=seed)
+                slow = _trainer("serial", seed=seed)
+                fast.run(4, k=8)
+                slow.run(4, k=8)
+                np.testing.assert_array_equal(
+                    fast.model.get_weights(), slow.model.get_weights()
+                )
+        finally:
+            backend.close()
+
+    def test_dropout_model_falls_back_and_stays_identical(self):
+        # Active Dropout draws per-forward RNG, so the gradient depends
+        # on the model's stream position; worker replicas cannot share
+        # that stream.  The backend must run such models in process —
+        # and stay bit-identical to serial (this diverged before the
+        # deterministic_gradients guard existed).
+        def build(backend, seed=3):
+            rng = np.random.default_rng(seed)
+            model = FlatModel(Sequential([
+                Linear(36, 10, rng), ReLU(), Dropout(0.3, seed=seed),
+                Linear(10, 8, rng),
+            ]), SoftmaxCrossEntropy())
+            assert not model.deterministic_gradients()
+            fed = _federation(seed=seed)
+            timing = TimingModel(dimension=model.dimension, comm_time=10.0)
+            return FLTrainer(model, fed, FABTopK(), timing=timing,
+                             learning_rate=0.05, batch_size=8, eval_every=3,
+                             seed=seed, backend=backend)
+        backend = ShardedBackend(jobs=2)
+        try:
+            fast = build(backend)
+            slow = build("serial")
+            fast.run(4, k=8)
+            slow.run(4, k=8)
+            assert backend._pool is None  # in-process fallback, no pool
+            np.testing.assert_array_equal(
+                fast.model.get_weights(), slow.model.get_weights()
+            )
+        finally:
+            backend.close()
+
+    def test_finished_sessions_are_dropped(self):
+        # A driver runs many trainers on one backend; sessions of
+        # collected trainers must be released, not accumulated.
+        import gc
+
+        backend = ShardedBackend(jobs=2)
+        try:
+            first = _trainer(backend, seed=3)
+            first.run(2, k=8)
+            assert backend._issued_tokens == {0}
+            del first
+            gc.collect()
+            second = _trainer(backend, seed=4)
+            second.run(2, k=8)
+            assert backend._issued_tokens == {1}
+            assert {key[0] for key in backend._registered} == {1}
+        finally:
+            backend.close()
+
+    def test_pool_restarts_on_dimension_change(self):
+        backend = ShardedBackend(jobs=2)
+        try:
+            trainer = _trainer(backend)
+            trainer.run(2, k=8)
+            first_pool = backend._pool
+            assert first_pool is not None and first_pool.alive
+
+            fed = _federation(seed=6)
+            model = make_logistic(36, 8, seed=6)  # different dimension
+            timing = TimingModel(dimension=model.dimension, comm_time=10.0)
+            other = FLTrainer(model, fed, FABTopK(), timing=timing,
+                              learning_rate=0.05, batch_size=8, eval_every=3,
+                              seed=6, backend=backend)
+            other.run(2, k=8)
+            assert backend._pool is not first_pool
+            assert not first_pool.alive
+        finally:
+            backend.close()
+
+    def test_use_after_close_raises(self):
+        backend = ShardedBackend(jobs=2)
+        trainer = _trainer(backend)
+        trainer.run(2, k=8)
+        backend.close()
+        with pytest.raises(RuntimeError, match="close"):
+            trainer.step(8)
+
+
+# ----------------------------------------------------------------------
+# ResultsStore
+# ----------------------------------------------------------------------
+class TestResultsStore:
+    def test_key_ignores_field_order_but_not_values(self):
+        a = content_key({"figure": "fig4", "seed": 0})
+        b = content_key({"seed": 0, "figure": "fig4"})
+        c = content_key({"figure": "fig4", "seed": 1})
+        assert a == b
+        assert a != c
+        assert len(a) == 64 and int(a, 16) >= 0
+
+    def test_canonical_json_is_deterministic(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_roundtrip_and_missing(self, tmp_path):
+        store = ResultsStore(tmp_path / "cache")
+        key = content_key({"x": 1})
+        assert store.load(key) is None
+        assert key not in store
+        payload = {"artifacts": {"fig": {"series": []}}, "seconds": 1.5}
+        path = store.store(key, payload)
+        assert path.exists()
+        assert key in store
+        assert store.load(key) == payload
+        assert store.keys() == [key]
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        key = content_key({"x": 2})
+        store.store(key, {"ok": True})
+        store.path_for(key).write_text('{"truncated": ')
+        assert store.load(key) is None
+
+    def test_config_key_covers_backend_and_seed(self):
+        base = scaled_config("smoke")
+
+        def key(config):
+            return content_key({"figure": "fig4", "config": config.to_dict()})
+
+        assert key(base) == key(base.with_overrides())
+        assert key(base) != key(base.with_overrides(seed=1))
+        assert key(base) != key(base.with_overrides(backend="vectorized"))
+
+
+# ----------------------------------------------------------------------
+# ExperimentConfig serialization (sweep dispatch format)
+# ----------------------------------------------------------------------
+class TestConfigSerialization:
+    def test_dict_roundtrip_through_json(self):
+        config = scaled_config("bench").with_overrides(
+            backend="sharded", jobs=2, seed=7, hidden=(16, 8)
+        )
+        rebuilt = ExperimentConfig.from_dict(
+            json.loads(json.dumps(config.to_dict()))
+        )
+        assert rebuilt == config
+        assert rebuilt.hidden == (16, 8)
+
+    def test_from_dict_validates(self):
+        data = scaled_config("smoke").to_dict()
+        data["backend"] = "bogus"
+        with pytest.raises(ValueError, match="backend"):
+            ExperimentConfig.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Sweep orchestrator
+# ----------------------------------------------------------------------
+class TestSweep:
+    def test_expand_is_the_full_grid(self):
+        spec = SweepSpec(figures=("fig1", "fig6"), scales=("smoke", "bench"),
+                         seeds=(0, 1), backends=("serial", "vectorized"),
+                         rounds=9)
+        units = expand(spec)
+        assert len(units) == 16
+        assert len({unit.key() for unit in units}) == 16
+        assert len({unit.run_id for unit in units}) == 16
+        assert all(unit.config.num_rounds == 9 for unit in units)
+
+    def test_expand_threads_sharded_jobs(self):
+        spec = SweepSpec(figures=("fig1",), scales=("smoke",),
+                         backends=("sharded",), jobs_per_run=3)
+        (unit,) = expand(spec)
+        assert unit.config.backend == "sharded"
+        assert unit.config.jobs == 3
+
+    def test_spec_validates_axes(self):
+        with pytest.raises(ValueError, match="figure"):
+            SweepSpec(figures=("fig99",))
+        with pytest.raises(ValueError, match="scale"):
+            SweepSpec(scales=("huge",))
+        with pytest.raises(ValueError, match="backend"):
+            SweepSpec(backends=("gpu",))
+
+    def test_collect_artifacts_rejects_unknown_figure(self):
+        with pytest.raises(ValueError, match="unknown figure"):
+            collect_artifacts("fig99", scaled_config("smoke"))
+
+    def test_run_sweep_caches_and_reexports(self, tmp_path):
+        spec = SweepSpec(figures=("fig6",), scales=("smoke",), rounds=4)
+        cache = tmp_path / "cache"
+        out = tmp_path / "out"
+        cold = run_sweep(spec, cache_dir=cache, out=out, jobs=1)
+        assert (cold.computed, cold.cached) == (1, 0)
+        artifact = out / "fig6_smoke_seed0_serial" / "fig6_k_traces.json"
+        assert artifact.exists()
+
+        artifact.unlink()
+        warm = run_sweep(spec, cache_dir=cache, out=out, jobs=1)
+        assert (warm.computed, warm.cached) == (0, 1)
+        assert artifact.exists()  # re-exported from the store
+
+        forced = run_sweep(spec, cache_dir=cache, jobs=1, force=True)
+        assert (forced.computed, forced.cached) == (1, 0)
+
+    def test_run_sweep_pool_matches_inline(self, tmp_path):
+        spec = SweepSpec(figures=("fig1", "fig6"), scales=("smoke",),
+                         rounds=3)
+        inline = run_sweep(spec, cache_dir=tmp_path / "inline", jobs=1)
+        pooled = run_sweep(spec, cache_dir=tmp_path / "pooled", jobs=2)
+        assert inline.computed == pooled.computed == 2
+        inline_store = ResultsStore(tmp_path / "inline")
+        pooled_store = ResultsStore(tmp_path / "pooled")
+        assert inline_store.keys() == pooled_store.keys()
+        for key in inline_store.keys():
+            assert (
+                inline_store.load(key)["artifacts"]
+                == pooled_store.load(key)["artifacts"]
+            )
+
+    def test_sweep_figures_match_cli_figures(self):
+        from repro.cli import FIGURES
+
+        assert SWEEP_FIGURES == FIGURES
