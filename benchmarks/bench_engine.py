@@ -2,9 +2,11 @@
 
 Measures whole-round throughput (rounds/second) of the shared
 :class:`repro.fl.engine.RoundEngine` under both execution backends at
-N ∈ {24, 96} clients — the hot path every experiment driver runs.  The
-two backends produce bit-identical histories (tests/test_engine.py), so
-this benchmark is purely about wall-clock.
+N ∈ {24, 96} clients — the hot path every experiment driver runs — for
+both model families: the MLP preset and a fig6-style CNN scenario
+(conv-pool-conv-pool-dense-dense) exercising the grouped im2col
+Conv2D/MaxPool2D pass.  The two backends produce bit-identical histories
+(tests/test_engine.py), so this benchmark is purely about wall-clock.
 
 Run under the benchmark harness::
 
@@ -27,27 +29,43 @@ from _hostmeta import host_metadata
 from repro.data.partition import partition_by_writer
 from repro.data.synthetic import make_femnist_like
 from repro.fl.trainer import FLTrainer
-from repro.nn.models import make_mlp
+from repro.nn.models import make_cnn, make_mlp
 from repro.simulation.timing import TimingModel
 from repro.sparsify.fab_topk import FABTopK
 
 CLIENT_COUNTS = (24, 96)
 BACKENDS = ("serial", "vectorized")
 MEASURE_ROUNDS = 60
+#: (model, num_clients, measured rounds) — CNN rounds are heavier, so
+#: fewer of them keep the standalone run quick.
+SCENARIOS = (
+    ("mlp", 24, MEASURE_ROUNDS),
+    ("mlp", 96, MEASURE_ROUNDS),
+    ("cnn", 24, 20),
+)
 BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
-def build_trainer(num_clients: int, backend: str) -> FLTrainer:
-    """Benchmark-scale federation (D ≈ 1.9k, the bench preset's model)."""
+def build_trainer(num_clients: int, backend: str, model: str = "mlp") -> FLTrainer:
+    """Benchmark-scale federation: MLP preset (D ≈ 1.9k) or fig6-style CNN.
+
+    The CNN scenario keeps images in (C, H, W) layout so the grouped
+    Conv2D/MaxPool2D im2col pass is what the vectorized backend runs.
+    """
     ds = make_femnist_like(
         num_writers=num_clients, samples_per_writer=25, num_classes=16,
-        image_size=10, classes_per_writer=5, seed=0,
+        image_size=10 if model == "mlp" else 8, classes_per_writer=5,
+        flatten=model == "mlp", seed=0,
     )
     federation = partition_by_writer(ds, seed=0)
-    model = make_mlp(100, 16, hidden=(16,), seed=0)
-    timing = TimingModel(dimension=model.dimension, comm_time=10.0)
+    if model == "cnn":
+        net = make_cnn(image_size=8, channels=1, num_classes=16,
+                       conv_channels=(4, 8), dense_width=16, seed=0)
+    else:
+        net = make_mlp(100, 16, hidden=(16,), seed=0)
+    timing = TimingModel(dimension=net.dimension, comm_time=10.0)
     return FLTrainer(
-        model, federation, FABTopK(), timing=timing, learning_rate=0.05,
+        net, federation, FABTopK(), timing=timing, learning_rate=0.05,
         batch_size=16, eval_every=1_000_000, seed=0, backend=backend,
     )
 
@@ -58,10 +76,11 @@ def round_k(trainer: FLTrainer, num_clients: int) -> int:
 
 
 def measure_rounds_per_second(num_clients: int, backend: str,
+                              model: str = "mlp",
                               rounds: int = MEASURE_ROUNDS,
                               repeats: int = 3) -> float:
     """Best-of-``repeats`` throughput (minimum wall time resists noise)."""
-    trainer = build_trainer(num_clients, backend)
+    trainer = build_trainer(num_clients, backend, model)
     k = round_k(trainer, num_clients)
     trainer.step(k)  # warmup (round 1 always evaluates)
     best = float("inf")
@@ -73,21 +92,26 @@ def measure_rounds_per_second(num_clients: int, backend: str,
     return rounds / best
 
 
-@pytest.mark.parametrize("num_clients", CLIENT_COUNTS)
+#: pytest grids derive from SCENARIOS so the standalone run and the
+#: benchmark-harness tests always cover the same scenarios.
+SCENARIO_GRID = [(m, n) for m, n, _ in SCENARIOS]
+
+
+@pytest.mark.parametrize("model,num_clients", SCENARIO_GRID)
 @pytest.mark.parametrize("backend", BACKENDS)
-def test_engine_round_throughput(benchmark, num_clients, backend):
-    trainer = build_trainer(num_clients, backend)
+def test_engine_round_throughput(benchmark, model, num_clients, backend):
+    trainer = build_trainer(num_clients, backend, model)
     k = round_k(trainer, num_clients)
     trainer.step(k)  # warmup
     benchmark(trainer.step, k)
 
 
-@pytest.mark.parametrize("num_clients", CLIENT_COUNTS)
-def test_backends_agree_at_scale(num_clients):
+@pytest.mark.parametrize("model,num_clients", SCENARIO_GRID)
+def test_backends_agree_at_scale(model, num_clients):
     """The throughput comparison is only meaningful if results match."""
     histories = {}
     for backend in BACKENDS:
-        trainer = build_trainer(num_clients, backend)
+        trainer = build_trainer(num_clients, backend, model)
         histories[backend] = trainer.run(3, k=round_k(trainer, num_clients))
     serial, vectorized = (histories[b] for b in BACKENDS)
     assert [r.cumulative_time for r in serial] == \
@@ -98,19 +122,24 @@ def test_backends_agree_at_scale(num_clients):
 def main() -> None:
     # Host metadata makes the perf trajectory across PRs interpretable:
     # rounds/sec entries from different machines must not be compared raw.
-    report = {"host": host_metadata(), "rounds": MEASURE_ROUNDS, "results": []}
-    for num_clients in CLIENT_COUNTS:
+    # The measured round count is per scenario (CNN rounds are heavier).
+    report = {"host": host_metadata(), "results": []}
+    for model, num_clients, rounds in SCENARIOS:
         rates = {}
         for backend in BACKENDS:
-            rates[backend] = measure_rounds_per_second(num_clients, backend)
+            rates[backend] = measure_rounds_per_second(
+                num_clients, backend, model, rounds=rounds
+            )
         speedup = rates["vectorized"] / rates["serial"]
         report["results"].append({
+            "model": model,
             "num_clients": num_clients,
+            "rounds": rounds,
             "rounds_per_second": {b: round(r, 2) for b, r in rates.items()},
             "vectorized_speedup": round(speedup, 3),
         })
         print(
-            f"N={num_clients:3d}: serial {rates['serial']:7.1f} r/s | "
+            f"{model} N={num_clients:3d}: serial {rates['serial']:7.1f} r/s | "
             f"vectorized {rates['vectorized']:7.1f} r/s | "
             f"speedup {speedup:.2f}x"
         )

@@ -141,12 +141,15 @@ class QuantizedSparsifier(Sparsifier):
 
     def _quantize_upload(self, upload: ClientUpload) -> ClientUpload:
         encoded = self.quantizer.encode(upload.payload.values)
+        # The index row comes from an already-validated payload (sorted,
+        # unique, in range), so the rewrapped upload takes the trusted
+        # constructor instead of re-validating every round.
         return ClientUpload(
             client_id=upload.client_id,
-            payload=SparseVector(
-                indices=upload.payload.indices,
-                values=encoded.decode(),
-                dimension=upload.payload.dimension,
+            payload=SparseVector.from_sorted(
+                upload.payload.indices,
+                encoded.decode(),
+                upload.payload.dimension,
             ),
             sample_count=upload.sample_count,
         )

@@ -136,10 +136,11 @@ class VectorizedBackend(ExecutionBackend):
 
     Minibatches are drawn per client (their RNG streams must match the
     serial backend), then grouped by batch size and pushed through
-    ``FlatModel.gradients_batched``; top-k client selection runs once on
-    the stacked residual matrix.  Models without grouped-batch support
-    (CNNs, active dropout) and sparsifiers without batched selection fall
-    back to the equivalent per-client calls.
+    ``FlatModel.gradients_batched`` — MLPs and CNNs alike (conv/pool run
+    grouped im2col passes); top-k client selection runs once on the
+    stacked residual matrix.  Models without grouped-batch support
+    (active Dropout, training-mode BatchNorm) and sparsifiers without
+    batched selection fall back to the equivalent per-client calls.
     """
 
     name = "vectorized"

@@ -110,10 +110,20 @@ class Client:
             self.residual += grad
 
     def select_upload(self, k: int, sparsifier: Sparsifier) -> ClientUpload:
-        """Run the sparsifier's client selection and package the upload."""
+        """Run the sparsifier's client selection and package the upload.
+
+        Selections are unique and in-range by the sparsifier contract and
+        sorted here, so the payload takes the trusted
+        :meth:`SparseVector.from_sorted` constructor instead of paying a
+        re-sort/duplicate scan on every upload.
+        """
         indices = sparsifier.client_select(self.residual, k, self._rng)
         self._last_upload_indices = np.sort(np.asarray(indices, dtype=np.int64))
-        payload = SparseVector.from_dense(self.residual, self._last_upload_indices)
+        payload = SparseVector.from_sorted(
+            self._last_upload_indices,
+            self.residual[self._last_upload_indices],
+            self.dimension,
+        )
         return ClientUpload(
             client_id=self.client_id,
             payload=payload,

@@ -75,7 +75,10 @@ class Server:
                 np.add.at(
                     values, pos_clipped[hits], weight * up.payload.values[hits]
                 )
-        payload = SparseVector(
-            indices=selected, values=values, dimension=self.dimension
+        # ``selected`` is sorted unique int64 (SelectionResult invariant)
+        # and ``values`` is freshly computed float64: take the trusted
+        # constructor, skipping a per-round re-sort/duplicate scan.
+        payload = SparseVector.from_sorted(
+            selected, values, self.dimension
         )
         return DownlinkMessage(payload=payload)

@@ -97,6 +97,9 @@ class FlatModel:
 
         True when every layer processes samples independently and consumes
         no per-call RNG (no training-mode BatchNorm, no active Dropout).
+        The whole experiment model zoo qualifies: dense layers run one
+        batched gemm per layer, and Conv2D/MaxPool2D run grouped im2col
+        passes whose per-group slices are the exact serial calls.
         """
         return self.network.supports_grouped_batch()
 
@@ -121,7 +124,9 @@ class FlatModel:
         Returns an array of shape ``(groups, dimension)`` whose row ``g``
         equals ``self.gradient(xs[g], ys[g])[0]``, but the network runs a
         single stacked pass: the O(groups) Python loop over clients
-        collapses into batched NumPy/BLAS work.
+        collapses into batched NumPy/BLAS work.  Image minibatches stack
+        to ``(groups, batch, C, H, W)`` and flow through the conv/pool
+        grouped passes, so CNN configs take this path too.
 
         The loss gradient is still taken per group (each group's loss is
         the *mean* over its own batch), and parameterized layers reduce

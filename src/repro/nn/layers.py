@@ -14,11 +14,17 @@ Design notes
 - ``forward`` stores whatever the matching ``backward`` needs on ``self``.
   A layer instance therefore processes one batch at a time, which matches
   the synchronous FL simulation (one client's minibatch per call).
-- Convolution is implemented with im2col so the inner loop is a single
-  matrix multiplication.
+- Convolution is batched-gemm on *both* execution paths: the serial
+  forward/backward and the grouped multi-client pass each expand inputs
+  with im2col and run one (batched) matrix multiplication, and the input
+  gradient comes back through the same vectorized ``_col2im`` scatter-add
+  — per-sample contribution order is identical in every path, so serial
+  and grouped convolutions are bit-identical, not merely close.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 
@@ -413,13 +419,10 @@ class Conv2D(Layer):
         self.grads = [np.zeros_like(w), np.zeros_like(b)]
         self._cols: np.ndarray | None = None
         self._x_shape: tuple[int, ...] | None = None
+        self._cols3: np.ndarray | None = None
+        self._gx_shape: tuple[int, ...] | None = None
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        if x.ndim != 4 or x.shape[1] != self.in_channels:
-            raise ValueError(
-                f"Conv2D expected (batch, {self.in_channels}, H, W), got {x.shape}"
-            )
-        n, _, h, w_in = x.shape
+    def _output_hw(self, h: int, w_in: int) -> tuple[int, int]:
         k, p = self.kernel_size, self.padding
         h_out = h + 2 * p - k + 1
         w_out = w_in + 2 * p - k + 1
@@ -427,9 +430,22 @@ class Conv2D(Layer):
             raise ValueError(
                 f"kernel {k} with padding {p} too large for input {h}x{w_in}"
             )
-        cols = _im2col(x, k, p)  # (n*h_out*w_out, c*k*k)
-        self._cols = cols
+        return h_out, w_out
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expected (batch, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n, _, h, w_in = x.shape
+        h_out, w_out = self._output_hw(h, w_in)
+        cols = _im2col(x, self.kernel_size, self.padding)  # (n*h_out*w_out, c*k*k)
+        # Cache for backward only while training: evaluation forwards run
+        # over whole eval pools, and pinning a pool-sized im2col buffer
+        # until the next forward would dwarf any minibatch-sized leak.
+        self._cols = cols if self.training else None
         self._x_shape = x.shape
+        self._cols3 = None  # invalidate any stale grouped cache
         w_mat = self.params[0].reshape(self.out_channels, -1)  # (out, c*k*k)
         out = cols @ w_mat.T + self.params[1]
         return out.reshape(n, h_out, w_out, self.out_channels).transpose(0, 3, 1, 2)
@@ -445,7 +461,67 @@ class Conv2D(Layer):
         self.grads[1][...] = g.sum(axis=0)
         w_mat = self.params[0].reshape(self.out_channels, -1)
         grad_cols = g @ w_mat  # (n*h_out*w_out, c*k*k)
+        # Drop the im2col buffer: it holds n·H·W·C·k² floats, and keeping
+        # it would pin that much memory per client between rounds.
+        self._cols = None
         return _col2im(grad_cols, (n, c, h, w_in), k, p)
+
+    def supports_grouped_batch(self) -> bool:
+        return True
+
+    def forward_grouped(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 5 or x.shape[2] != self.in_channels:
+            raise ValueError(
+                f"grouped Conv2D expected (groups, batch, {self.in_channels}, "
+                f"H, W), got {x.shape}"
+            )
+        groups, n, c, h, w_in = x.shape
+        h_out, w_out = self._output_hw(h, w_in)
+        # im2col is per-sample work, so the group axis folds into the
+        # batch; the gemm below must NOT fold it (see comment there).
+        cols = _im2col(
+            x.reshape(groups * n, c, h, w_in), self.kernel_size, self.padding
+        )
+        cols3 = cols.reshape(groups, n * h_out * w_out, -1)
+        self._cols3 = cols3 if self.training else None
+        self._gx_shape = x.shape
+        self._cols = None  # invalidate any stale serial cache
+        w_mat = self.params[0].reshape(self.out_channels, -1)
+        # One batched gemm whose per-group slices have exactly the serial
+        # forward's operand shapes — (n*h_out*w_out, c*k*k) @ (c*k*k, out)
+        # — so each group's output is bit-identical to its serial call.
+        out = np.matmul(cols3, w_mat.T) + self.params[1]
+        return out.reshape(
+            groups, n, h_out, w_out, self.out_channels
+        ).transpose(0, 1, 4, 2, 3)
+
+    def backward_grouped(
+        self, grad_out: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        if self._cols3 is None or self._gx_shape is None:
+            raise RuntimeError("grouped backward called before forward")
+        groups, n, c, h, w_in = self._gx_shape
+        h_out, w_out = self._output_hw(h, w_in)
+        cols3 = self._cols3
+        # (groups, n, out, h_out, w_out) -> (groups, n*h_out*w_out, out),
+        # per group the identical reshape the serial backward performs.
+        g3 = grad_out.transpose(0, 1, 3, 4, 2).reshape(
+            groups, -1, self.out_channels
+        )
+        grad_w = np.matmul(g3.transpose(0, 2, 1), cols3).reshape(
+            (groups,) + self.params[0].shape
+        )
+        grad_b = g3.sum(axis=1)
+        w_mat = self.params[0].reshape(self.out_channels, -1)
+        grad_cols = np.matmul(g3, w_mat)  # (groups, n*h_out*w_out, c*k*k)
+        self._cols3 = None
+        grad_x = _col2im(
+            grad_cols.reshape(groups * n * h_out * w_out, -1),
+            (groups * n, c, h, w_in),
+            self.kernel_size,
+            self.padding,
+        )
+        return grad_x.reshape(self._gx_shape), [grad_w, grad_b]
 
 
 class MaxPool2D(Layer):
@@ -466,7 +542,9 @@ class MaxPool2D(Layer):
             raise ValueError(f"input {h}x{w} not divisible by pool size {s}")
         xr = x.reshape(n, c, h // s, s, w // s, s).transpose(0, 1, 2, 4, 3, 5)
         xr = xr.reshape(n, c, h // s, w // s, s * s)
-        self._argmax = xr.argmax(axis=-1)
+        # argmax is only needed for backward; skip it (and don't pin an
+        # output-sized int buffer) on evaluation forwards over eval pools.
+        self._argmax = xr.argmax(axis=-1) if self.training else None
         self._x_shape = x.shape
         return xr.max(axis=-1)
 
@@ -482,6 +560,30 @@ class MaxPool2D(Layer):
         grad = grad_windows.reshape(n, c, h // s, w // s, s, s)
         grad = grad.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h, w)
         return grad
+
+    def supports_grouped_batch(self) -> bool:
+        return True
+
+    def forward_grouped(self, x: np.ndarray) -> np.ndarray:
+        # Pooling reduces each window independently, so the group axis
+        # simply folds into the batch: every per-window max/argmax is the
+        # exact operation the per-group forward performs.
+        if x.ndim != 5:
+            raise ValueError(
+                f"grouped MaxPool2D expected (groups, batch, C, H, W), got {x.shape}"
+            )
+        groups, n = x.shape[:2]
+        out = self.forward(x.reshape((groups * n,) + x.shape[2:]))
+        return out.reshape((groups, n) + out.shape[1:])
+
+    def backward_grouped(
+        self, grad_out: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        groups, n = grad_out.shape[:2]
+        grad = self.backward(
+            grad_out.reshape((groups * n,) + grad_out.shape[2:])
+        )
+        return grad.reshape((groups, n) + grad.shape[1:]), []
 
 
 class Sequential(Layer):
@@ -559,21 +661,56 @@ def _im2col(x: np.ndarray, kernel: int, padding: int) -> np.ndarray:
     return np.ascontiguousarray(cols)
 
 
+@lru_cache(maxsize=64)
+def _col2im_taps(
+    c: int, hp: int, wp: int, h_out: int, w_out: int, kernel: int
+) -> np.ndarray:
+    """Flat within-sample target offsets for every im2col column entry.
+
+    Entry order matches the C-order traversal of the im2col layout
+    ``(h_out, w_out, c, ki, kj)``; offsets index the flattened padded
+    input ``(c, hp, wp)``.  Cached because the pattern depends only on
+    the geometry, not the data.
+    """
+    i = np.arange(h_out)
+    j = np.arange(w_out)
+    tap = np.arange(kernel)
+    rows = i[:, None] + tap[None, :]  # (h_out, kernel)
+    cols = j[:, None] + tap[None, :]  # (w_out, kernel)
+    chan = np.arange(c) * (hp * wp)
+    offsets = (
+        chan[None, None, :, None, None]
+        + rows[:, None, None, :, None] * wp
+        + cols[None, :, None, None, :]
+    )
+    return offsets.ravel()
+
+
 def _col2im(
     cols: np.ndarray, x_shape: tuple[int, ...], kernel: int, padding: int
 ) -> np.ndarray:
-    """Inverse of :func:`_im2col`: scatter-add window gradients back."""
+    """Inverse of :func:`_im2col`: scatter-add window gradients back.
+
+    Vectorized: one ``np.bincount`` accumulates every (window, tap)
+    contribution instead of a Python loop over the k² kernel offsets.
+    ``bincount`` adds weights in input order and each sample's entries
+    keep the same fixed traversal order regardless of how many samples
+    share the batch, so grouped callers that fold their group axis into
+    the batch get bit-identical per-sample gradients.
+    """
     n, c, h, w = x_shape
     hp, wp = h + 2 * padding, w + 2 * padding
     h_out = hp - kernel + 1
     w_out = wp - kernel + 1
-    cols6 = cols.reshape(n, h_out, w_out, c, kernel, kernel)
-    x_padded = np.zeros((n, c, hp, wp))
-    for ki in range(kernel):
-        for kj in range(kernel):
-            x_padded[:, :, ki : ki + h_out, kj : kj + w_out] += cols6[
-                :, :, :, :, ki, kj
-            ].transpose(0, 3, 1, 2)
+    taps = _col2im_taps(c, hp, wp, h_out, w_out, kernel)
+    sample_size = c * hp * wp
+    flat_indices = (
+        np.arange(n, dtype=np.int64)[:, None] * sample_size + taps[None, :]
+    ).ravel()
+    acc = np.bincount(
+        flat_indices, weights=cols.ravel(), minlength=n * sample_size
+    )
+    x_padded = acc.reshape(n, c, hp, wp)
     if padding:
         return x_padded[:, :, padding:-padding, padding:-padding]
     return x_padded

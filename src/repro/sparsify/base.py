@@ -75,8 +75,11 @@ class SparseVector:
         ``indices`` must already be sorted, unique, in-range int64 and
         ``values`` float64 of equal length (e.g. the output of a batched
         top-k selection).  Skips the normalization/validation pass of
-        ``__post_init__`` — the hot-path constructor for vectorized
-        execution; content is identical to the checked construction.
+        ``__post_init__``; content is identical to the checked
+        construction.  This is the hot-path constructor: client uploads
+        (serial and batched selection), the server's downlink payload and
+        quantization rewraps all route through it, so the validating
+        ``__init__`` only runs for externally supplied vectors.
         """
         vector = object.__new__(cls)
         object.__setattr__(vector, "indices", indices)

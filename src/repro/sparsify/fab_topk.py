@@ -60,17 +60,25 @@ def fair_select(uploads: list[ClientUpload], k: int) -> np.ndarray:
     client's accumulated residuals at those indices.  Returns the sorted
     downlink index set ``J`` with ``|J| = min(k, |∪_i J_i|)``.
     """
-    ranked, magnitude_of = _rank_uploads(uploads)
+    total_union = _upload_union(uploads)
+    if total_union.size <= k:
+        # Every uploaded index fits in the downlink budget.
+        return total_union
+
+    # Rankings are only ever consulted to depth κ+1 ≤ k+1: a κ beyond k
+    # cannot win the search below because one client's top-κ alone are κ
+    # distinct indices, so |∪_i J_i^κ| ≥ κ > k.  Truncating the per-client
+    # rankings at depth k+1 therefore changes no probed union (prefixes up
+    # to the depth are exact, and any deeper probe still reports > k via
+    # the truncated client's full k+1 prefix).
+    ranked, magnitude_of = _rank_uploads(uploads, depth=k + 1)
     max_len = _max_upload_length(ranked)
 
-    total_union = _union_size(ranked, max_len)
-    if total_union <= k:
-        # Every uploaded index fits in the downlink budget.
-        return _union(ranked, max_len)
-
     # Binary search the largest κ with |∪_i J_i^κ| <= k.  Union size is
-    # nondecreasing in κ and reaches > k at κ = max upload length, while
-    # κ = 0 gives size 0 <= k, so the invariant lo <= κ* < hi holds.
+    # nondecreasing in κ and reaches > k at κ = max (truncated) upload
+    # length — the early return above guarantees the full union exceeds k
+    # — while κ = 0 gives size 0 <= k, so the invariant lo <= κ* < hi
+    # holds.
     lo, hi = 0, max_len
     while hi - lo > 1:
         mid = (lo + hi) // 2
@@ -85,26 +93,31 @@ def fair_select(uploads: list[ClientUpload], k: int) -> np.ndarray:
     if shortfall == 0:
         return base
     # Fill from (∪ J^{κ+1}) \ (∪ J^κ), largest absolute uploaded value
-    # first, ties broken by index for determinism.
+    # first, ties broken by index for determinism.  ``candidates`` is
+    # sorted, so position order equals index order and the argpartition
+    # top-k (which tie-breaks by position) reproduces the lexsort fill.
     next_union = _union(ranked, kappa + 1)
     candidates = np.setdiff1d(next_union, base, assume_unique=True)
-    candidate_values = magnitude_of(candidates)
-    order = np.lexsort((candidates, -candidate_values))
-    fill = candidates[order[:shortfall]]
+    fill = candidates[top_k_indices(magnitude_of(candidates), shortfall)]
     return np.sort(np.concatenate([base, fill]))
 
 
-def _rank_uploads(uploads: list[ClientUpload]):
+def _rank_uploads(uploads: list[ClientUpload], depth: int | None = None):
     """Per-client |value|-descending rankings plus a max-|value| lookup.
 
     Returns ``(ranked, magnitude_of)``: client i's uploaded indices
     ordered by (|value| descending, index ascending) so that ``J_i^κ`` is
     simply the first κ entries, and a callable mapping a sorted index
-    array to the largest |value| any client uploaded there.  When all
-    uploads carry the same number of pairs (the common top-k case) both
-    are computed with stacked array ops instead of per-client Python
-    loops; the ranking/maximum are deterministic functions of the upload
-    values, so results are identical either way.
+    array to the largest |value| any client uploaded there.  ``depth``
+    truncates each ranking to its first ``depth`` entries — an exact
+    prefix: an argpartition prefilter narrows each upload to its
+    top-``depth`` candidates in O(nnz) and only those are tie-break
+    sorted, dropping the per-client ranking cost from O(nnz log nnz) to
+    O(nnz + depth log depth).  When all uploads carry the same number of
+    pairs (the common top-k case) everything is computed with stacked
+    array ops instead of per-client Python loops; the ranking/maximum are
+    deterministic functions of the upload values, so results are
+    identical either way.
     """
     nnz = uploads[0].payload.nnz if uploads else 0
     if nnz > 0 and all(up.payload.nnz == nnz for up in uploads):
@@ -112,9 +125,18 @@ def _rank_uploads(uploads: list[ClientUpload]):
         magnitudes = np.abs(np.stack([up.payload.values for up in uploads]))
         # Within an upload the indices are sorted, so tie-breaking by
         # position equals tie-breaking by index (as ranked_indices does).
-        positions = np.broadcast_to(np.arange(nnz), index_matrix.shape)
-        order = np.lexsort((positions, -magnitudes))
-        ranked = np.take_along_axis(index_matrix, order, axis=1)
+        if depth is not None and depth < nnz:
+            # Exact per-row top-``depth`` position sets (ascending), then
+            # tie-break order only those by (|value| desc, position asc).
+            cand_pos = top_k_indices_batched(magnitudes, depth)
+            cand_mag = np.take_along_axis(magnitudes, cand_pos, axis=1)
+            order = np.lexsort((cand_pos, -cand_mag))
+            ranked_pos = np.take_along_axis(cand_pos, order, axis=1)
+            ranked = np.take_along_axis(index_matrix, ranked_pos, axis=1)
+        else:
+            positions = np.broadcast_to(np.arange(nnz), index_matrix.shape)
+            order = np.lexsort((positions, -magnitudes))
+            ranked = np.take_along_axis(index_matrix, order, axis=1)
 
         flat_order = np.argsort(index_matrix, axis=None, kind="stable")
         sorted_indices = index_matrix.ravel()[flat_order]
@@ -133,7 +155,7 @@ def _rank_uploads(uploads: list[ClientUpload]):
     ranked = []
     value_of: dict[int, float] = {}
     for up in uploads:
-        order = ranked_indices(up.payload.values)
+        order = ranked_indices(up.payload.values, limit=depth)
         ranked.append(up.payload.indices[order])
         for j, v in zip(up.payload.indices, up.payload.values):
             magnitude = abs(float(v))
@@ -144,6 +166,17 @@ def _rank_uploads(uploads: list[ClientUpload]):
         return np.array([value_of[int(j)] for j in query])
 
     return ranked, magnitude_of
+
+
+def _upload_union(uploads: list[ClientUpload]) -> np.ndarray:
+    """Sorted unique union of every uploaded index (no ranking needed)."""
+    nnz = uploads[0].payload.nnz if uploads else 0
+    if nnz > 0 and all(up.payload.nnz == nnz for up in uploads):
+        return np.unique(np.stack([up.payload.indices for up in uploads]))
+    parts = [up.payload.indices for up in uploads if up.payload.nnz]
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(parts))
 
 
 def _max_upload_length(ranked) -> int:

@@ -10,8 +10,9 @@ Three layers of guarantees:
    multiprocessing ``ShardedBackend`` produce histories (losses, clocks,
    uplink/downlink counts, contributions) and final weights *identical*
    to ``SerialBackend`` across sparsifier families (including the
-   quantization-wrapped path), plus the batched-unsupported fallbacks
-   (CNN models, momentum).
+   quantization-wrapped path) and model families (MLP and CNN — conv/pool
+   run the grouped im2col pass), plus the batched-unsupported fallbacks
+   (momentum masking, active dropout).
 3. **Batched kernels** — ``FlatModel.gradients_batched`` and
    ``top_k_indices_batched`` equal their per-client counterparts exactly.
 """
@@ -34,6 +35,8 @@ from repro.fl.backends import (
 from repro.parallel.sharded import ShardedBackend
 from repro.fl.fedavg import AlwaysSendAllTrainer, FedAvgTrainer
 from repro.fl.trainer import FLTrainer
+from repro.nn.flat import FlatModel
+from repro.nn.layers import Dropout, Linear, Sequential
 from repro.nn.models import make_cnn, make_logistic, make_mlp
 from repro.online.adaptive_trainer import AdaptiveKTrainer
 from repro.online.algorithm2 import SignOGD
@@ -282,10 +285,11 @@ class TestBackendEquivalence:
         fast.close()
 
     @pytest.mark.parametrize("backend_name", FAST_BACKENDS)
-    def test_cnn_model_falls_back_and_matches(self, backend_name):
-        # Conv layers have no grouped-batch support; the vectorized
-        # backend must quietly use per-client gradients instead (the
-        # sharded workers call per-client model.gradient regardless).
+    def test_cnn_model_grouped_and_identical(self, backend_name):
+        # Conv2D/MaxPool2D implement the grouped im2col pass, so CNN
+        # configs no longer fall back to per-client gradients on the
+        # vectorized backend — and every backend must still produce
+        # bit-equal histories, weights and residuals.
         def build(backend):
             ds = make_femnist_like(num_writers=6, samples_per_writer=12,
                                    num_classes=6, image_size=8,
@@ -298,10 +302,17 @@ class TestBackendEquivalence:
                              learning_rate=0.05, batch_size=6, eval_every=2,
                              seed=5, backend=backend)
         fast = build(make_backend(backend_name))
-        assert not fast.model.supports_batched_gradients()
-        assert history_rows(build("serial").run(3, k=20)) == history_rows(
-            fast.run(3, k=20)
+        assert fast.model.supports_batched_gradients()
+        serial = build("serial")
+        hs = serial.run(3, k=20)
+        hf = fast.run(3, k=20)
+        assert history_rows(hs) == history_rows(hf)
+        assert contribution_rows(hs) == contribution_rows(hf)
+        np.testing.assert_array_equal(
+            serial.model.get_weights(), fast.model.get_weights()
         )
+        for cs, cf in zip(serial.clients, fast.clients):
+            np.testing.assert_array_equal(cs.residual, cf.residual)
         fast.close()
 
 
@@ -326,14 +337,32 @@ class TestBatchedKernels:
             model.gradients_batched(xs, ys)
 
     def test_gradients_batched_rejects_unsupported_network(self):
-        model = make_cnn(image_size=8, channels=1, num_classes=4,
-                         dense_width=8, seed=0)
+        # Active Dropout draws per-forward RNG, so a single grouped pass
+        # cannot reproduce the per-client calls and must be refused.
         rng = np.random.default_rng(0)
+        network = Sequential(
+            [Linear(6, 6, rng), Dropout(0.5, seed=0), Linear(6, 3, rng)]
+        )
+        model = FlatModel(network)
+        assert not model.supports_batched_gradients()
         with pytest.raises(ValueError, match="grouped-batch"):
             model.gradients_batched(
-                [rng.standard_normal((2, 1, 8, 8))],
-                [rng.integers(0, 4, size=2)],
+                [rng.standard_normal((2, 6))],
+                [rng.integers(0, 3, size=2)],
             )
+
+    def test_gradients_batched_cnn_bitwise_equal(self):
+        # The grouped conv/pool pass must equal per-client gradients
+        # exactly — this is what lets CNN configs ride the vectorized
+        # backend without a fallback.
+        rng = np.random.default_rng(0)
+        model = make_cnn(image_size=8, channels=1, num_classes=5,
+                         conv_channels=(3, 4), dense_width=8, seed=2)
+        assert model.supports_batched_gradients()
+        xs = [rng.standard_normal((6, 1, 8, 8)) for _ in range(9)]
+        ys = [rng.integers(0, 5, size=6) for _ in range(9)]
+        serial = np.stack([model.gradient(x, y)[0] for x, y in zip(xs, ys)])
+        np.testing.assert_array_equal(serial, model.gradients_batched(xs, ys))
 
     def test_top_k_batched_matches_rows(self):
         rng = np.random.default_rng(3)

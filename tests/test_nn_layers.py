@@ -176,6 +176,108 @@ class TestConv2D:
         with pytest.raises(ValueError):
             conv.forward(RNG.standard_normal((1, 1, 3, 3)))
 
+    def test_backward_releases_im2col_cache(self):
+        # The im2col buffer is n·H·W·C·k² floats; keeping it after the
+        # backward would pin that much memory per client between rounds.
+        conv = Conv2D(1, 2, kernel_size=3, rng=np.random.default_rng(0))
+        out = conv.forward(RNG.standard_normal((2, 1, 6, 6)))
+        assert conv._cols is not None
+        conv.backward(np.ones_like(out))
+        assert conv._cols is None
+        with pytest.raises(RuntimeError):
+            conv.backward(np.ones_like(out))
+
+    def test_eval_forward_does_not_cache(self):
+        # Evaluation forwards run over whole eval pools; caching backward
+        # state there would pin pool-sized buffers until the next forward.
+        conv = Conv2D(1, 2, kernel_size=3, rng=np.random.default_rng(0))
+        pool = MaxPool2D(2)
+        conv.train(False)
+        pool.train(False)
+        pool.forward(conv.forward(RNG.standard_normal((4, 1, 6, 6))))
+        assert conv._cols is None
+        assert pool._argmax is None
+
+
+class TestGroupedConvPool:
+    """Grouped (multi-client) conv/pool passes must be bit-identical to
+    running each group through the serial forward/backward."""
+
+    # Odd geometries: non-square inputs, padding 0/1, kernel == input
+    # edge, kernel > input made valid only by padding.
+    CONV_CASES = [
+        (2, 3, 3, 0, 5, 7),   # non-square, no padding
+        (2, 3, 3, 1, 5, 7),   # non-square, padded
+        (1, 2, 3, 0, 3, 5),   # kernel equals one input edge (h_out = 1)
+        (1, 1, 3, 1, 2, 2),   # kernel larger than input, saved by padding
+        (3, 2, 2, 0, 6, 4),   # even kernel
+        (2, 4, 1, 0, 4, 3),   # 1x1 kernel
+    ]
+
+    @pytest.mark.parametrize("cin,cout,kernel,padding,h,w", CONV_CASES)
+    def test_conv_grouped_bit_identical(self, cin, cout, kernel, padding, h, w):
+        conv = Conv2D(cin, cout, kernel_size=kernel,
+                      rng=np.random.default_rng(1), padding=padding)
+        groups, batch = 4, 3
+        x = RNG.standard_normal((groups, batch, cin, h, w))
+        out_grouped = conv.forward_grouped(x)
+        upstream = RNG.standard_normal(out_grouped.shape)
+        grad_in_grouped, param_grads = conv.backward_grouped(upstream)
+        assert len(param_grads) == 2
+        for g in range(groups):
+            out = conv.forward(x[g])
+            np.testing.assert_array_equal(out, out_grouped[g])
+            grad_in = conv.backward(upstream[g])
+            np.testing.assert_array_equal(grad_in, grad_in_grouped[g])
+            np.testing.assert_array_equal(conv.grads[0], param_grads[0][g])
+            np.testing.assert_array_equal(conv.grads[1], param_grads[1][g])
+
+    def test_conv_grouped_rejects_bad_shapes(self):
+        conv = Conv2D(2, 3, kernel_size=3, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            conv.forward_grouped(RNG.standard_normal((2, 3, 5, 8, 8)))  # channels
+        with pytest.raises(ValueError):
+            conv.forward_grouped(RNG.standard_normal((3, 2, 8, 8)))  # ndim
+        with pytest.raises(ValueError):  # kernel too large, no padding
+            conv.forward_grouped(RNG.standard_normal((2, 3, 2, 2, 2)))
+
+    @pytest.mark.parametrize("pool,c,h,w", [(2, 3, 4, 6), (3, 1, 6, 3), (1, 2, 3, 5)])
+    def test_pool_grouped_bit_identical(self, pool, c, h, w):
+        layer = MaxPool2D(pool)
+        groups, batch = 3, 4
+        x = RNG.standard_normal((groups, batch, c, h, w))
+        out_grouped = layer.forward_grouped(x)
+        upstream = RNG.standard_normal(out_grouped.shape)
+        grad_grouped, param_grads = layer.backward_grouped(upstream)
+        assert param_grads == []
+        for g in range(groups):
+            np.testing.assert_array_equal(layer.forward(x[g]), out_grouped[g])
+            np.testing.assert_array_equal(
+                layer.backward(upstream[g]), grad_grouped[g]
+            )
+
+    def test_pool_grouped_tie_routing_matches(self):
+        # Constant windows tie every argmax; grouped and serial must route
+        # the gradient to the same (first) element.
+        layer = MaxPool2D(2)
+        x = np.ones((2, 2, 1, 4, 4))
+        out = layer.forward_grouped(x)
+        grad, _ = layer.backward_grouped(np.ones_like(out))
+        for g in range(2):
+            layer.forward(x[g])
+            np.testing.assert_array_equal(
+                layer.backward(np.ones((2, 1, 2, 2))), grad[g]
+            )
+
+    def test_pool_grouped_rejects_bad_ndim(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(2).forward_grouped(RNG.standard_normal((2, 1, 4, 4)))
+
+    def test_conv_grouped_backward_before_forward_raises(self):
+        conv = Conv2D(1, 1, kernel_size=2, rng=np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            conv.backward_grouped(np.zeros((1, 1, 1, 2, 2)))
+
 
 class TestMaxPool2D:
     def test_values(self):

@@ -19,7 +19,11 @@ from repro.sparsify.base import ClientUpload, SelectionResult, SparseVector
 from repro.sparsify.fab_topk import FABTopK, fair_select
 from repro.sparsify.fub_topk import FUBTopK
 from repro.sparsify.periodic import PeriodicK
-from repro.sparsify.topk import ranked_indices, top_k_indices
+from repro.sparsify.topk import (
+    ranked_indices,
+    top_k_indices,
+    top_k_indices_batched,
+)
 from repro.sparsify.unidirectional import UnidirectionalTopK
 
 RNG = np.random.default_rng(3)
@@ -73,6 +77,56 @@ class TestTopKIndices:
     def test_ranked_indices_limit(self):
         v = RNG.standard_normal(50)
         assert ranked_indices(v, limit=5).size == 5
+
+    # ------------------------------------------------------------------
+    # The argpartition prefilter must return byte-identical index sets to
+    # the full lexsort reference — including on adversarial inputs where
+    # the k-boundary is one big magnitude tie.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lexsort_reference(v, k):
+        n = v.shape[0]
+        order = np.lexsort((np.arange(n), -np.abs(v)))
+        return np.sort(order[: max(0, min(k, n))])
+
+    @given(
+        st.integers(min_value=0, max_value=70),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_full_sort_under_duplicate_magnitudes(self, k, seed):
+        rng = np.random.default_rng(seed)
+        # Values drawn from a tiny alphabet: ties everywhere, including
+        # sign pairs (+1/-1) with equal magnitude and exact zeros.
+        v = rng.choice([-2.0, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0], size=61)
+        np.testing.assert_array_equal(
+            top_k_indices(v, k), self._lexsort_reference(v, k)
+        )
+
+    def test_all_equal_magnitudes_pick_lowest_indices(self):
+        v = -np.ones(40)
+        np.testing.assert_array_equal(top_k_indices(v, 7), np.arange(7))
+
+    @pytest.mark.parametrize("k", [0, 1, 6, 29, 30, 31, 100])
+    def test_batched_matches_lexsort_on_ties(self, k):
+        rng = np.random.default_rng(9)
+        values = rng.choice([-1.0, 0.0, 0.5, 1.0], size=(13, 30))
+        batched = top_k_indices_batched(values, k)
+        for row in range(values.shape[0]):
+            np.testing.assert_array_equal(
+                batched[row], self._lexsort_reference(values[row], k)
+            )
+
+    @given(
+        st.integers(min_value=0, max_value=35),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ranked_indices_limit_is_exact_prefix(self, limit, seed):
+        rng = np.random.default_rng(seed)
+        v = rng.choice([-1.0, 0.0, 0.25, 1.0], size=33)
+        full = np.lexsort((np.arange(v.size), -np.abs(v)))
+        np.testing.assert_array_equal(ranked_indices(v, limit=limit), full[:limit])
 
 
 class TestSparseVector:
