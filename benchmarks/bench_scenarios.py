@@ -1,0 +1,157 @@
+"""Deployment-scenario overhead: scenario-wrapped vs plain rounds.
+
+The scenario subsystem (availability gating, deadline verdicts, delivery
+stats) runs entirely in the parent process on top of whatever execution
+backend computes the gradients, so its cost must be a thin per-round
+constant — this benchmark measures exactly that: rounds/second of the
+same engine with and without a churn+deadline scenario, on the serial
+and vectorized backends, plus the realized drop rate (a scenario that
+never drops measures nothing).
+
+Reading ``scenario_overhead``: it is the *net* wall-clock delta of the
+wrapped run, and is typically **negative** — availability churn and the
+deadline gate shrink the per-round cohort, so selection/aggregation
+process fewer uploads and rounds get cheaper.  The gate's own cost is
+bounded by how far the number stays above the pure cohort-size ratio;
+a large positive value is the regression signal.
+
+Run under the benchmark harness::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scenarios.py --benchmark-only -s
+
+or standalone, appending to ``BENCH_scenarios.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from _hostmeta import host_metadata
+from repro.data.partition import partition_by_writer
+from repro.data.synthetic import make_femnist_like
+from repro.fl.trainer import FLTrainer
+from repro.nn.models import make_mlp
+from repro.scenarios import DeploymentScenario, ScenarioConfig
+from repro.simulation.heterogeneous import HeterogeneousTimingModel
+from repro.simulation.timing import TimingModel
+from repro.sparsify.fab_topk import FABTopK
+
+NUM_CLIENTS = 24
+MEASURE_ROUNDS = 60
+BACKENDS = ("serial", "vectorized")
+MODES = ("plain", "scenario")
+BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_scenarios.json"
+)
+
+
+def build_trainer(backend: str, mode: str):
+    """Bench-scale federation, optionally wrapped in the default churn.
+
+    The scenario over-selects a 20-client cohort against a 16-upload
+    target under the default cycling deadline, so every tight round pays
+    the full gate: finish times, verdict, filtering, stats.
+    """
+    ds = make_femnist_like(
+        num_writers=NUM_CLIENTS, samples_per_writer=25, num_classes=16,
+        image_size=10, classes_per_writer=5, seed=0,
+    )
+    federation = partition_by_writer(ds, seed=0)
+    model = make_mlp(100, 16, hidden=(16,), seed=0)
+    scenario = None
+    if mode == "scenario":
+        config = ScenarioConfig.default_churn().with_overrides(
+            participants=16, over_selection=0.25, seed=0,
+        )
+        ids = [c.client_id for c in federation.clients]
+        profiles = config.build_profiles(ids)
+        timing = HeterogeneousTimingModel(
+            model.dimension, comm_time=10.0, profiles=profiles
+        )
+        scenario = DeploymentScenario.build(config, ids, timing, profiles)
+    else:
+        timing = TimingModel(dimension=model.dimension, comm_time=10.0)
+    trainer = FLTrainer(
+        model, federation, FABTopK(), timing=timing, learning_rate=0.05,
+        batch_size=16, eval_every=1_000_000, seed=0, backend=backend,
+        scenario=scenario,
+    )
+    return trainer, scenario
+
+
+def round_k(trainer: FLTrainer) -> int:
+    return max(2, int(0.4 * trainer.model.dimension / NUM_CLIENTS))
+
+
+def measure(backend: str, mode: str, rounds: int = MEASURE_ROUNDS,
+            repeats: int = 3):
+    """Best-of-``repeats`` rounds/second plus the realized drop rate."""
+    trainer, scenario = build_trainer(backend, mode)
+    k = round_k(trainer)
+    trainer.step(k)  # warmup (round 1 always evaluates)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            trainer.step(k)
+        best = min(best, time.perf_counter() - start)
+    drop_rate = 0.0
+    if scenario is not None:
+        stats = scenario.stats
+        total = stats.total_arrived + stats.total_dropped
+        drop_rate = stats.total_dropped / total if total else 0.0
+    return rounds / best, drop_rate
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_scenario_round_throughput(benchmark, backend, mode):
+    trainer, _ = build_trainer(backend, mode)
+    k = round_k(trainer)
+    trainer.step(k)  # warmup
+    benchmark(trainer.step, k)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_scenario_actually_drops(backend):
+    """The overhead comparison is only meaningful if the gate fires."""
+    trainer, scenario = build_trainer(backend, "scenario")
+    trainer.run(6, k=round_k(trainer))
+    assert scenario is not None and scenario.stats.total_dropped > 0
+
+
+def main() -> None:
+    report = {"host": host_metadata(), "results": []}
+    for backend in BACKENDS:
+        rates, drops = {}, {}
+        for mode in MODES:
+            rates[mode], drops[mode] = measure(backend, mode)
+        overhead = rates["plain"] / rates["scenario"] - 1.0
+        report["results"].append({
+            "backend": backend,
+            "num_clients": NUM_CLIENTS,
+            "rounds": MEASURE_ROUNDS,
+            "rounds_per_second": {m: round(r, 2) for m, r in rates.items()},
+            "scenario_overhead": round(overhead, 4),
+            "scenario_drop_rate": round(drops["scenario"], 4),
+        })
+        print(
+            f"{backend:>10}: plain {rates['plain']:7.1f} r/s | "
+            f"scenario {rates['scenario']:7.1f} r/s | "
+            f"overhead {100 * overhead:5.1f}% | "
+            f"drop rate {100 * drops['scenario']:4.1f}%"
+        )
+    history = []
+    if BENCH_PATH.exists():
+        history = json.loads(BENCH_PATH.read_text())
+    history.append(report)
+    BENCH_PATH.write_text(json.dumps(history, indent=1))
+    print(f"appended to {BENCH_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,12 +16,13 @@ from repro.simulation.timing import TimingModel
 from repro.sparsify.fab_topk import FABTopK
 
 
-def main() -> None:
+def main(num_writers: int = 15, samples_per_writer: int = 30,
+         num_rounds: int = 200, eval_every: int = 10) -> None:
     # 1. Data: 15 writers, each a client with its own handwriting style
     #    and a subset of classes (non-i.i.d., as in FEMNIST).
     dataset = make_femnist_like(
-        num_writers=15, samples_per_writer=30, num_classes=10,
-        classes_per_writer=4, image_size=10, seed=0,
+        num_writers=num_writers, samples_per_writer=samples_per_writer,
+        num_classes=10, classes_per_writer=4, image_size=10, seed=0,
     )
     federation = partition_by_writer(dataset)
     print(f"{federation.num_clients} clients, "
@@ -40,11 +41,11 @@ def main() -> None:
     k = max(2, int(0.4 * model.dimension / federation.num_clients))
     trainer = FLTrainer(
         model, federation, FABTopK(), timing=timing,
-        learning_rate=0.05, batch_size=16, eval_every=10, seed=0,
+        learning_rate=0.05, batch_size=16, eval_every=eval_every, seed=0,
     )
     print(f"\ntraining with k = {k} "
           f"({100 * k / model.dimension:.1f}% of the gradient)\n")
-    trainer.run(num_rounds=200, k=k)
+    trainer.run(num_rounds=num_rounds, k=k)
 
     print(f"{'round':>6} {'time':>9} {'loss':>8} {'accuracy':>9}")
     for record in trainer.history:
@@ -53,7 +54,7 @@ def main() -> None:
             print(f"{record.round_index:>6} {record.cumulative_time:>9.1f} "
                   f"{record.loss:>8.4f} {acc:>9}")
 
-    dense_comm = 200 * timing.dense_round().communication
+    dense_comm = num_rounds * timing.dense_round().communication
     sparse_comm = sum(
         timing.sparse_round(r.uplink_elements, r.downlink_elements).communication
         for r in trainer.history

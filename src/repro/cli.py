@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli fig5 --out results/ --backend vectorized
     python -m repro.cli fig4 --backend sharded --jobs 4
     python -m repro.cli sweep --scale smoke --jobs 2
+    python -m repro.cli scenario --deadline 2.5 2.5 9 --over-selection 0.3
     python -m repro.cli list
 
 Each figure command runs the corresponding experiment driver
@@ -20,6 +21,12 @@ or the multiprocessing ``sharded``); ``--jobs N`` sets the sharded worker
 count (0 = all usable CPUs) and implies ``--backend sharded`` when more
 than one worker is requested without an explicit backend.  Histories are
 bit-identical across backends — only wall-clock speed changes.
+
+``scenario`` wraps the fixed-k and adaptive-k trainers in a deployment
+scenario — availability churn, straggler profiles, and a deadline-gated
+server that drops late uploads (recovered later through residual
+accumulation); see :mod:`repro.scenarios` and :mod:`repro.experiments.
+scenario`.
 
 ``sweep`` runs a whole grid of figure configurations
 (``--figures × --scales × --seeds × --backends``) across a process pool
@@ -53,7 +60,7 @@ from repro.parallel.sweep import (
     run_sweep,
 )
 
-FIGURES = ("fig1", "fig4", "fig5", "fig6", "fig7", "fig8")
+FIGURES = ("fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "scenario")
 
 
 def _run_figure(figure: str, config: ExperimentConfig, out: Path,
@@ -84,6 +91,79 @@ def _run_figure(figure: str, config: ExperimentConfig, out: Path,
     return written
 
 
+def _add_scenario_flags(p: argparse.ArgumentParser) -> None:
+    """Deployment-scenario knobs of the ``scenario`` subcommand.
+
+    Defaults are ``None`` so unset flags leave the preset
+    (:meth:`repro.scenarios.ScenarioConfig.default_churn`, seeded from
+    the experiment seed) untouched.
+    """
+    from repro.scenarios import AVAILABILITY_KINDS, REWEIGHT_MODES
+
+    p.add_argument("--availability", default=None, choices=AVAILABILITY_KINDS,
+                   help="who is online each round (default: markov churn)")
+    p.add_argument("--p-drop", type=float, default=None,
+                   help="markov: per-round P(online -> offline)")
+    p.add_argument("--p-recover", type=float, default=None,
+                   help="markov: per-round P(offline -> online)")
+    p.add_argument("--period", type=int, default=None,
+                   help="diurnal: rounds per day cycle")
+    p.add_argument("--duty", type=float, default=None,
+                   help="diurnal: fraction of the cycle a client is online")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="JSON availability trace "
+                        '({"rounds": [[ids...], ...], "cycle": true}); '
+                        "implies --availability trace")
+    p.add_argument("--participants", type=int, default=None,
+                   help="uploads aggregated per round, m (0 = all available)")
+    p.add_argument("--over-selection", type=float, default=None,
+                   help="sample m*(1+eps) clients, aggregate the first m "
+                        "to finish")
+    p.add_argument("--deadline", type=float, nargs="+", default=None,
+                   help="round deadline(s); several values cycle "
+                        "(periodic straggler amnesty)")
+    p.add_argument("--min-uploads", type=int, default=None,
+                   help="floor of accepted uploads per round")
+    p.add_argument("--reweight", default=None, choices=REWEIGHT_MODES,
+                   help="partial-aggregate normalization: over arrivals "
+                        "or over the sampled cohort")
+    p.add_argument("--slow-fraction", type=float, default=None,
+                   help="fraction of clients that are stragglers")
+    p.add_argument("--slow-factor", type=float, default=None,
+                   help="compute+comm slowdown of a straggler")
+
+
+def _scenario_overrides(args, seed: int) -> dict:
+    """The ScenarioConfig dict the scenario subcommand's flags describe."""
+    from repro.scenarios import ScenarioConfig
+    from repro.scenarios.availability import load_trace_json
+
+    scenario = ScenarioConfig.default_churn().with_overrides(seed=seed)
+    overrides = {}
+    for flag, field_name in (
+        ("availability", "availability"), ("p_drop", "p_drop"),
+        ("p_recover", "p_recover"), ("period", "period"), ("duty", "duty"),
+        ("participants", "participants"),
+        ("over_selection", "over_selection"), ("min_uploads", "min_uploads"),
+        ("reweight", "reweight"), ("slow_fraction", "slow_fraction"),
+        ("slow_factor", "slow_factor"),
+    ):
+        value = getattr(args, flag)
+        if value is not None:
+            overrides[field_name] = value
+    if args.deadline is not None:
+        overrides["deadline"] = (
+            args.deadline[0] if len(args.deadline) == 1
+            else tuple(args.deadline)
+        )
+    if args.trace is not None:
+        rounds, cycle = load_trace_json(args.trace)
+        overrides["availability"] = "trace"
+        overrides["trace"] = tuple(tuple(e) for e in rounds)
+        overrides["trace_cycle"] = cycle
+    return scenario.with_overrides(**overrides).to_dict()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -92,7 +172,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available figure commands")
     for figure in FIGURES:
-        p = sub.add_parser(figure, help=f"reproduce {figure} of the paper")
+        help_text = (
+            "run a deployment scenario (availability churn + deadline-"
+            "gated partial aggregation): fixed-k vs adaptive-k"
+            if figure == "scenario"
+            else f"reproduce {figure} of the paper"
+        )
+        p = sub.add_parser(figure, help=help_text)
+        if figure == "scenario":
+            _add_scenario_flags(p)
         p.add_argument("--out", default="results", help="output directory")
         p.add_argument("--scale", default="bench", choices=SCALE_NAMES)
         p.add_argument("--rounds", type=int, default=None,
@@ -191,6 +279,10 @@ def main(argv: list[str] | None = None) -> int:
             overrides["backend"] = "sharded"
     if overrides:
         config = config.with_overrides(**overrides)
+    if args.command == "scenario":
+        config = config.with_overrides(
+            scenario=_scenario_overrides(args, config.seed)
+        )
 
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)

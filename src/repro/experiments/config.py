@@ -40,6 +40,10 @@ class ExperimentConfig:
     update_window: int = 20       # paper: M_u = 20
     backend: str = "serial"       # execution: serial | vectorized | sharded
     jobs: int = 0                 # sharded worker count; 0 = all usable CPUs
+    #: deployment scenario as a ScenarioConfig.to_dict() mapping (kept as
+    #: a plain dict so configs stay import-light and sweep-cacheable);
+    #: None = the paper's ideal population (everyone, always, no deadline)
+    scenario: dict | None = None
     seed: int = 0
     extras: dict = field(default_factory=dict)
 
@@ -59,6 +63,10 @@ class ExperimentConfig:
             )
         if self.jobs < 0:
             raise ValueError("jobs must be >= 0 (0 = all usable CPUs)")
+        if self.scenario is not None and not isinstance(self.scenario, dict):
+            raise ValueError(
+                "scenario must be a ScenarioConfig.to_dict() mapping or None"
+            )
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Copy with fields replaced (configs are immutable)."""

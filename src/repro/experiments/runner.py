@@ -85,6 +85,48 @@ def build_timing(
     )
 
 
+def build_scenario(
+    config: ExperimentConfig,
+    client_ids: list[int],
+    dimension: int,
+    comm_time: float | None = None,
+):
+    """(timing, scenario) for the config's deployment scenario, if any.
+
+    With ``config.scenario`` unset this is just :func:`build_timing` and
+    ``None`` — the paper's ideal population.  Otherwise the scenario's
+    straggler profiles seed a :class:`~repro.simulation.heterogeneous.
+    HeterogeneousTimingModel` (so availability-only scenarios still pay
+    the straggler tail the deadline policy would cut), and the returned
+    :class:`~repro.scenarios.DeploymentScenario` is freshly built —
+    scenarios hold mutable per-run state, so call this once per trainer.
+    """
+    if config.scenario is None:
+        return build_timing(config, dimension, comm_time), None
+    # Imported here: repro.scenarios pulls in the engine, which this
+    # module's other builders do not need.
+    from repro.scenarios import DeploymentScenario, ScenarioConfig
+    from repro.simulation.heterogeneous import HeterogeneousTimingModel
+
+    scenario_config = ScenarioConfig.from_dict(config.scenario)
+    profiles = scenario_config.build_profiles(client_ids)
+    heterogeneous = any(
+        p.compute_factor != 1.0 or p.comm_factor != 1.0 for p in profiles
+    )
+    if heterogeneous:
+        timing = HeterogeneousTimingModel(
+            dimension=dimension,
+            comm_time=comm_time if comm_time is not None else config.comm_time,
+            profiles=profiles,
+        )
+    else:
+        timing = build_timing(config, dimension, comm_time)
+    scenario = DeploymentScenario.build(
+        scenario_config, client_ids, timing, profiles
+    )
+    return timing, scenario
+
+
 def build_backend(config: ExperimentConfig) -> ExecutionBackend:
     """The execution backend the config's trainers should run on.
 

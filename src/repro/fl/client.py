@@ -184,6 +184,18 @@ class Client:
         self.residual[hit[matches]] -= transmitted.values[pos_clipped[matches]]
         self.residual[hit[~matches]] = 0.0
 
+    def drop_upload(self) -> None:
+        """Record that this round's upload never reached the server.
+
+        Deployment scenarios call this for deadline-missed uploads: the
+        residual keeps the full accumulated gradient (Algorithm 1 never
+        reset it — that is what lets top-k/FAB recover the information in
+        a later round), and forgetting the upload's index set guards
+        against a stray :meth:`reset_transmitted` clearing coordinates
+        the server never saw.
+        """
+        self._last_upload_indices = None
+
     def reset_all(self) -> None:
         """Drop the whole residual (non-accumulating schemes, e.g. [30])."""
         self.residual[:] = 0.0

@@ -78,6 +78,12 @@ class RoundContext:
         self.round_timing: RoundTiming | None = None
         #: total charged time including hook extras
         self.round_time: float = 0.0
+        #: client ids whose uploads a scenario hook dropped this round
+        self.dropped_ids: tuple[int, ...] = ()
+        #: aggregation-weight override (deployment scenarios reweighting
+        #: a partial aggregate over the full sampled cohort); None means
+        #: the server normalizes over the received uploads.
+        self.aggregation_weight: float | None = None
 
 
 class RoundHooks:
@@ -89,8 +95,15 @@ class RoundHooks:
     ``after_local_steps`` (uploads drawn, model still at ``w_prev``) →
     ``after_aggregate`` (selection/downlink ready, update not applied) →
     ``after_update`` (model at ``w_new``, residuals reset) →
+    ``round_timing`` (may replace the default charge) →
     ``extra_round_time`` (timing computed) → ``observe`` (round_time
     final, before evaluation/record).
+
+    ``after_local_steps`` may *filter* ``ctx.uploads`` and
+    ``ctx.participants`` (keeping the two lists aligned) — this is how
+    deployment scenarios drop deadline-missing uploads; every later
+    phase (selection, aggregation, residual reset) then sees only the
+    survivors, so dropped clients keep their residuals.
     """
 
     #: ask the backend to draw one-sample probes during local steps
@@ -104,6 +117,16 @@ class RoundHooks:
 
     def after_update(self, ctx: RoundContext) -> None:
         """Model holds ``ctx.w_new``; residuals already reset."""
+
+    def round_timing(self, ctx: RoundContext) -> RoundTiming | None:
+        """Replace the round's timing charge, or None for the default.
+
+        Called after ``after_update`` with ``ctx.selection`` final.
+        Deployment scenarios override this to charge the deadline-bounded
+        round close instead of the straggler tail.
+        """
+        del ctx
+        return None
 
     def extra_round_time(self, ctx: RoundContext) -> float:
         """Additional normalized time to charge (e.g. probe downlink)."""
@@ -119,6 +142,53 @@ class RoundHooks:
 
 
 _DEFAULT_HOOKS = RoundHooks()
+
+
+class ChainedHooks(RoundHooks):
+    """Compose several hook objects into one (outermost first).
+
+    Used by the engine to stack a persistent scenario hook under a
+    trainer's per-round hooks: notification methods run in order (so a
+    scenario's upload filtering happens before a trainer's probe
+    measurements see ``ctx``), ``extra_round_time`` contributions add,
+    ``round_timing`` takes the first override, and ``record_k`` defers
+    to the innermost (trainer) hook — the one that knows what k meant.
+    """
+
+    def __init__(self, *hooks: RoundHooks | None) -> None:
+        self.hooks = [h for h in hooks if h is not None]
+        self.wants_probes = any(h.wants_probes for h in self.hooks)
+
+    def after_local_steps(self, ctx: RoundContext) -> None:
+        for hook in self.hooks:
+            hook.after_local_steps(ctx)
+
+    def after_aggregate(self, ctx: RoundContext) -> None:
+        for hook in self.hooks:
+            hook.after_aggregate(ctx)
+
+    def after_update(self, ctx: RoundContext) -> None:
+        for hook in self.hooks:
+            hook.after_update(ctx)
+
+    def round_timing(self, ctx: RoundContext) -> RoundTiming | None:
+        for hook in self.hooks:
+            override = hook.round_timing(ctx)
+            if override is not None:
+                return override
+        return None
+
+    def extra_round_time(self, ctx: RoundContext) -> float:
+        return sum(hook.extra_round_time(ctx) for hook in self.hooks)
+
+    def observe(self, ctx: RoundContext) -> None:
+        for hook in self.hooks:
+            hook.observe(ctx)
+
+    def record_k(self, ctx: RoundContext) -> float:
+        if not self.hooks:
+            return float(ctx.k)
+        return self.hooks[-1].record_k(ctx)
 
 
 class EngineFacade:
@@ -233,6 +303,7 @@ class RoundEngine:
         momentum_correction: float = 0.0,
         optimizer=None,
         backend: str | ExecutionBackend | None = None,
+        scenario_hooks: RoundHooks | None = None,
         seed: int = 0,
     ) -> None:
         if learning_rate <= 0:
@@ -247,6 +318,9 @@ class RoundEngine:
         self.eval_every = eval_every
         self.sampler = sampler
         self.optimizer = optimizer
+        #: persistent hooks applied to *every* round under the per-call
+        #: hooks (deployment scenarios: availability/deadline gating).
+        self.scenario_hooks = scenario_hooks
         self.backend = resolve_backend(backend)
         self.server = Server(model.dimension)
         self.clients = [
@@ -318,6 +392,8 @@ class RoundEngine:
                 f"k must be in [1, {self.model.dimension}], got {k}"
             )
         hooks = hooks if hooks is not None else _DEFAULT_HOOKS
+        if self.scenario_hooks is not None:
+            hooks = ChainedHooks(self.scenario_hooks, hooks)
         ctx = RoundContext(self, self.begin_round(), k)
 
         start_round = getattr(self.sparsifier, "start_round", None)
@@ -344,7 +420,9 @@ class RoundEngine:
         ctx.selection = self.sparsifier.server_select(
             ctx.uploads, k, self.model.dimension
         )
-        ctx.downlink = self.server.aggregate(ctx.uploads, ctx.selection)
+        ctx.downlink = self.server.aggregate(
+            ctx.uploads, ctx.selection, total_weight=ctx.aggregation_weight
+        )
         hooks.after_aggregate(ctx)
 
         sparse_update = ctx.downlink.payload
@@ -367,8 +445,11 @@ class RoundEngine:
         hooks.after_update(ctx)
 
         ctx.uplink_elements = max(up.payload.nnz for up in ctx.uploads)
+        timing_override = hooks.round_timing(ctx)
         sparse_round_for = getattr(self.timing, "sparse_round_for", None)
-        if sparse_round_for is not None:
+        if timing_override is not None:
+            ctx.round_timing = timing_override
+        elif sparse_round_for is not None:
             ctx.round_timing = sparse_round_for(
                 ctx.uplink_elements, ctx.selection.downlink_element_count,
                 ctx.participant_ids,

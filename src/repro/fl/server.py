@@ -30,7 +30,10 @@ class Server:
         self.dimension = dimension
 
     def aggregate(
-        self, uploads: list[ClientUpload], selection: SelectionResult
+        self,
+        uploads: list[ClientUpload],
+        selection: SelectionResult,
+        total_weight: float | None = None,
     ) -> DownlinkMessage:
         """Aggregate uploaded residuals over the selected index set.
 
@@ -41,10 +44,20 @@ class Server:
         out client-major, so each coordinate accumulates its terms in
         exactly the per-client order of the fallback loop — the aggregate
         is bit-identical, not merely equal in expectation.
+
+        ``total_weight`` overrides the normalizing constant ``C``.  By
+        default ``C`` is the received uploads' total sample count; under
+        deadline-driven partial aggregation a deployment scenario may
+        instead pass the *sampled cohort's* total weight, so an update
+        missing some uploads is scaled down rather than renormalized
+        (unbiased with respect to the cohort).
         """
         if not uploads:
             raise ValueError("no uploads to aggregate")
-        total_weight = float(sum(up.sample_count for up in uploads))
+        if total_weight is None:
+            total_weight = float(sum(up.sample_count for up in uploads))
+        elif total_weight <= 0:
+            raise ValueError("total_weight must be positive")
         selected = selection.indices  # sorted unique
         values = np.zeros(selected.size)
         nnz = uploads[0].payload.nnz

@@ -73,6 +73,13 @@ class FLTrainer(EngineFacade):
         Execution backend for the local-step phase: ``"serial"``
         (default), ``"vectorized"``, or an
         :class:`~repro.fl.backends.ExecutionBackend` instance.
+    scenario:
+        Optional :class:`repro.scenarios.DeploymentScenario` wrapping the
+        run in a client population with availability churn and
+        deadline-driven partial aggregation; supplies both the per-round
+        sampler and the engine's persistent scenario hooks (mutually
+        exclusive with ``sampler``).  Scenarios are stateful — build a
+        fresh one per trainer.
     """
 
     def __init__(
@@ -89,8 +96,10 @@ class FLTrainer(EngineFacade):
         momentum_correction: float = 0.0,
         optimizer=None,
         backend: str | ExecutionBackend | None = None,
+        scenario=None,
         seed: int = 0,
     ) -> None:
+        sampler, scenario_hooks = _apply_scenario(scenario, sampler)
         self.engine = RoundEngine(
             model=model,
             federation=federation,
@@ -106,6 +115,7 @@ class FLTrainer(EngineFacade):
             momentum_correction=momentum_correction,
             optimizer=optimizer,
             backend=backend,
+            scenario_hooks=scenario_hooks,
             seed=seed,
         )
 
@@ -148,6 +158,22 @@ class FLTrainer(EngineFacade):
             if record.loss <= target_loss:
                 break
         return self.history
+
+
+def _apply_scenario(scenario, sampler):
+    """Resolve a deployment scenario into (sampler, scenario_hooks).
+
+    Duck-typed (``.sampler``/``.hooks`` attributes) so this module does
+    not import :mod:`repro.scenarios`, which imports the engine back.
+    """
+    if scenario is None:
+        return sampler, None
+    if sampler is not None:
+        raise ValueError(
+            "pass either a scenario or a sampler, not both: the scenario "
+            "provides its own availability-gated sampler"
+        )
+    return scenario.sampler, scenario.hooks
 
 
 def _as_schedule(

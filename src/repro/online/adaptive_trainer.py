@@ -36,6 +36,7 @@ import numpy as np
 from repro.data.partition import FederatedDataset
 from repro.fl.backends import ExecutionBackend
 from repro.fl.engine import EngineFacade, RoundContext, RoundEngine, RoundHooks
+from repro.fl.trainer import _apply_scenario
 from repro.fl.metrics import RoundRecord, TrainingHistory
 from repro.nn.flat import FlatModel
 from repro.online.interval import stochastic_round
@@ -151,8 +152,10 @@ class AdaptiveKTrainer(EngineFacade):
         charge_probe_communication: bool = True,
         sampler=None,
         backend: str | ExecutionBackend | None = None,
+        scenario=None,
         seed: int = 0,
     ) -> None:
+        sampler, scenario_hooks = _apply_scenario(scenario, sampler)
         self.engine = RoundEngine(
             model=model,
             federation=federation,
@@ -164,6 +167,7 @@ class AdaptiveKTrainer(EngineFacade):
             eval_max_samples=eval_max_samples,
             sampler=sampler,
             backend=backend,
+            scenario_hooks=scenario_hooks,
             seed=seed,
         )
         self.policy = policy

@@ -123,17 +123,34 @@ class ShardedBackend(ExecutionBackend):
     ) -> list[np.ndarray]:
         return self._compute(model, participants, want_batches=False)
 
+    def reset_residuals(
+        self,
+        participants: list[Client],
+        uploads: list[ClientUpload],
+        selected: np.ndarray,
+    ) -> None:
+        # Residuals live in the parent, so this *could* still work after
+        # close() — but a closed backend means the training run is over
+        # (ROADMAP convention); enforce it uniformly rather than let half
+        # the interface keep functioning.
+        self._ensure_open()
+        super().reset_residuals(participants, uploads, selected)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "ShardedBackend used after close(); worker-side RNG state "
+                "is gone, so resuming would break bit-identity — build a "
+                "fresh backend (and trainer) instead"
+            )
+
     def _compute(
         self,
         model: FlatModel,
         participants: list[Client],
         want_batches: bool,
     ) -> list[np.ndarray]:
-        if self._closed:
-            raise RuntimeError(
-                "ShardedBackend used after close(); worker-side RNG state "
-                "is gone, so resuming would break bit-identity"
-            )
+        self._ensure_open()
         if not model.deterministic_gradients():
             # Active Dropout: the gradient depends on the model's RNG
             # stream position, which worker replicas cannot share.  Run

@@ -45,7 +45,7 @@ from repro.fl.backends import BACKEND_NAMES
 from repro.parallel.pool import in_daemon_process, preferred_start_method
 from repro.parallel.store import ResultsStore, content_key
 
-SWEEP_FIGURES = ("fig1", "fig4", "fig5", "fig6", "fig7", "fig8")
+SWEEP_FIGURES = ("fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "scenario")
 
 
 @dataclass(frozen=True)
@@ -192,6 +192,21 @@ def collect_artifacts(figure: str, config: ExperimentConfig) -> dict[str, dict]:
             "fig6_loss_vs_time": figure_to_dict(result.loss_vs_time),
             "fig6_k_traces": figure_to_dict(result.k_traces),
         }
+    if figure == "scenario":
+        from repro.experiments.scenario import run_scenario
+
+        result = run_scenario(config)
+        artifacts = {
+            "scenario_loss_vs_time": figure_to_dict(result.loss_vs_time),
+            "scenario_accuracy_vs_time": figure_to_dict(
+                result.accuracy_vs_time
+            ),
+            "scenario_k_traces": figure_to_dict(result.k_traces),
+            "scenario_delivery": figure_to_dict(result.delivery),
+        }
+        for method, history in result.histories.items():
+            artifacts[f"scenario_history_{method}"] = history_to_dict(history)
+        return artifacts
     if figure in ("fig7", "fig8"):
         from repro.experiments.fig7 import run_fig7, run_fig8
 

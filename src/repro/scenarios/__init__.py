@@ -1,0 +1,48 @@
+"""Deployment-scenario simulation: availability, churn, deadlines.
+
+Wraps any engine-based trainer in a realistic client population — who is
+online each round (:mod:`~repro.scenarios.availability`), which uploads
+beat the server deadline (:mod:`~repro.scenarios.deadline`), and how the
+partial aggregate is reweighted — all declared by a JSON-serializable
+:class:`~repro.scenarios.config.ScenarioConfig` and materialized by
+:class:`~repro.scenarios.scenario.DeploymentScenario`.
+"""
+
+from repro.scenarios.availability import (
+    AlwaysAvailable,
+    ClientAvailability,
+    DiurnalAvailability,
+    MarkovAvailability,
+    TraceAvailability,
+)
+from repro.scenarios.config import (
+    AVAILABILITY_KINDS,
+    REWEIGHT_MODES,
+    ScenarioConfig,
+)
+from repro.scenarios.deadline import DeadlineRoundPolicy, DeadlineVerdict
+from repro.scenarios.scenario import (
+    DeploymentScenario,
+    ScenarioHooks,
+    ScenarioSampler,
+    ScenarioStats,
+    build_availability,
+)
+
+__all__ = [
+    "AVAILABILITY_KINDS",
+    "REWEIGHT_MODES",
+    "AlwaysAvailable",
+    "ClientAvailability",
+    "DeadlineRoundPolicy",
+    "DeadlineVerdict",
+    "DeploymentScenario",
+    "DiurnalAvailability",
+    "MarkovAvailability",
+    "ScenarioConfig",
+    "ScenarioHooks",
+    "ScenarioSampler",
+    "ScenarioStats",
+    "TraceAvailability",
+    "build_availability",
+]

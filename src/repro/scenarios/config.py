@@ -1,0 +1,190 @@
+"""Declarative deployment-scenario configuration.
+
+:class:`ScenarioConfig` is the JSON-serializable description of one
+deployment regime — availability process, cohort size, over-selection,
+deadline schedule, reweighting mode, and straggler population.  It rides
+inside :class:`repro.experiments.config.ExperimentConfig.scenario` (as a
+plain dict, so experiment configs stay import-light and content-
+addressable for the sweep cache) and is materialized into runtime
+objects by :func:`repro.scenarios.scenario.DeploymentScenario.build`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+
+import numpy as np
+
+from repro.simulation.heterogeneous import ClientProfile
+
+AVAILABILITY_KINDS = ("always", "markov", "diurnal", "trace")
+REWEIGHT_MODES = ("arrived", "cohort")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything needed to wrap a trainer in a deployment scenario.
+
+    Attributes
+    ----------
+    availability:
+        One of :data:`AVAILABILITY_KINDS`.  ``markov`` uses
+        ``p_drop``/``p_recover``; ``diurnal`` uses ``period``/``duty``;
+        ``trace`` replays ``trace`` (a tuple of per-round id tuples,
+        cycling when ``trace_cycle``).
+    participants:
+        Target ``m`` of aggregated uploads per round; 0 means "every
+        available client" (over-selection then requires an explicit m).
+    over_selection:
+        ε of the "sample ``m·(1+ε)``, aggregate the first ``m`` to
+        finish" rule; 0 disables over-selection.
+    deadline:
+        Per-round compute+uplink budget — a float, a tuple (cycling
+        per-round schedule, enabling periodic straggler amnesty), or
+        ``None`` (wait for everyone).
+    min_uploads:
+        Floor of accepted uploads per round (the server extends the
+        round rather than aggregate fewer).
+    reweight:
+        ``"arrived"`` renormalizes aggregation weights over the uploads
+        that made it (each round's update is a proper weighted average of
+        the arrivals); ``"cohort"`` keeps the sampled cohort's total
+        weight in the denominator, scaling the update down when uploads
+        are missing (unbiased w.r.t. the cohort).
+    slow_fraction / slow_factor:
+        Fraction of clients designated stragglers and their compute+comm
+        slowdown; feeds both the deadline gate's finish times and the
+        :class:`~repro.simulation.heterogeneous.HeterogeneousTimingModel`
+        a scenario run charges time with.
+    seed:
+        Seeds availability chains, straggler designation, and cohort
+        sampling (all streams are derived, so one scenario seed pins the
+        whole deployment realization).
+    """
+
+    availability: str = "markov"
+    p_drop: float = 0.1
+    p_recover: float = 0.5
+    period: int = 24
+    duty: float = 0.5
+    trace: tuple[tuple[int, ...], ...] | None = None
+    trace_cycle: bool = True
+    participants: int = 0
+    over_selection: float = 0.0
+    deadline: float | tuple[float, ...] | None = None
+    min_uploads: int = 1
+    reweight: str = "arrived"
+    slow_fraction: float = 0.0
+    slow_factor: float = 4.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.availability not in AVAILABILITY_KINDS:
+            raise ValueError(
+                f"unknown availability {self.availability!r}; expected one "
+                f"of {AVAILABILITY_KINDS}"
+            )
+        if self.availability == "trace" and not self.trace:
+            raise ValueError("trace availability needs a non-empty trace")
+        if self.trace is not None:
+            object.__setattr__(
+                self, "trace",
+                tuple(tuple(int(c) for c in entry) for entry in self.trace),
+            )
+        if not 0.0 <= self.p_drop <= 1.0 or not 0.0 <= self.p_recover <= 1.0:
+            raise ValueError("p_drop/p_recover must be in [0, 1]")
+        if self.period < 1:
+            raise ValueError("period must be >= 1")
+        if not 0.0 < self.duty <= 1.0:
+            raise ValueError("duty must be in (0, 1]")
+        if self.participants < 0:
+            raise ValueError("participants must be >= 0 (0 = all available)")
+        if self.over_selection < 0.0:
+            raise ValueError("over_selection must be >= 0")
+        if self.over_selection > 0.0 and self.participants == 0:
+            raise ValueError(
+                "over_selection needs an explicit participants target m"
+            )
+        if isinstance(self.deadline, (list, tuple)):
+            object.__setattr__(
+                self, "deadline", tuple(float(d) for d in self.deadline)
+            )
+        if self.min_uploads < 1:
+            raise ValueError("min_uploads must be >= 1")
+        if self.reweight not in REWEIGHT_MODES:
+            raise ValueError(
+                f"unknown reweight mode {self.reweight!r}; expected one of "
+                f"{REWEIGHT_MODES}"
+            )
+        if not 0.0 <= self.slow_fraction <= 1.0:
+            raise ValueError("slow_fraction must be in [0, 1]")
+        if self.slow_factor <= 0.0:
+            raise ValueError("slow_factor must be positive")
+
+    def with_overrides(self, **kwargs) -> "ScenarioConfig":
+        """Copy with fields replaced (scenario configs are immutable)."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Serialization (ExperimentConfig.scenario carries the dict form)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; round-trips via :meth:`from_dict`."""
+        data = asdict(self)
+        if self.trace is not None:
+            data["trace"] = [list(entry) for entry in self.trace]
+        if isinstance(self.deadline, tuple):
+            data["deadline"] = list(self.deadline)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioConfig":
+        data = dict(data)
+        if data.get("trace") is not None:
+            data["trace"] = tuple(tuple(e) for e in data["trace"])
+        if isinstance(data.get("deadline"), list):
+            data["deadline"] = tuple(data["deadline"])
+        return cls(**data)
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def default_churn(cls) -> "ScenarioConfig":
+        """The reference availability+deadline regime of the scenario CLI.
+
+        Markov churn; a quarter of the population stragglers at 4×; a
+        cycling deadline schedule of three tight rounds (2.5× the unit
+        computation time — fast clients always make it, stragglers never
+        do) followed by one amnesty round at 9.0 in which slow clients
+        flush the residuals accumulated while dropped.
+        """
+        return cls(
+            availability="markov",
+            p_drop=0.15,
+            p_recover=0.6,
+            deadline=(2.5, 2.5, 2.5, 9.0),
+            slow_fraction=0.25,
+            slow_factor=4.0,
+        )
+
+    # ------------------------------------------------------------------
+    def build_profiles(self, client_ids: list[int]) -> list[ClientProfile]:
+        """Seeded straggler designation for this scenario's population."""
+        ids = sorted(int(c) for c in client_ids)
+        slow = set()
+        count = int(round(self.slow_fraction * len(ids)))
+        if count:
+            rng = np.random.default_rng((self.seed, 0x51C0))
+            slow = set(
+                int(c)
+                for c in rng.choice(ids, size=count, replace=False)
+            )
+        return [
+            ClientProfile(
+                client_id=cid,
+                compute_factor=self.slow_factor if cid in slow else 1.0,
+                comm_factor=self.slow_factor if cid in slow else 1.0,
+            )
+            for cid in ids
+        ]

@@ -1,0 +1,227 @@
+"""Deadline-driven partial aggregation: which uploads make the round.
+
+In the paper every round waits for its slowest participant (the
+straggler tail the synchronous protocol inherits).  A deployment-grade
+server instead sets a *deadline*: uploads that arrive in time are
+aggregated, late ones are dropped, and the round's clock charge is
+bounded by the deadline rather than the tail.  Because Algorithm 1
+accumulates every gradient into the client residual *before* selection,
+a dropped upload is not lost information — the untransmitted residual
+simply rides along and is recovered by top-k/FAB selection in a later
+round (``tests/test_scenarios.py`` proves the recovery is exact).
+
+Per-client finish times come from the same speed profiles that drive
+:class:`repro.simulation.heterogeneous.HeterogeneousTimingModel`:
+
+    finish_i = computation_time · compute_factor_i
+             + uplink_time(nnz_i) · comm_factor_i
+
+with ``uplink_time`` the base :class:`~repro.simulation.timing.
+TimingModel` sparse transfer of the client's upload size.  Everything is
+a pure function of (uploads, profiles, round_index), so deadline verdicts
+are identical across execution backends.
+
+Round-close semantics ("charge the deadline, not the straggler tail"):
+
+- over-selection satisfied early (more in-time uploads than the target
+  ``m``): the server closes when the ``m``-th acceptee finishes;
+- every upload arrived in time: close at the last acceptee's finish;
+- someone missed the deadline: the server waited until the deadline to
+  learn that, so close at the deadline;
+- fewer than ``min_uploads`` arrived: the server extends the round for
+  the fastest ``min_uploads`` clients (close at the last forced
+  acceptee) — partial aggregation never degenerates to an empty round.
+
+``deadline`` may be a single number or a per-round sequence that
+*cycles* (``deadline[(m - 1) mod len]``), which lets a server run
+periodic straggler amnesty — a few tight rounds, then one loose round in
+which slow clients flush their accumulated residuals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.simulation.heterogeneous import ClientProfile
+from repro.simulation.timing import TimingModel
+from repro.sparsify.base import ClientUpload
+
+
+@dataclass(frozen=True)
+class DeadlineVerdict:
+    """Outcome of one round's deadline gate.
+
+    ``accepted`` holds positions into the round's upload list (ascending,
+    so filtered lists keep their participant order), ``dropped_ids`` the
+    client ids whose uploads were discarded, and ``close_time`` the
+    normalized time at which the server closed the uplink phase.
+    """
+
+    accepted: tuple[int, ...]
+    dropped_ids: tuple[int, ...]
+    close_time: float
+    finish_times: tuple[float, ...]
+
+    @property
+    def dropped_count(self) -> int:
+        return len(self.dropped_ids)
+
+
+class DeadlineRoundPolicy:
+    """Server-side deadline gate with optional over-selection.
+
+    Parameters
+    ----------
+    deadline:
+        Normalized-time budget of a round's compute+uplink phase — a
+        float, a cycling per-round sequence, or ``None`` for "wait for
+        everyone" (no drops; useful to isolate availability effects).
+    over_selection:
+        The ε of "sample ``m·(1+ε)`` clients, aggregate the first ``m``
+        to finish" — the policy only consumes the *target* ``m``; the
+        extra sampling itself is the scenario sampler's job.
+    min_uploads:
+        Floor on accepted uploads: if fewer finish in time the server
+        extends the round for the fastest ``min_uploads`` clients.
+    """
+
+    def __init__(
+        self,
+        deadline: float | Sequence[float] | None,
+        over_selection: float = 0.0,
+        min_uploads: int = 1,
+    ) -> None:
+        if over_selection < 0.0:
+            raise ValueError("over_selection must be >= 0")
+        if min_uploads < 1:
+            raise ValueError("min_uploads must be >= 1 (the server cannot "
+                             "aggregate an empty round)")
+        if deadline is not None and not isinstance(deadline, (int, float)):
+            deadline = tuple(float(d) for d in deadline)
+            if not deadline:
+                raise ValueError("empty deadline sequence")
+            if any(d <= 0 for d in deadline):
+                raise ValueError("deadlines must be positive")
+        elif isinstance(deadline, (int, float)):
+            if deadline <= 0:
+                raise ValueError("deadlines must be positive")
+            deadline = float(deadline)
+        self.deadline = deadline
+        self.over_selection = over_selection
+        self.min_uploads = min_uploads
+
+    # ------------------------------------------------------------------
+    def deadline_for(self, round_index: int) -> float | None:
+        """The deadline in force for 1-based round ``round_index``."""
+        if round_index < 1:
+            raise ValueError("round_index is 1-based and must be >= 1")
+        if self.deadline is None or isinstance(self.deadline, float):
+            return self.deadline
+        return self.deadline[(round_index - 1) % len(self.deadline)]
+
+    def finish_times(
+        self,
+        uploads: list[ClientUpload],
+        timing: TimingModel,
+        profiles: dict[int, ClientProfile] | None = None,
+    ) -> np.ndarray:
+        """Per-upload compute+uplink finish times (normalized)."""
+        times = np.empty(len(uploads))
+        for i, up in enumerate(uploads):
+            profile = (profiles or {}).get(up.client_id)
+            cf = profile.compute_factor if profile is not None else 1.0
+            mf = profile.comm_factor if profile is not None else 1.0
+            # Base-class transfer time: a HeterogeneousTimingModel's own
+            # sparse_round already folds in its worst-client comm factor,
+            # which would double-count the per-client ``mf`` here.
+            uplink = TimingModel.sparse_round(timing, up.payload.nnz, 0).uplink
+            times[i] = timing.computation_time * cf + uplink * mf
+        return times
+
+    def admit(
+        self,
+        round_index: int,
+        uploads: list[ClientUpload],
+        timing: TimingModel,
+        profiles: dict[int, ClientProfile] | None = None,
+        target_uploads: int | None = None,
+    ) -> DeadlineVerdict:
+        """Gate one round's uploads; deterministic in its arguments.
+
+        ``target_uploads`` is the over-selection target ``m`` (``None``
+        means "as many as arrive" — plain deadline semantics).
+        """
+        if not uploads:
+            raise ValueError("no uploads to admit")
+        deadline = self.deadline_for(round_index)
+        finish = self.finish_times(uploads, timing, profiles)
+        # Deterministic service order: finish time, then client id.
+        order = sorted(
+            range(len(uploads)),
+            key=lambda i: (finish[i], uploads[i].client_id),
+        )
+        if deadline is None:
+            in_time = list(order)
+        else:
+            in_time = [i for i in order if finish[i] <= deadline]
+        target = (
+            len(uploads) if target_uploads is None
+            else max(self.min_uploads, target_uploads)
+        )
+        accepted = in_time[:target]
+        extended = False
+        if len(accepted) < self.min_uploads:
+            accepted = order[: self.min_uploads]
+            extended = True
+
+        if extended:
+            close = float(max(finish[i] for i in accepted))
+        elif (
+            target_uploads is not None
+            and len(accepted) == target
+            and len(uploads) > target
+        ):
+            # Over-selection reached its target: the server has its m
+            # uploads the moment the m-th finisher lands and closes
+            # there — whether or not stragglers would also have made the
+            # deadline.  (``accepted`` is still in service order here,
+            # so its last element is the m-th finisher.)
+            close = float(finish[accepted[-1]])
+        elif deadline is None or len(in_time) == len(uploads):
+            close = float(max(finish[i] for i in accepted))
+        else:
+            # Someone missed; the server only learns so at the deadline.
+            close = float(deadline)
+
+        accepted_set = set(accepted)
+        dropped = tuple(
+            uploads[i].client_id
+            for i in range(len(uploads))
+            if i not in accepted_set
+        )
+        return DeadlineVerdict(
+            accepted=tuple(sorted(accepted)),
+            dropped_ids=dropped,
+            close_time=close,
+            finish_times=tuple(float(t) for t in finish),
+        )
+
+    # ------------------------------------------------------------------
+    def applies(self, target_uploads: int | None) -> bool:
+        """Whether this policy can drop or re-time a round.
+
+        True with a deadline, and also for pure over-selection (no
+        deadline, but the server still closes once the first
+        ``target_uploads`` of the over-sampled cohort finish).
+        """
+        return self.deadline is not None or (
+            self.over_selection > 0 and target_uploads is not None
+        )
+
+    @property
+    def active(self) -> bool:
+        """Whether a deadline is configured (see :meth:`applies`)."""
+        return self.deadline is not None

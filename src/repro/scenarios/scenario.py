@@ -1,0 +1,397 @@
+"""Deployment-scenario runtime: sampler + round hooks over any engine.
+
+:class:`DeploymentScenario` materializes a :class:`~repro.scenarios.
+config.ScenarioConfig` into the two objects the round engine already
+knows how to consume:
+
+- :class:`ScenarioSampler` — the engine's ``sampler`` slot: each round it
+  asks the availability process who is online and draws the cohort
+  (``m·(1+ε)`` clients under over-selection) from that set only.
+- :class:`ScenarioHooks` — a :class:`repro.fl.engine.RoundHooks` that
+  gates the round's uploads through the :class:`~repro.scenarios.
+  deadline.DeadlineRoundPolicy`, drops the late ones *before* selection
+  and aggregation, and overrides the round's timing charge with the
+  deadline-bounded close.
+
+Dropped-upload semantics (the part that makes the paper's sparsifiers
+shine under churn): a dropped client already accumulated its gradient
+into its residual during the local step, it is simply excluded from the
+selection/aggregation/reset phases — so nothing is reset, the unsent
+information stays in the residual, and FAB/top-k selection recovers it
+the next time the client makes a deadline.  The server reweights the
+partial aggregate over the arrivals (or over the full cohort, see
+``ScenarioConfig.reweight``).
+
+Everything here runs in the parent process on state the engine already
+owns, so scenario runs are bit-identical across the serial, vectorized
+and sharded execution backends (enforced by ``tests/test_scenarios.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fl.engine import RoundContext, RoundHooks
+from repro.scenarios.availability import (
+    AlwaysAvailable,
+    ClientAvailability,
+    DiurnalAvailability,
+    MarkovAvailability,
+    TraceAvailability,
+)
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.deadline import DeadlineRoundPolicy
+from repro.simulation.heterogeneous import ClientProfile
+from repro.simulation.timing import RoundTiming, TimingModel
+
+
+@dataclass
+class RoundDelivery:
+    """What one round actually delivered."""
+
+    round_index: int
+    available: int
+    cohort: int
+    arrived: int
+    dropped_ids: tuple[int, ...]
+    close_time: float
+    deadline: float | None
+
+
+@dataclass
+class ScenarioStats:
+    """Per-round delivery log plus cumulative drop accounting."""
+
+    rounds: list[RoundDelivery] = field(default_factory=list)
+    #: client id -> number of rounds whose upload was deadline-dropped
+    drops_by_client: dict[int, int] = field(default_factory=dict)
+    _pending_available: int | None = None
+
+    def record_available(self, count: int) -> None:
+        self._pending_available = count
+
+    def record_round(
+        self,
+        round_index: int,
+        cohort: int,
+        arrived: int,
+        dropped_ids: tuple[int, ...],
+        close_time: float,
+        deadline: float | None,
+    ) -> None:
+        self.rounds.append(RoundDelivery(
+            round_index=round_index,
+            available=(
+                self._pending_available
+                if self._pending_available is not None else cohort
+            ),
+            cohort=cohort,
+            arrived=arrived,
+            dropped_ids=dropped_ids,
+            close_time=close_time,
+            deadline=deadline,
+        ))
+        self._pending_available = None
+        for cid in dropped_ids:
+            self.drops_by_client[cid] = self.drops_by_client.get(cid, 0) + 1
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(len(r.dropped_ids) for r in self.rounds)
+
+    @property
+    def total_arrived(self) -> int:
+        return sum(r.arrived for r in self.rounds)
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (the scenario driver's artifact notes)."""
+        return {
+            "rounds": len(self.rounds),
+            "total_arrived": self.total_arrived,
+            "total_dropped": self.total_dropped,
+            "drops_by_client": {
+                str(cid): n for cid, n in sorted(self.drops_by_client.items())
+            },
+            "mean_available": (
+                float(np.mean([r.available for r in self.rounds]))
+                if self.rounds else 0.0
+            ),
+        }
+
+
+class ScenarioSampler:
+    """Availability-gated, seeded cohort sampler (the engine's ``sampler``).
+
+    Each call advances one round: query the availability process, then
+    draw the cohort — ``min(cohort_size, |available|)`` clients without
+    replacement.  With ``count == 0`` every available client participates
+    and no RNG is consumed, so the degenerate always-available scenario
+    reproduces the plain trainer's participant lists exactly.  When *no*
+    client is online the round falls back to the full population (the
+    server waits the gap out; a finer-grained idle-round model would need
+    engine support and buys no insight at this abstraction level).
+    """
+
+    def __init__(
+        self,
+        availability: ClientAvailability,
+        count: int = 0,
+        over_selection: float = 0.0,
+        seed: int = 0,
+        stats: ScenarioStats | None = None,
+    ) -> None:
+        if count < 0 or count > len(availability.client_ids):
+            raise ValueError(
+                f"count must be in [0, {len(availability.client_ids)}], "
+                f"got {count}"
+            )
+        self.availability = availability
+        self.count = count
+        self.over_selection = over_selection
+        self.stats = stats
+        self._rng = np.random.default_rng((seed, 0x5CE2))
+        self._round = 0
+
+    @property
+    def cohort_size(self) -> int:
+        """Clients sampled per round before the deadline gate (0 = all)."""
+        if self.count == 0:
+            return 0
+        return int(np.ceil(self.count * (1.0 + self.over_selection)))
+
+    def sample(self) -> list[int]:
+        """Draw the next round's cohort (sorted ids)."""
+        self._round += 1
+        available = self.availability.available_ids(self._round)
+        if self.stats is not None:
+            self.stats.record_available(len(available))
+        if not available:
+            available = list(self.availability.client_ids)
+        size = self.cohort_size
+        if size == 0 or size >= len(available):
+            return list(available)
+        chosen = self._rng.choice(available, size=size, replace=False)
+        return sorted(int(c) for c in chosen)
+
+
+class ScenarioHooks(RoundHooks):
+    """Deadline gate + partial-aggregation reweighting + timing override.
+
+    Runs entirely in the parent process on the uploads the execution
+    backend produced, after residual accumulation and client selection —
+    so it composes with any backend and any sparsifier.  Per call order
+    (see :class:`repro.fl.engine.RoundHooks`):
+
+    - ``after_local_steps``: compute per-upload finish times, apply the
+      deadline verdict, filter ``ctx.uploads``/``ctx.participants`` down
+      to the arrivals (late clients keep their residuals untouched —
+      that is the recovery mechanism), and set the aggregation weight
+      for cohort-mode reweighting.
+    - ``round_timing``: replace the straggler-tail charge with the
+      deadline-bounded close plus the downlink broadcast.
+    - ``after_update``: for non-accumulating sparsifiers
+      (``discards_residual``), dropped clients discard their residual
+      too — the scheme's semantics, not the scenario's.
+    """
+
+    def __init__(
+        self,
+        policy: DeadlineRoundPolicy,
+        timing: TimingModel,
+        profiles: dict[int, ClientProfile] | None = None,
+        target_uploads: int | None = None,
+        reweight: str = "arrived",
+        stats: ScenarioStats | None = None,
+    ) -> None:
+        self.policy = policy
+        self.timing = timing
+        self.profiles = profiles or {}
+        self.target_uploads = target_uploads
+        self.reweight = reweight
+        self.stats = stats if stats is not None else ScenarioStats()
+        self._dropped_clients: list = []
+        self._close_time: float | None = None
+        self._worst_comm: float = 1.0
+
+    # ------------------------------------------------------------------
+    def after_local_steps(self, ctx: RoundContext) -> None:
+        self._dropped_clients = []
+        self._close_time = None
+        cohort = list(ctx.participants)
+        self._worst_comm = max(
+            (
+                self.profiles[c.client_id].comm_factor
+                for c in cohort
+                if c.client_id in self.profiles
+            ),
+            default=1.0,
+        )
+        if self.reweight == "cohort":
+            ctx.aggregation_weight = float(
+                sum(up.sample_count for up in ctx.uploads)
+            )
+        if not self.policy.applies(self.target_uploads):
+            if self.stats is not None:
+                self.stats.record_round(
+                    ctx.round_index, len(cohort), len(cohort), (),
+                    close_time=float("nan"), deadline=None,
+                )
+            return
+        verdict = self.policy.admit(
+            ctx.round_index,
+            ctx.uploads,
+            self.timing,
+            self.profiles,
+            target_uploads=self.target_uploads,
+        )
+        accepted = set(verdict.accepted)
+        self._dropped_clients = [
+            client
+            for i, client in enumerate(ctx.participants)
+            if i not in accepted
+        ]
+        for client in self._dropped_clients:
+            # The unsent residual stays put; forgetting the upload keeps a
+            # later (mistaken) reset from clearing coordinates the server
+            # never received.
+            client.drop_upload()
+        ctx.uploads = [ctx.uploads[i] for i in verdict.accepted]
+        ctx.participants = [ctx.participants[i] for i in verdict.accepted]
+        if ctx.participant_ids is not None:
+            ctx.participant_ids = [
+                c.client_id for c in ctx.participants
+            ]
+        ctx.dropped_ids = verdict.dropped_ids
+        self._close_time = verdict.close_time
+        if self.stats is not None:
+            self.stats.record_round(
+                ctx.round_index, len(cohort), len(ctx.uploads),
+                verdict.dropped_ids, verdict.close_time,
+                self.policy.deadline_for(ctx.round_index),
+            )
+
+    def round_timing(self, ctx: RoundContext) -> RoundTiming | None:
+        if self._close_time is None:
+            return None
+        # The downlink broadcast reaches the whole cohort (dropped clients
+        # still apply the synchronized update), so it is paced by the
+        # cohort's slowest link.  Base-class transfer time on purpose: a
+        # HeterogeneousTimingModel's sparse_round already applies its
+        # worst-of-all-clients factor, which would double-count here.
+        downlink = (
+            TimingModel.sparse_round(
+                self.timing, 0, ctx.selection.downlink_element_count
+            ).downlink
+            * self._worst_comm
+        )
+        computation = self.timing.computation_time
+        return RoundTiming(
+            computation=computation,
+            uplink=max(0.0, self._close_time - computation),
+            downlink=downlink,
+        )
+
+    def after_update(self, ctx: RoundContext) -> None:
+        if (
+            ctx.engine.sparsifier is not None
+            and ctx.engine.sparsifier.discards_residual
+        ):
+            for client in self._dropped_clients:
+                client.reset_all()
+
+
+class DeploymentScenario:
+    """One materialized deployment regime: sampler + hooks + shared stats.
+
+    A scenario instance holds mutable state (availability chains, the
+    sampling RNG, the delivery log), so — like the sharded backend's
+    federation convention — every trainer gets a *freshly built*
+    scenario; never share one across runs.
+    """
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        sampler: ScenarioSampler,
+        hooks: ScenarioHooks,
+        stats: ScenarioStats,
+        profiles: list[ClientProfile],
+    ) -> None:
+        self.config = config
+        self.sampler = sampler
+        self.hooks = hooks
+        self.stats = stats
+        self.profiles = profiles
+
+    @classmethod
+    def build(
+        cls,
+        config: ScenarioConfig,
+        client_ids: list[int],
+        timing: TimingModel,
+        profiles: list[ClientProfile] | None = None,
+    ) -> "DeploymentScenario":
+        """Materialize ``config`` for a concrete population and timing.
+
+        ``profiles`` defaults to the config's seeded straggler
+        designation (:meth:`ScenarioConfig.build_profiles`); pass an
+        explicit list to reuse the profiles a
+        :class:`~repro.simulation.heterogeneous.HeterogeneousTimingModel`
+        was built with.
+        """
+        if profiles is None:
+            profiles = config.build_profiles(client_ids)
+        stats = ScenarioStats()
+        availability = build_availability(config, client_ids)
+        sampler = ScenarioSampler(
+            availability,
+            count=config.participants,
+            over_selection=config.over_selection,
+            seed=config.seed,
+            stats=stats,
+        )
+        policy = DeadlineRoundPolicy(
+            config.deadline,
+            over_selection=config.over_selection,
+            min_uploads=config.min_uploads,
+        )
+        hooks = ScenarioHooks(
+            policy,
+            timing,
+            profiles={p.client_id: p for p in profiles},
+            target_uploads=config.participants or None,
+            reweight=config.reweight,
+            stats=stats,
+        )
+        return cls(config, sampler, hooks, stats, profiles)
+
+
+def build_availability(
+    config: ScenarioConfig, client_ids: list[int]
+) -> ClientAvailability:
+    """The availability process a :class:`ScenarioConfig` names."""
+    if config.availability == "always":
+        return AlwaysAvailable(client_ids)
+    if config.availability == "markov":
+        return MarkovAvailability(
+            client_ids,
+            p_drop=config.p_drop,
+            p_recover=config.p_recover,
+            seed=config.seed,
+        )
+    if config.availability == "diurnal":
+        return DiurnalAvailability(
+            client_ids,
+            period=config.period,
+            duty=config.duty,
+            seed=config.seed,
+        )
+    assert config.availability == "trace"
+    assert config.trace is not None
+    return TraceAvailability(
+        client_ids,
+        [list(entry) for entry in config.trace],
+        cycle=config.trace_cycle,
+    )

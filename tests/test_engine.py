@@ -122,11 +122,30 @@ def _golden_sendall():
     return trainer.run(6)
 
 
+def _golden_cnn():
+    # Pinned after PR 3's conv rewrite: the grouped-conv serial path is
+    # the reference now, and cross-backend equality alone cannot catch a
+    # regression that moves *all* backends together.  4 rounds of the
+    # fig6-style CNN on the serial backend.
+    ds = make_femnist_like(num_writers=6, samples_per_writer=12,
+                           num_classes=6, image_size=8, classes_per_writer=3,
+                           flatten=False, seed=7)
+    fed = partition_by_writer(ds, seed=7)
+    model = make_cnn(image_size=8, channels=1, num_classes=6,
+                     dense_width=8, seed=7)
+    timing = TimingModel(dimension=model.dimension, comm_time=8.0)
+    trainer = FLTrainer(model, fed, FABTopK(), timing=timing,
+                        learning_rate=0.05, batch_size=6, eval_every=2,
+                        seed=7, backend="serial")
+    return trainer.run(4, k=20)
+
+
 GOLDEN_SCENARIOS = {
     "fl_trainer": _golden_fl,
     "adaptive_trainer": _golden_adaptive,
     "fedavg_trainer": _golden_fedavg,
     "sendall_trainer": _golden_sendall,
+    "cnn_fl_trainer": _golden_cnn,
 }
 
 

@@ -278,6 +278,25 @@ class TestShardedBackend:
         with pytest.raises(RuntimeError, match="close"):
             trainer.step(8)
 
+    def test_every_entry_point_refuses_after_close(self):
+        # The ROADMAP documents "never reuse after close()"; the whole
+        # ExecutionBackend surface must enforce it (not just the paths
+        # that happen to touch the pool), so misuse is a loud
+        # RuntimeError instead of silently diverging histories.
+        backend = ShardedBackend(jobs=2)
+        trainer = _trainer(backend)
+        trainer.run(1, k=8)
+        backend.close()
+        from repro.sparsify.fab_topk import FABTopK
+
+        with pytest.raises(RuntimeError, match="fresh backend"):
+            backend.compute_gradients(trainer.model, trainer.clients)
+        with pytest.raises(RuntimeError, match="fresh backend"):
+            backend.local_steps(trainer.model, trainer.clients, 8, FABTopK())
+        with pytest.raises(RuntimeError, match="fresh backend"):
+            backend.reset_residuals(trainer.clients, [], np.array([0]))
+        backend.close()  # close itself stays idempotent
+
 
 # ----------------------------------------------------------------------
 # ResultsStore

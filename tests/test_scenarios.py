@@ -1,0 +1,732 @@
+"""Deployment-scenario subsystem tests.
+
+Three load-bearing guarantees (the PR's acceptance criteria):
+
+(a) **Backend bit-identity under churn** — the same seeded scenario
+    (Markov availability, straggler profiles, deadline drops,
+    over-selection) produces *identical* histories, weights and
+    residuals on the serial, vectorized and sharded backends.
+(b) **Exact recovery of dropped uploads** — a deadline-dropped client's
+    gradient survives in its residual and is transmitted, bit for bit,
+    the next time the client makes a deadline.
+(c) **Degenerate scenario = plain trainer** — always-available, no
+    deadline, full participation reproduces the scenario-free trainer's
+    history exactly.
+
+Plus unit coverage of the availability processes, the deadline policy,
+the scenario config round-trip, the sampler, partial-aggregation
+reweighting, and the CLI entry point.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.partition import partition_by_writer
+from repro.data.synthetic import make_femnist_like
+from repro.fl.engine import ChainedHooks, RoundHooks
+from repro.fl.trainer import FLTrainer
+from repro.nn.models import make_mlp
+from repro.online.adaptive_trainer import AdaptiveKTrainer
+from repro.online.algorithm2 import SignOGD
+from repro.online.interval import SearchInterval
+from repro.online.policy import SignPolicy
+from repro.parallel.sharded import ShardedBackend
+from repro.scenarios import (
+    AlwaysAvailable,
+    DeadlineRoundPolicy,
+    DeploymentScenario,
+    DiurnalAvailability,
+    MarkovAvailability,
+    ScenarioConfig,
+    ScenarioSampler,
+    TraceAvailability,
+)
+from repro.simulation.heterogeneous import ClientProfile, HeterogeneousTimingModel
+from repro.simulation.timing import TimingModel
+from repro.sparsify.base import ClientUpload, SparseVector
+from repro.sparsify.fab_topk import FABTopK
+from repro.sparsify.periodic import PeriodicK
+
+
+def history_rows(history):
+    return [
+        (
+            r.round_index, r.k, r.round_time, r.cumulative_time,
+            None if np.isnan(r.loss) else r.loss, r.accuracy,
+            r.uplink_elements, r.downlink_elements,
+            tuple(sorted(r.contributions.items())),
+        )
+        for r in history
+    ]
+
+
+# ----------------------------------------------------------------------
+# Availability processes
+# ----------------------------------------------------------------------
+class TestAvailability:
+    IDS = [0, 1, 2, 3, 4]
+
+    def test_always_available(self):
+        av = AlwaysAvailable(self.IDS)
+        assert av.available_ids(1) == self.IDS
+        assert av.available_ids(1000) == self.IDS
+
+    def test_markov_is_deterministic_and_cached(self):
+        a = MarkovAvailability(self.IDS, p_drop=0.3, p_recover=0.4, seed=9)
+        b = MarkovAvailability(self.IDS, p_drop=0.3, p_recover=0.4, seed=9)
+        # Query out of order on one, in order on the other: same chain.
+        seq_a = [a.available_ids(m) for m in (5, 1, 3, 5, 2, 4)]
+        seq_b = [b.available_ids(m) for m in (5, 1, 3, 5, 2, 4)]
+        assert seq_a == seq_b
+        assert a.available_ids(5) == seq_a[0]  # cached, not re-drawn
+
+    def test_markov_edge_probabilities(self):
+        never_drop = MarkovAvailability(self.IDS, p_drop=0.0, p_recover=0.0)
+        for m in range(1, 10):
+            assert never_drop.available_ids(m) == self.IDS
+        flip = MarkovAvailability(self.IDS, p_drop=1.0, p_recover=1.0)
+        assert flip.available_ids(1) == []      # all dropped after round 0
+        assert flip.available_ids(2) == self.IDS  # all recovered
+
+    def test_markov_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError, match="probabilities"):
+            MarkovAvailability(self.IDS, p_drop=1.5)
+
+    def test_diurnal_full_duty_is_always_on(self):
+        av = DiurnalAvailability(self.IDS, period=6, duty=1.0, seed=0)
+        for m in (1, 3, 6, 7, 100):
+            assert av.available_ids(m) == self.IDS
+
+    def test_diurnal_cycles_deterministically(self):
+        av = DiurnalAvailability(self.IDS, period=4, duty=0.5, seed=2)
+        first_day = [av.available_ids(m) for m in range(1, 5)]
+        second_day = [av.available_ids(m) for m in range(5, 9)]
+        assert first_day == second_day
+        # duty 0.5 of period 4 => every client online exactly 2 rounds/day
+        per_client = sum(len(ids) for ids in first_day)
+        assert per_client == 2 * len(self.IDS)
+
+    def test_trace_replay_cycle_and_hold(self):
+        rounds = [[0, 1], [2], [3, 4]]
+        cyc = TraceAvailability(self.IDS, rounds, cycle=True)
+        assert [cyc.available_ids(m) for m in (1, 2, 3, 4)] == [
+            [0, 1], [2], [3, 4], [0, 1]
+        ]
+        hold = TraceAvailability(self.IDS, rounds, cycle=False)
+        assert hold.available_ids(9) == [3, 4]
+
+    def test_trace_rejects_unknown_ids(self):
+        with pytest.raises(ValueError, match="unknown client ids"):
+            TraceAvailability(self.IDS, [[0, 99]])
+
+    def test_trace_from_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"rounds": [[0], [1, 2]], "cycle": False}))
+        av = TraceAvailability.from_json(path, self.IDS)
+        assert av.available_ids(1) == [0]
+        assert av.available_ids(5) == [1, 2]
+        assert not av.cycle
+
+
+# ----------------------------------------------------------------------
+# Deadline policy
+# ----------------------------------------------------------------------
+def _uploads(nnz_by_client):
+    dimension = 100
+    uploads = []
+    for cid, nnz in nnz_by_client.items():
+        indices = np.arange(nnz, dtype=np.int64)
+        uploads.append(ClientUpload(
+            client_id=cid,
+            payload=SparseVector.from_sorted(
+                indices, np.ones(nnz), dimension
+            ),
+            sample_count=10,
+        ))
+    return uploads
+
+
+class TestDeadlinePolicy:
+    TIMING = TimingModel(dimension=100, comm_time=10.0)
+
+    def test_finish_times_scale_with_profiles(self):
+        uploads = _uploads({0: 10, 1: 10})
+        policy = DeadlineRoundPolicy(deadline=5.0)
+        base = policy.finish_times(uploads, self.TIMING)
+        np.testing.assert_allclose(base, base[0])
+        profiles = {1: ClientProfile(1, compute_factor=3.0, comm_factor=2.0)}
+        slowed = policy.finish_times(uploads, self.TIMING, profiles)
+        assert slowed[0] == base[0]
+        uplink = self.TIMING.sparse_round(10, 0).uplink
+        assert slowed[1] == pytest.approx(3.0 * 1.0 + 2.0 * uplink)
+
+    def test_all_in_time_closes_at_last_finish(self):
+        uploads = _uploads({0: 10, 1: 20})
+        verdict = DeadlineRoundPolicy(deadline=50.0).admit(
+            1, uploads, self.TIMING
+        )
+        assert verdict.accepted == (0, 1)
+        assert verdict.dropped_ids == ()
+        assert verdict.close_time == pytest.approx(max(verdict.finish_times))
+        assert verdict.close_time < 50.0
+
+    def test_late_upload_dropped_and_deadline_charged(self):
+        uploads = _uploads({0: 10, 1: 10})
+        profiles = {1: ClientProfile(1, compute_factor=40.0)}
+        verdict = DeadlineRoundPolicy(deadline=5.0).admit(
+            1, uploads, self.TIMING, profiles
+        )
+        assert verdict.accepted == (0,)
+        assert verdict.dropped_ids == (1,)
+        # The server waited for the deadline, not the straggler tail.
+        assert verdict.close_time == 5.0
+
+    def test_over_selection_closes_on_mth_finisher(self):
+        uploads = _uploads({0: 10, 1: 20, 2: 30})
+        verdict = DeadlineRoundPolicy(deadline=50.0).admit(
+            1, uploads, self.TIMING, target_uploads=2
+        )
+        # Fastest two (smallest payloads) accepted, slowest dropped even
+        # though it was within the deadline; close at the 2nd finisher.
+        assert verdict.accepted == (0, 1)
+        assert verdict.dropped_ids == (2,)
+        assert verdict.close_time == pytest.approx(verdict.finish_times[1])
+
+    def test_target_reached_exactly_still_closes_early(self):
+        # Boundary case: exactly m uploads beat the deadline.  The server
+        # has its m-th upload the moment it lands and closes there — it
+        # must not sit out the rest of the deadline window.
+        uploads = _uploads({0: 10, 1: 20, 2: 10, 3: 10})
+        profiles = {3: ClientProfile(3, compute_factor=100.0)}
+        verdict = DeadlineRoundPolicy(deadline=50.0).admit(
+            1, uploads, self.TIMING, profiles, target_uploads=3
+        )
+        assert verdict.accepted == (0, 1, 2)
+        assert verdict.dropped_ids == (3,)
+        # Client 1's larger payload makes it the 3rd (last) finisher.
+        assert verdict.close_time == pytest.approx(verdict.finish_times[1])
+        assert verdict.close_time < 50.0
+
+    def test_over_selection_applies_without_deadline(self):
+        uploads = _uploads({0: 10, 1: 20, 2: 30})
+        policy = DeadlineRoundPolicy(deadline=None, over_selection=0.5)
+        assert policy.applies(target_uploads=2)
+        assert not policy.applies(target_uploads=None)
+        verdict = policy.admit(1, uploads, self.TIMING, target_uploads=2)
+        assert verdict.accepted == (0, 1)
+        assert verdict.close_time == pytest.approx(verdict.finish_times[1])
+
+    def test_min_uploads_floor_extends_the_round(self):
+        uploads = _uploads({0: 10, 1: 10})
+        profiles = {
+            0: ClientProfile(0, compute_factor=30.0),
+            1: ClientProfile(1, compute_factor=40.0),
+        }
+        verdict = DeadlineRoundPolicy(deadline=2.0, min_uploads=1).admit(
+            1, uploads, self.TIMING, profiles
+        )
+        assert verdict.accepted == (0,)
+        assert verdict.close_time == pytest.approx(verdict.finish_times[0])
+        assert verdict.close_time > 2.0  # round extended past the deadline
+
+    def test_deadline_schedule_cycles(self):
+        policy = DeadlineRoundPolicy(deadline=(2.0, 2.0, 9.0))
+        assert [policy.deadline_for(m) for m in range(1, 7)] == [
+            2.0, 2.0, 9.0, 2.0, 2.0, 9.0
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="min_uploads"):
+            DeadlineRoundPolicy(5.0, min_uploads=0)
+        with pytest.raises(ValueError, match="positive"):
+            DeadlineRoundPolicy(-1.0)
+        with pytest.raises(ValueError, match="positive"):
+            DeadlineRoundPolicy((2.0, 0.0))
+        with pytest.raises(ValueError, match="over_selection"):
+            DeadlineRoundPolicy(5.0, over_selection=-0.1)
+        assert DeadlineRoundPolicy(None).active is False
+        assert DeadlineRoundPolicy(5.0).active is True
+
+
+# ----------------------------------------------------------------------
+# ScenarioConfig
+# ----------------------------------------------------------------------
+class TestScenarioConfig:
+    def test_round_trips_through_dict(self):
+        config = ScenarioConfig(
+            availability="trace",
+            trace=((0, 1), (2,)),
+            deadline=(2.5, 9.0),
+            participants=3,
+            over_selection=0.5,
+            reweight="cohort",
+            slow_fraction=0.25,
+            seed=7,
+        )
+        data = config.to_dict()
+        json.dumps(data)  # must be JSON-ready (sweep cache keys)
+        assert ScenarioConfig.from_dict(data) == config
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="availability"):
+            ScenarioConfig(availability="quantum")
+        with pytest.raises(ValueError, match="trace"):
+            ScenarioConfig(availability="trace")
+        with pytest.raises(ValueError, match="participants"):
+            ScenarioConfig(over_selection=0.5)
+        with pytest.raises(ValueError, match="reweight"):
+            ScenarioConfig(reweight="magic")
+        with pytest.raises(ValueError, match="duty"):
+            ScenarioConfig(duty=0.0)
+
+    def test_build_profiles_is_seeded_and_sized(self):
+        config = ScenarioConfig(slow_fraction=0.5, slow_factor=3.0, seed=4)
+        ids = list(range(10))
+        first = config.build_profiles(ids)
+        second = config.build_profiles(ids)
+        assert first == second
+        slow = [p for p in first if p.compute_factor == 3.0]
+        assert len(slow) == 5
+        assert all(p.comm_factor == 3.0 for p in slow)
+
+    def test_experiment_config_carries_scenario(self):
+        from repro.experiments.config import ExperimentConfig
+
+        scenario = ScenarioConfig.default_churn().to_dict()
+        config = ExperimentConfig.smoke().with_overrides(scenario=scenario)
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
+        with pytest.raises(ValueError, match="scenario"):
+            ExperimentConfig.smoke().with_overrides(scenario="churn")
+
+
+# ----------------------------------------------------------------------
+# ScenarioSampler
+# ----------------------------------------------------------------------
+class TestScenarioSampler:
+    def test_full_participation_consumes_no_rng(self):
+        av = AlwaysAvailable([3, 1, 2])
+        sampler = ScenarioSampler(av, count=0, seed=0)
+        state_before = sampler._rng.bit_generator.state
+        assert sampler.sample() == [1, 2, 3]
+        assert sampler._rng.bit_generator.state == state_before
+
+    def test_over_selection_cohort_size(self):
+        av = AlwaysAvailable(list(range(10)))
+        sampler = ScenarioSampler(av, count=4, over_selection=0.5, seed=1)
+        assert sampler.cohort_size == 6
+        cohort = sampler.sample()
+        assert len(cohort) == 6
+        assert cohort == sorted(cohort)
+
+    def test_empty_round_falls_back_to_population(self):
+        av = MarkovAvailability([0, 1], p_drop=1.0, p_recover=1.0)
+        sampler = ScenarioSampler(av, count=0, seed=0)
+        assert sampler.sample() == [0, 1]  # round 1: everyone offline
+
+    def test_rejects_oversized_count(self):
+        with pytest.raises(ValueError, match="count"):
+            ScenarioSampler(AlwaysAvailable([0, 1]), count=3)
+
+
+# ----------------------------------------------------------------------
+# End-to-end scenario runs
+# ----------------------------------------------------------------------
+def _federation(seed=5, num_writers=8):
+    ds = make_femnist_like(num_writers=num_writers, samples_per_writer=16,
+                           num_classes=8, image_size=8, classes_per_writer=4,
+                           seed=seed)
+    return partition_by_writer(ds, seed=seed)
+
+
+CHURN = ScenarioConfig(
+    availability="markov",
+    p_drop=0.2,
+    p_recover=0.6,
+    participants=5,
+    over_selection=0.4,
+    deadline=(2.5, 2.5, 9.0),
+    slow_fraction=0.25,
+    slow_factor=4.0,
+    seed=5,
+)
+
+
+def _scenario_trainer(backend, scenario_config=CHURN, sparsifier=None,
+                      seed=5):
+    fed = _federation(seed=seed)
+    model = make_mlp(64, 8, hidden=(10,), seed=seed)
+    ids = [c.client_id for c in fed.clients]
+    profiles = scenario_config.build_profiles(ids)
+    timing = HeterogeneousTimingModel(
+        model.dimension, comm_time=10.0, profiles=profiles
+    )
+    scenario = DeploymentScenario.build(scenario_config, ids, timing, profiles)
+    trainer = FLTrainer(
+        model, fed, sparsifier if sparsifier is not None else FABTopK(),
+        timing=timing, learning_rate=0.05, batch_size=8, eval_every=3,
+        seed=seed, backend=backend, scenario=scenario,
+    )
+    return trainer, scenario
+
+
+class TestScenarioBackendEquivalence:
+    """Acceptance (a): same seed => bit-identical histories across backends."""
+
+    @pytest.mark.parametrize("backend_name", ["vectorized", "sharded"])
+    def test_churn_histories_identical(self, backend_name):
+        backend = (
+            ShardedBackend(jobs=2) if backend_name == "sharded"
+            else backend_name
+        )
+        serial, s_scn = _scenario_trainer("serial")
+        fast, f_scn = _scenario_trainer(backend)
+        hs = serial.run(9, k=12)
+        hf = fast.run(9, k=12)
+        assert history_rows(hs) == history_rows(hf)
+        np.testing.assert_array_equal(
+            serial.model.get_weights(), fast.model.get_weights()
+        )
+        for cs, cf in zip(serial.clients, fast.clients):
+            np.testing.assert_array_equal(cs.residual, cf.residual)
+        # The deadline gate fired identically too.
+        assert [r.dropped_ids for r in s_scn.stats.rounds] == [
+            r.dropped_ids for r in f_scn.stats.rounds
+        ]
+        assert s_scn.stats.total_dropped > 0  # the scenario actually bites
+        fast.close()
+
+    def test_adaptive_trainer_composes_with_scenario(self):
+        def build(backend):
+            fed = _federation()
+            model = make_mlp(64, 8, hidden=(10,), seed=5)
+            ids = [c.client_id for c in fed.clients]
+            profiles = CHURN.build_profiles(ids)
+            timing = HeterogeneousTimingModel(
+                model.dimension, comm_time=10.0, profiles=profiles
+            )
+            scenario = DeploymentScenario.build(CHURN, ids, timing, profiles)
+            policy = SignPolicy(
+                SignOGD(SearchInterval(2.0, float(model.dimension)))
+            )
+            return AdaptiveKTrainer(
+                model, fed, FABTopK(), policy, timing, learning_rate=0.05,
+                batch_size=8, eval_every=2, seed=5, backend=backend,
+                scenario=scenario,
+            )
+
+        fast = build("vectorized")
+        assert history_rows(build("serial").run(6)) == history_rows(
+            fast.run(6)
+        )
+        fast.close()
+
+
+class TestDroppedUploadRecovery:
+    """Acceptance (b): a deadline-dropped gradient is recovered exactly."""
+
+    def _build(self):
+        fed = _federation(seed=11, num_writers=2)
+        model = make_mlp(64, 8, hidden=(6,), seed=11)
+        ids = [c.client_id for c in fed.clients]
+        # Client ids[1] is a hard straggler; round 1's deadline drops it,
+        # round 2 is an amnesty round that admits everyone.
+        profiles = [
+            ClientProfile(ids[0]),
+            ClientProfile(ids[1], compute_factor=50.0, comm_factor=50.0),
+        ]
+        scenario_config = ScenarioConfig(
+            availability="always", deadline=(3.0, 1000.0), seed=11,
+        )
+        timing = TimingModel(model.dimension, comm_time=10.0)
+        scenario = DeploymentScenario.build(
+            scenario_config, ids, timing, profiles
+        )
+        trainer = FLTrainer(
+            model, fed, FABTopK(), timing=timing, learning_rate=0.05,
+            batch_size=8, eval_every=1, seed=11, scenario=scenario,
+        )
+        return trainer, scenario
+
+    def test_dropped_gradient_rides_the_residual_to_the_server(self):
+        trainer, scenario = self._build()
+        straggler = trainer.clients[1]
+        dimension = trainer.model.dimension
+        w0 = trainer.model.get_weights()
+
+        # Independent replica of the straggler's data stream: gradients
+        # g1 (at w0) and later g2 (at w1) computed outside the trainer.
+        twin = _federation(seed=11, num_writers=2).clients[1]
+        ref_model = make_mlp(64, 8, hidden=(6,), seed=11)
+
+        class Recorder(RoundHooks):
+            def __init__(self):
+                self.uploads_by_round = {}
+
+            def after_local_steps(self, ctx):
+                self.uploads_by_round[ctx.round_index] = list(ctx.uploads)
+
+        recorder = Recorder()
+        # ---- round 1: tight deadline, straggler's upload dropped ----
+        trainer.engine.run_round(dimension, hooks=recorder)
+        assert scenario.stats.rounds[0].dropped_ids == (straggler.client_id,)
+        assert [up.client_id for up in recorder.uploads_by_round[1]] == [
+            trainer.clients[0].client_id
+        ]
+        x1, y1 = twin.minibatch(8)
+        ref_model.set_weights(w0)
+        g1, _ = ref_model.gradient(x1, y1)
+        # Nothing was reset: the whole gradient is still in the residual.
+        np.testing.assert_array_equal(straggler.residual, g1)
+
+        # ---- round 2: amnesty deadline, the straggler makes it ----
+        w1 = trainer.model.get_weights()
+        trainer.engine.run_round(dimension, hooks=recorder)
+        assert scenario.stats.rounds[1].dropped_ids == ()
+        x2, y2 = twin.minibatch(8)
+        ref_model.set_weights(w1)
+        g2, _ = ref_model.gradient(x2, y2)
+        upload = {
+            up.client_id: up for up in recorder.uploads_by_round[2]
+        }[straggler.client_id]
+        # The upload carries round 1's dropped gradient plus round 2's —
+        # exact recovery through residual accumulation, not approximate.
+        np.testing.assert_array_equal(upload.payload.to_dense(), g1 + g2)
+        # k = D transmitted everything, so the residual is fully drained.
+        np.testing.assert_array_equal(
+            straggler.residual, np.zeros(dimension)
+        )
+
+    def test_discarding_sparsifier_still_discards_for_dropped_clients(self):
+        fed = _federation(seed=11, num_writers=2)
+        model = make_mlp(64, 8, hidden=(6,), seed=11)
+        ids = [c.client_id for c in fed.clients]
+        profiles = [
+            ClientProfile(ids[0]),
+            ClientProfile(ids[1], compute_factor=50.0),
+        ]
+        scenario = DeploymentScenario.build(
+            ScenarioConfig(availability="always", deadline=3.0, seed=11),
+            ids, TimingModel(model.dimension, comm_time=10.0), profiles,
+        )
+        trainer = FLTrainer(
+            model, fed, PeriodicK(model.dimension, seed=11),
+            timing=TimingModel(model.dimension, comm_time=10.0),
+            learning_rate=0.05, batch_size=8, eval_every=1, seed=11,
+            scenario=scenario,
+        )
+        trainer.step(10)
+        assert scenario.stats.rounds[0].dropped_ids == (ids[1],)
+        # Non-accumulating scheme: the dropped client's residual is
+        # discarded too (scheme semantics, not scenario semantics).
+        np.testing.assert_array_equal(
+            trainer.clients[1].residual, np.zeros(model.dimension)
+        )
+
+
+class TestDegenerateScenario:
+    """Acceptance (c): no churn + no deadline == the plain trainer."""
+
+    def test_reproduces_plain_trainer_exactly(self):
+        fed = _federation()
+        model = make_mlp(64, 8, hidden=(10,), seed=5)
+        timing = TimingModel(model.dimension, comm_time=10.0)
+        plain = FLTrainer(model, fed, FABTopK(), timing=timing,
+                          learning_rate=0.05, batch_size=8, eval_every=3,
+                          seed=5)
+        idle = ScenarioConfig(
+            availability="always", deadline=None, participants=0,
+            slow_fraction=0.0, seed=5,
+        )
+        wrapped, scenario = _scenario_trainer("serial", scenario_config=idle)
+        # The idle scenario run must not even perturb timing: rebuild it
+        # on the same plain TimingModel the reference uses.
+        assert isinstance(wrapped.timing, TimingModel)
+        hp = plain.run(8, k=12)
+        hw = wrapped.run(8, k=12)
+        assert history_rows(hp) == history_rows(hw)
+        np.testing.assert_array_equal(
+            plain.model.get_weights(), wrapped.model.get_weights()
+        )
+        for cp, cw in zip(plain.clients, wrapped.clients):
+            np.testing.assert_array_equal(cp.residual, cw.residual)
+        assert scenario.stats.total_dropped == 0
+
+    def test_pure_over_selection_still_trims_the_cohort(self):
+        # No deadline at all, but m·(1+ε) over-selection must still
+        # aggregate only the first m finishers — the gate cannot hinge
+        # on a deadline being configured.
+        config = ScenarioConfig(
+            availability="always", deadline=None, participants=3,
+            over_selection=0.5, seed=5,
+        )
+        trainer, scenario = _scenario_trainer("serial",
+                                              scenario_config=config)
+        trainer.run(3, k=12)
+        for r in scenario.stats.rounds:
+            assert r.cohort == 5      # ceil(3 * 1.5)
+            assert r.arrived == 3
+            assert len(r.dropped_ids) == 2
+
+
+# ----------------------------------------------------------------------
+# Partial-aggregation reweighting
+# ----------------------------------------------------------------------
+class TestReweighting:
+    def test_cohort_mode_scales_the_update_down(self):
+        def run(reweight):
+            config = ScenarioConfig(
+                availability="always", deadline=3.0, reweight=reweight,
+                seed=11,
+            )
+            fed = _federation(seed=11, num_writers=2)
+            model = make_mlp(64, 8, hidden=(6,), seed=11)
+            ids = [c.client_id for c in fed.clients]
+            profiles = [
+                ClientProfile(ids[0]),
+                ClientProfile(ids[1], compute_factor=50.0),
+            ]
+            timing = TimingModel(model.dimension, comm_time=10.0)
+            scenario = DeploymentScenario.build(config, ids, timing, profiles)
+            trainer = FLTrainer(
+                model, fed, FABTopK(), timing=timing, learning_rate=1.0,
+                batch_size=8, eval_every=1, seed=11, scenario=scenario,
+            )
+            w0 = trainer.model.get_weights()
+            trainer.step(12)
+            counts = [c.sample_count for c in trainer.clients]
+            return trainer.model.get_weights() - w0, counts
+
+        arrived_update, counts = run("arrived")
+        cohort_update, _ = run("cohort")
+        factor = counts[0] / sum(counts)  # only client 0 arrived
+        assert factor < 1.0
+        np.testing.assert_allclose(
+            cohort_update, arrived_update * factor, rtol=1e-12, atol=1e-15
+        )
+
+    def test_server_rejects_nonpositive_total_weight(self):
+        from repro.fl.server import Server
+        from repro.sparsify.base import SelectionResult
+
+        uploads = _uploads({0: 3})
+        selection = SelectionResult(indices=np.arange(3, dtype=np.int64))
+        with pytest.raises(ValueError, match="total_weight"):
+            Server(100).aggregate(uploads, selection, total_weight=0.0)
+
+
+# ----------------------------------------------------------------------
+# Engine plumbing
+# ----------------------------------------------------------------------
+class TestEnginePlumbing:
+    def test_chained_hooks_order_and_record_k(self):
+        calls = []
+
+        class Named(RoundHooks):
+            def __init__(self, name, k):
+                self.name = name
+                self._k = k
+
+            def after_local_steps(self, ctx):
+                calls.append(self.name)
+
+            def extra_round_time(self, ctx):
+                return 1.5
+
+            def record_k(self, ctx):
+                return self._k
+
+        chain = ChainedHooks(Named("outer", 1.0), None, Named("inner", 2.0))
+        chain.after_local_steps(None)
+        assert calls == ["outer", "inner"]
+        assert chain.extra_round_time(None) == 3.0
+        assert chain.record_k(None) == 2.0  # innermost wins
+        assert chain.round_timing(None) is None
+        assert not chain.wants_probes
+
+    def test_scenario_and_sampler_are_mutually_exclusive(self):
+        fed = _federation()
+        model = make_mlp(64, 8, hidden=(10,), seed=5)
+        scenario = DeploymentScenario.build(
+            ScenarioConfig(availability="always"),
+            [c.client_id for c in fed.clients],
+            TimingModel(model.dimension, comm_time=10.0),
+        )
+        with pytest.raises(ValueError, match="not both"):
+            FLTrainer(model, fed, FABTopK(), sampler=object(),
+                      scenario=scenario)
+
+    def test_drop_upload_forgets_the_round(self):
+        from repro.fl.client import Client
+
+        fed = _federation(seed=11, num_writers=2)
+        model = make_mlp(64, 8, hidden=(1,), seed=0)
+        client = Client(fed.clients[0], model.dimension, batch_size=8)
+        client.local_step(model, k=5, sparsifier=FABTopK())
+        residual = client.residual.copy()
+        client.drop_upload()
+        np.testing.assert_array_equal(client.residual, residual)
+        with pytest.raises(RuntimeError, match="local_step"):
+            client.reset_transmitted(np.array([0, 1]))
+
+
+# ----------------------------------------------------------------------
+# Driver + CLI
+# ----------------------------------------------------------------------
+class TestScenarioDriverAndCLI:
+    def test_run_scenario_smoke(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.scenario import run_scenario
+
+        config = ExperimentConfig.smoke().with_overrides(num_rounds=6)
+        result = run_scenario(config)
+        assert set(result.histories) == {"fixed-k", "adaptive-k"}
+        assert result.scenario["availability"] == "markov"
+        assert set(result.stats) == {"fixed-k", "adaptive-k"}
+        for method in result.histories:
+            assert len(result.histories[method]) >= 1
+            assert 0.0 <= result.drop_rate(method) <= 1.0
+        labels = result.delivery.labels()
+        assert "fixed-k arrived" in labels
+        assert "adaptive-k dropped (cumulative)" in labels
+
+    def test_cli_scenario_writes_artifacts(self, tmp_path):
+        from repro import cli
+
+        code = cli.main([
+            "scenario", "--out", str(tmp_path), "--scale", "smoke",
+            "--rounds", "5", "--deadline", "2.5", "9",
+            "--over-selection", "0.2", "--participants", "4",
+        ])
+        assert code == 0
+        payload = json.loads(
+            (tmp_path / "scenario_loss_vs_time.json").read_text()
+        )
+        assert {s["label"] for s in payload["series"]} == {
+            "fixed-k", "adaptive-k"
+        }
+        assert (tmp_path / "scenario_delivery.json").exists()
+        assert (tmp_path / "scenario_history_fixed-k.json").exists()
+
+    def test_cli_scenario_flags_reach_the_config(self):
+        from repro import cli
+
+        args = cli.build_parser().parse_args([
+            "scenario", "--availability", "diurnal", "--period", "8",
+            "--duty", "0.25", "--deadline", "2.0", "2.0", "9.0",
+            "--reweight", "cohort", "--seed", "3",
+        ])
+        scenario = cli._scenario_overrides(args, seed=3)
+        assert scenario["availability"] == "diurnal"
+        assert scenario["period"] == 8
+        assert scenario["deadline"] == [2.0, 2.0, 9.0]
+        assert scenario["reweight"] == "cohort"
+        assert scenario["seed"] == 3
+
+    def test_sweep_includes_scenario(self):
+        from repro.cli import FIGURES
+        from repro.parallel.sweep import SWEEP_FIGURES
+
+        assert "scenario" in SWEEP_FIGURES
+        assert SWEEP_FIGURES == FIGURES
