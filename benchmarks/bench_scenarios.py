@@ -15,6 +15,14 @@ process fewer uploads and rounds get cheaper.  The gate's own cost is
 bounded by how far the number stays above the pure cohort-size ratio;
 a large positive value is the regression signal.
 
+The ``adaptive`` mode additionally prices the online-learned deadline
+(:class:`repro.scenarios.deadline.AdaptiveDeadlinePolicy`): its per
+round extras are the counterfactual gate replay, one probe aggregation,
+and up to two evaluation-pool loss evaluations — all parent-side, no
+extra client communication.  The report records the learned deadline's
+final value alongside the throughput so a policy that stopped adapting
+is visible.
+
 Run under the benchmark harness::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_scenarios.py --benchmark-only -s
@@ -43,7 +51,7 @@ from repro.sparsify.fab_topk import FABTopK
 NUM_CLIENTS = 24
 MEASURE_ROUNDS = 60
 BACKENDS = ("serial", "vectorized")
-MODES = ("plain", "scenario")
+MODES = ("plain", "scenario", "adaptive")
 BENCH_PATH = (
     pathlib.Path(__file__).resolve().parent.parent / "BENCH_scenarios.json"
 )
@@ -63,10 +71,12 @@ def build_trainer(backend: str, mode: str):
     federation = partition_by_writer(ds, seed=0)
     model = make_mlp(100, 16, hidden=(16,), seed=0)
     scenario = None
-    if mode == "scenario":
+    if mode in ("scenario", "adaptive"):
         config = ScenarioConfig.default_churn().with_overrides(
             participants=16, over_selection=0.25, seed=0,
         )
+        if mode == "adaptive":
+            config = config.with_overrides(deadline_policy="adaptive")
         ids = [c.client_id for c in federation.clients]
         profiles = config.build_profiles(ids)
         timing = HeterogeneousTimingModel(
@@ -89,7 +99,7 @@ def round_k(trainer: FLTrainer) -> int:
 
 def measure(backend: str, mode: str, rounds: int = MEASURE_ROUNDS,
             repeats: int = 3):
-    """Best-of-``repeats`` rounds/second plus the realized drop rate."""
+    """Best-of-``repeats`` rounds/second, drop rate, learned deadline."""
     trainer, scenario = build_trainer(backend, mode)
     k = round_k(trainer)
     trainer.step(k)  # warmup (round 1 always evaluates)
@@ -100,11 +110,15 @@ def measure(backend: str, mode: str, rounds: int = MEASURE_ROUNDS,
             trainer.step(k)
         best = min(best, time.perf_counter() - start)
     drop_rate = 0.0
+    final_deadline = None
     if scenario is not None:
         stats = scenario.stats
         total = stats.total_arrived + stats.total_dropped
         drop_rate = stats.total_dropped / total if total else 0.0
-    return rounds / best, drop_rate
+        schedule = scenario.hooks.policy.schedule
+        if schedule.adaptive:
+            final_deadline = schedule.deadline_history[-1]
+    return rounds / best, drop_rate, final_deadline
 
 
 @pytest.mark.parametrize("mode", MODES)
@@ -116,10 +130,11 @@ def test_scenario_round_throughput(benchmark, backend, mode):
     benchmark(trainer.step, k)
 
 
+@pytest.mark.parametrize("mode", ("scenario", "adaptive"))
 @pytest.mark.parametrize("backend", BACKENDS)
-def test_scenario_actually_drops(backend):
+def test_scenario_actually_drops(backend, mode):
     """The overhead comparison is only meaningful if the gate fires."""
-    trainer, scenario = build_trainer(backend, "scenario")
+    trainer, scenario = build_trainer(backend, mode)
     trainer.run(6, k=round_k(trainer))
     assert scenario is not None and scenario.stats.total_dropped > 0
 
@@ -127,10 +142,13 @@ def test_scenario_actually_drops(backend):
 def main() -> None:
     report = {"host": host_metadata(), "results": []}
     for backend in BACKENDS:
-        rates, drops = {}, {}
+        rates, drops, deadlines = {}, {}, {}
         for mode in MODES:
-            rates[mode], drops[mode] = measure(backend, mode)
+            rates[mode], drops[mode], deadlines[mode] = measure(
+                backend, mode
+            )
         overhead = rates["plain"] / rates["scenario"] - 1.0
+        adaptive_overhead = rates["plain"] / rates["adaptive"] - 1.0
         report["results"].append({
             "backend": backend,
             "num_clients": NUM_CLIENTS,
@@ -138,12 +156,18 @@ def main() -> None:
             "rounds_per_second": {m: round(r, 2) for m, r in rates.items()},
             "scenario_overhead": round(overhead, 4),
             "scenario_drop_rate": round(drops["scenario"], 4),
+            "adaptive_overhead": round(adaptive_overhead, 4),
+            "adaptive_drop_rate": round(drops["adaptive"], 4),
+            "adaptive_final_deadline": round(deadlines["adaptive"], 4),
         })
         print(
             f"{backend:>10}: plain {rates['plain']:7.1f} r/s | "
             f"scenario {rates['scenario']:7.1f} r/s | "
             f"overhead {100 * overhead:5.1f}% | "
-            f"drop rate {100 * drops['scenario']:4.1f}%"
+            f"drop rate {100 * drops['scenario']:4.1f}% | "
+            f"adaptive {rates['adaptive']:7.1f} r/s "
+            f"({100 * adaptive_overhead:+5.1f}%, "
+            f"d_final {deadlines['adaptive']:.2f})"
         )
     history = []
     if BENCH_PATH.exists():

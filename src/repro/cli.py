@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli fig4 --backend sharded --jobs 4
     python -m repro.cli sweep --scale smoke --jobs 2
     python -m repro.cli scenario --deadline 2.5 2.5 9 --over-selection 0.3
+    python -m repro.cli scenario --deadline-policy adaptive
     python -m repro.cli list
 
 Each figure command runs the corresponding experiment driver
@@ -26,7 +27,10 @@ bit-identical across backends — only wall-clock speed changes.
 scenario — availability churn, straggler profiles, and a deadline-gated
 server that drops late uploads (recovered later through residual
 accumulation); see :mod:`repro.scenarios` and :mod:`repro.experiments.
-scenario`.
+scenario`.  ``--deadline-policy {fixed,cycling,adaptive}`` selects how
+the deadline evolves — ``adaptive`` learns it online (the dual of the
+learned k) — and the run also writes a fixed-vs-cycling-vs-adaptive
+comparison panel (``scenario_deadline_policies``).
 
 ``sweep`` runs a whole grid of figure configurations
 (``--figures × --scales × --seeds × --backends``) across a process pool
@@ -98,7 +102,11 @@ def _add_scenario_flags(p: argparse.ArgumentParser) -> None:
     (:meth:`repro.scenarios.ScenarioConfig.default_churn`, seeded from
     the experiment seed) untouched.
     """
-    from repro.scenarios import AVAILABILITY_KINDS, REWEIGHT_MODES
+    from repro.scenarios import (
+        AVAILABILITY_KINDS,
+        DEADLINE_POLICY_KINDS,
+        REWEIGHT_MODES,
+    )
 
     p.add_argument("--availability", default=None, choices=AVAILABILITY_KINDS,
                    help="who is online each round (default: markov churn)")
@@ -122,6 +130,22 @@ def _add_scenario_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--deadline", type=float, nargs="+", default=None,
                    help="round deadline(s); several values cycle "
                         "(periodic straggler amnesty)")
+    p.add_argument("--deadline-policy", default=None,
+                   choices=DEADLINE_POLICY_KINDS,
+                   help="how the deadline evolves: fixed (a schedule "
+                        "preset collapses to its mean), cycling, or "
+                        "adaptive (the server learns the deadline online "
+                        "over [--deadline-min, --deadline-max], the dual "
+                        "of the learned k; the interval defaults to the "
+                        "schedule's min/max, or to [d/2, 2d] around a "
+                        "single --deadline d)")
+    p.add_argument("--deadline-min", type=float, default=None,
+                   help="adaptive: lower edge of the deadline interval")
+    p.add_argument("--deadline-max", type=float, default=None,
+                   help="adaptive: upper edge of the deadline interval")
+    p.add_argument("--no-deadline-probe", action="store_true",
+                   help="adaptive: disable the counterfactual probe "
+                        "(freezes the deadline at its start value)")
     p.add_argument("--min-uploads", type=int, default=None,
                    help="floor of accepted uploads per round")
     p.add_argument("--reweight", default=None, choices=REWEIGHT_MODES,
@@ -147,6 +171,8 @@ def _scenario_overrides(args, seed: int) -> dict:
         ("over_selection", "over_selection"), ("min_uploads", "min_uploads"),
         ("reweight", "reweight"), ("slow_fraction", "slow_fraction"),
         ("slow_factor", "slow_factor"),
+        ("deadline_policy", "deadline_policy"),
+        ("deadline_min", "deadline_min"), ("deadline_max", "deadline_max"),
     ):
         value = getattr(args, flag)
         if value is not None:
@@ -156,6 +182,28 @@ def _scenario_overrides(args, seed: int) -> dict:
             args.deadline[0] if len(args.deadline) == 1
             else tuple(args.deadline)
         )
+    if args.no_deadline_probe:
+        overrides["deadline_probe"] = False
+    policy = overrides.get("deadline_policy")
+    effective_deadline = overrides.get("deadline", scenario.deadline)
+    if policy == "fixed" and isinstance(effective_deadline, tuple):
+        # An explicit fixed request against a schedule preset: compare
+        # like with like by collapsing the cycle to its mean budget.
+        overrides["deadline"] = sum(effective_deadline) / len(
+            effective_deadline
+        )
+    elif policy == "cycling" and isinstance(effective_deadline, float):
+        overrides["deadline"] = (effective_deadline,)
+    elif (
+        policy == "adaptive"
+        and isinstance(effective_deadline, (int, float))
+        and "deadline_min" not in overrides
+        and "deadline_max" not in overrides
+    ):
+        # A single deadline has no schedule to seed the interval from;
+        # search around it (matching the comparison panel's convention).
+        overrides["deadline_min"] = effective_deadline / 2.0
+        overrides["deadline_max"] = effective_deadline * 2.0
     if args.trace is not None:
         rounds, cycle = load_trace_json(args.trace)
         overrides["availability"] = "trace"

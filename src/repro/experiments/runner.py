@@ -99,7 +99,9 @@ def build_scenario(
     HeterogeneousTimingModel` (so availability-only scenarios still pay
     the straggler tail the deadline policy would cut), and the returned
     :class:`~repro.scenarios.DeploymentScenario` is freshly built —
-    scenarios hold mutable per-run state, so call this once per trainer.
+    scenarios hold mutable per-run state (availability chains, sampling
+    RNG, and under ``deadline_policy: "adaptive"`` the online deadline
+    walk), so call this once per trainer.
     """
     if config.scenario is None:
         return build_timing(config, dimension, comm_time), None

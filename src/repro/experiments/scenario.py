@@ -20,6 +20,14 @@ fresh per run, seeded identically):
 Artifacts: loss/accuracy vs normalized time, the adaptive k-trace, and a
 delivery panel (per-round arrivals and cumulative deadline drops) showing
 how much of the round traffic the deadline gate actually cut.
+
+A second driver, :func:`run_deadline_adaptation`, compares *deadline
+policies* instead of k policies: the same fixed-k trainer under fixed
+deadlines at the regime's interval endpoints, the cycling amnesty
+schedule, and the online-learned adaptive deadline (the dual of the
+learned k; :class:`repro.scenarios.deadline.AdaptiveDeadlinePolicy`) —
+loss vs simulated time plus the per-round deadline each policy had in
+force.
 """
 
 from __future__ import annotations
@@ -81,6 +89,50 @@ def resolve_scenario_config(config: ExperimentConfig) -> ExperimentConfig:
     return config.with_overrides(scenario=scenario.to_dict())
 
 
+def _scenario_budget(
+    config: ExperimentConfig, k: int | None, time_budget: float | None
+) -> tuple[int, int, float, int]:
+    """(dimension, k, time_budget, max_rounds) both drivers share.
+
+    k defaults to Fig. 4's sparsity regime (see run_fig4); the budget is
+    counted in *base* round times — scenarios re-time rounds, so the
+    nominal (profile-free) k-GS round defines a comparable budget.
+    """
+    dimension = build_model(config).dimension
+    if k is None:
+        k = max(2, int(0.4 * dimension / config.num_clients))
+    if time_budget is None:
+        base = TimingModel(dimension=dimension, comm_time=config.comm_time)
+        time_budget = config.num_rounds * base.sparse_round(k, k).total
+    return dimension, k, time_budget, max(1, 3 * config.num_rounds)
+
+
+def _step_for_budget(
+    trainer: FLTrainer, k: int, time_budget: float, max_rounds: int
+) -> None:
+    """Fixed-k rounds until the normalized clock exhausts the budget."""
+    while (
+        trainer.clock < time_budget
+        and trainer.round_index < max_rounds
+    ):
+        trainer.step(k)
+
+
+def _evaluated_curves(
+    history: TrainingHistory,
+) -> tuple[list[float], list[float], list[float], list[float]]:
+    """(time, loss, time, accuracy) series of a history's evaluated rounds."""
+    xs, losses, acc_xs, accs = [], [], [], []
+    for record in history:
+        if record.loss == record.loss:  # evaluated rounds only
+            xs.append(record.cumulative_time)
+            losses.append(record.loss)
+            if record.accuracy is not None:
+                acc_xs.append(record.cumulative_time)
+                accs.append(record.accuracy)
+    return xs, losses, acc_xs, accs
+
+
 def run_scenario(
     config: ExperimentConfig,
     k: int | None = None,
@@ -88,17 +140,9 @@ def run_scenario(
 ) -> ScenarioRunResult:
     """Run both methods under the config's scenario for equal time."""
     config = resolve_scenario_config(config)
-    probe_model = build_model(config)
-    dimension = probe_model.dimension
-    if k is None:
-        # Fig. 4's sparsity regime (see run_fig4).
-        k = max(2, int(0.4 * dimension / config.num_clients))
-    if time_budget is None:
-        # Budget in *base* round times: scenarios re-time rounds, so the
-        # nominal (profile-free) k-GS round defines a comparable budget.
-        base = TimingModel(dimension=dimension, comm_time=config.comm_time)
-        time_budget = config.num_rounds * base.sparse_round(k, k).total
-    max_rounds = max(1, 3 * config.num_rounds)
+    dimension, k, time_budget, max_rounds = _scenario_budget(
+        config, k, time_budget
+    )
 
     loss_fig = FigureData(title="Scenario loss vs normalized time")
     acc_fig = FigureData(title="Scenario accuracy vs normalized time")
@@ -129,11 +173,7 @@ def run_scenario(
                 trainer = FLTrainer(
                     model, federation, FABTopK(), timing=timing, **common
                 )
-                while (
-                    trainer.clock < time_budget
-                    and trainer.round_index < max_rounds
-                ):
-                    trainer.step(k)
+                _step_for_budget(trainer, k, time_budget, max_rounds)
             else:
                 trainer = AdaptiveKTrainer(
                     model, federation, FABTopK(),
@@ -145,14 +185,7 @@ def run_scenario(
             result.histories[method] = trainer.history
             assert scenario is not None
             result.stats[method] = scenario.stats.to_dict()
-            xs, losses, acc_xs, accs = [], [], [], []
-            for record in trainer.history:
-                if record.loss == record.loss:  # evaluated rounds only
-                    xs.append(record.cumulative_time)
-                    losses.append(record.loss)
-                    if record.accuracy is not None:
-                        acc_xs.append(record.cumulative_time)
-                        accs.append(record.accuracy)
+            xs, losses, acc_xs, accs = _evaluated_curves(trainer.history)
             loss_fig.add(method, xs, losses)
             acc_fig.add(method, acc_xs, accs)
             k_fig.add(
@@ -181,4 +214,180 @@ def run_scenario(
     finally:
         backend.close()
     loss_fig.notes.append(f"scenario: {json.dumps(result.scenario, sort_keys=True)}")
+    return result
+
+
+# ----------------------------------------------------------------------
+# Deadline-policy comparison (fixed vs cycling vs adaptive)
+# ----------------------------------------------------------------------
+@dataclass
+class DeadlineAdaptationResult:
+    """Per-policy loss curves + deadline traces of one comparison."""
+
+    k: int
+    scenario: dict
+    loss_vs_time: FigureData
+    deadline_traces: FigureData
+    histories: dict[str, TrainingHistory] = field(default_factory=dict)
+    stats: dict[str, dict] = field(default_factory=dict)
+
+    def time_to_loss(self, target: float) -> dict[str, float]:
+        """Per-policy simulated time to first recorded loss <= target.
+
+        ``inf`` for policies that never reach it — the comparison the
+        adaptive-vs-best-fixed acceptance rests on.
+        """
+        times: dict[str, float] = {}
+        for label, history in self.histories.items():
+            times[label] = float("inf")
+            for record in history:
+                if record.loss == record.loss and record.loss <= target:
+                    times[label] = record.cumulative_time
+                    break
+        return times
+
+    def final_losses(self) -> dict[str, float]:
+        """Last evaluated loss per policy (the reachable-target anchor)."""
+        losses: dict[str, float] = {}
+        for label, history in self.histories.items():
+            evaluated = [r.loss for r in history if r.loss == r.loss]
+            losses[label] = evaluated[-1] if evaluated else float("inf")
+        return losses
+
+
+def supports_deadline_comparison(scenario: ScenarioConfig) -> bool:
+    """Whether :func:`deadline_variants` can derive a regime to compare.
+
+    Availability-only scenarios (``deadline=None``) and degenerate
+    all-equal schedules have no deadline interval — callers (the sweep
+    collector, the CLI) skip the comparison panel instead of failing a
+    run whose primary artifacts are fine.
+    """
+    if scenario.deadline_policy == "adaptive":
+        return True
+    if isinstance(scenario.deadline, tuple):
+        return min(scenario.deadline) < max(scenario.deadline)
+    return scenario.deadline is not None
+
+
+def deadline_variants(
+    scenario: ScenarioConfig,
+) -> dict[str, ScenarioConfig]:
+    """Fixed-endpoint / cycling / adaptive variants of one regime.
+
+    The deadline interval comes from the scenario itself: an adaptive
+    config's ``[deadline_min, deadline_max]``, a cycling schedule's
+    (min, max), or ``[d/2, 2d]`` around a fixed deadline.  The fixed
+    variants sit at the interval's endpoints (the tight and the loose
+    extreme the adaptive policy searches between); the cycling variant
+    keeps the scenario's schedule (or three tight rounds plus one
+    amnesty round when the scenario had none).
+    """
+    schedule: tuple[float, ...] | None = None
+    if scenario.deadline_policy == "adaptive":
+        dmin, dmax = scenario.deadline_min, scenario.deadline_max
+    elif isinstance(scenario.deadline, tuple):
+        dmin, dmax = min(scenario.deadline), max(scenario.deadline)
+        schedule = scenario.deadline
+    elif scenario.deadline is not None:
+        dmin, dmax = scenario.deadline / 2.0, scenario.deadline * 2.0
+    else:
+        raise ValueError(
+            "deadline comparison needs a scenario with a deadline (or an "
+            "adaptive deadline interval)"
+        )
+    assert dmin is not None and dmax is not None
+    if not dmin < dmax:
+        raise ValueError(
+            f"degenerate deadline interval [{dmin}, {dmax}]: the scenario's "
+            "deadlines are all equal, nothing to compare"
+        )
+    if schedule is None:
+        schedule = (dmin, dmin, dmin, dmax)
+    base = scenario.with_overrides(
+        deadline=None, deadline_policy="fixed",
+        deadline_min=None, deadline_max=None,
+    )
+    return {
+        f"fixed-{dmin:g}": base.with_overrides(deadline=dmin),
+        f"fixed-{dmax:g}": base.with_overrides(deadline=dmax),
+        "cycling": base.with_overrides(
+            deadline=schedule, deadline_policy="cycling"
+        ),
+        "adaptive": base.with_overrides(
+            deadline_policy="adaptive",
+            deadline_min=dmin, deadline_max=dmax,
+        ),
+    }
+
+
+def run_deadline_adaptation(
+    config: ExperimentConfig,
+    k: int | None = None,
+    time_budget: float | None = None,
+) -> DeadlineAdaptationResult:
+    """Run the fixed-k trainer under every deadline variant, equal time.
+
+    All variants share the availability realization, straggler profiles
+    and cohort sampling (same scenario seed); only the deadline policy
+    differs — so the panel isolates what learning the deadline buys.
+    """
+    config = resolve_scenario_config(config)
+    dimension, k, time_budget, max_rounds = _scenario_budget(
+        config, k, time_budget
+    )
+    assert config.scenario is not None
+    variants = deadline_variants(ScenarioConfig.from_dict(config.scenario))
+
+    loss_fig = FigureData(title="Deadline policies: loss vs normalized time")
+    trace_fig = FigureData(title="Deadline policies: per-round deadline")
+    result = DeadlineAdaptationResult(
+        k=k, scenario=dict(config.scenario), loss_vs_time=loss_fig,
+        deadline_traces=trace_fig,
+    )
+
+    backend = build_backend(config)
+    try:
+        for label, variant in variants.items():
+            model = build_model(config)
+            federation = build_federation(config)
+            client_ids = [c.client_id for c in federation.clients]
+            timing, scenario = build_scenario(
+                config.with_overrides(scenario=variant.to_dict()),
+                client_ids, dimension,
+            )
+            assert scenario is not None
+            trainer = FLTrainer(
+                model, federation, FABTopK(), timing=timing,
+                learning_rate=config.learning_rate,
+                batch_size=config.batch_size,
+                eval_every=config.eval_every,
+                eval_max_samples=config.eval_max_samples,
+                backend=backend, scenario=scenario, seed=config.seed,
+            )
+            _step_for_budget(trainer, k, time_budget, max_rounds)
+            result.histories[label] = trainer.history
+            result.stats[label] = scenario.stats.to_dict()
+            xs, losses, _, _ = _evaluated_curves(trainer.history)
+            loss_fig.add(label, xs, losses)
+            rounds = scenario.stats.rounds
+            trace_fig.add(
+                label,
+                [float(r.round_index) for r in rounds],
+                [
+                    float(r.deadline) if r.deadline is not None else 0.0
+                    for r in rounds
+                ],
+            )
+    finally:
+        backend.close()
+    targets = result.final_losses()
+    reachable = max(targets.values())
+    loss_fig.notes.append(
+        "time to shared target loss "
+        f"{reachable:.6g}: {json.dumps(result.time_to_loss(reachable), sort_keys=True)}"
+    )
+    loss_fig.notes.append(
+        f"scenario: {json.dumps(result.scenario, sort_keys=True)}"
+    )
     return result

@@ -84,6 +84,11 @@ class RoundContext:
         #: a partial aggregate over the full sampled cohort); None means
         #: the server normalizes over the received uploads.
         self.aggregation_weight: float | None = None
+        #: evaluation-pool loss at ``w_new``, if a hook already computed
+        #: it (adaptive-deadline probes); the engine then reuses it on
+        #: eval-cadence rounds instead of re-running the identical
+        #: deterministic forward pass.
+        self.eval_loss: float | None = None
 
 
 class RoundHooks:
@@ -467,6 +472,10 @@ class RoundEngine:
             uplink_elements=ctx.uplink_elements,
             downlink_elements=ctx.selection.downlink_element_count,
             contributions=dict(ctx.selection.contributions),
+            loss_fn=(
+                (lambda: ctx.eval_loss) if ctx.eval_loss is not None
+                else None
+            ),
             ensure_loss=ensure_loss,
         )
 

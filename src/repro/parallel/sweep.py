@@ -193,7 +193,13 @@ def collect_artifacts(figure: str, config: ExperimentConfig) -> dict[str, dict]:
             "fig6_k_traces": figure_to_dict(result.k_traces),
         }
     if figure == "scenario":
-        from repro.experiments.scenario import run_scenario
+        from repro.experiments.scenario import (
+            resolve_scenario_config,
+            run_deadline_adaptation,
+            run_scenario,
+            supports_deadline_comparison,
+        )
+        from repro.scenarios import ScenarioConfig
 
         result = run_scenario(config)
         artifacts = {
@@ -206,6 +212,18 @@ def collect_artifacts(figure: str, config: ExperimentConfig) -> dict[str, dict]:
         }
         for method, history in result.histories.items():
             artifacts[f"scenario_history_{method}"] = history_to_dict(history)
+        resolved = resolve_scenario_config(config)
+        assert resolved.scenario is not None
+        if supports_deadline_comparison(
+            ScenarioConfig.from_dict(resolved.scenario)
+        ):
+            adaptation = run_deadline_adaptation(config)
+            artifacts["scenario_deadline_policies"] = figure_to_dict(
+                adaptation.loss_vs_time
+            )
+            artifacts["scenario_deadline_traces"] = figure_to_dict(
+                adaptation.deadline_traces
+            )
         return artifacts
     if figure in ("fig7", "fig8"):
         from repro.experiments.fig7 import run_fig7, run_fig8

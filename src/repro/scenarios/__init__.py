@@ -17,27 +17,45 @@ from repro.scenarios.availability import (
 )
 from repro.scenarios.config import (
     AVAILABILITY_KINDS,
+    DEADLINE_POLICY_KINDS,
     REWEIGHT_MODES,
     ScenarioConfig,
 )
-from repro.scenarios.deadline import DeadlineRoundPolicy, DeadlineVerdict
+from repro.scenarios.deadline import (
+    AdaptiveDeadlinePolicy,
+    CyclingDeadlinePolicy,
+    DeadlineObservation,
+    DeadlinePolicy,
+    DeadlineRoundPolicy,
+    DeadlineVerdict,
+    FixedDeadlinePolicy,
+    resolve_deadline_schedule,
+    upload_finish_times,
+)
 from repro.scenarios.scenario import (
     DeploymentScenario,
     ScenarioHooks,
     ScenarioSampler,
     ScenarioStats,
     build_availability,
+    build_deadline_schedule,
 )
 
 __all__ = [
     "AVAILABILITY_KINDS",
+    "DEADLINE_POLICY_KINDS",
     "REWEIGHT_MODES",
+    "AdaptiveDeadlinePolicy",
     "AlwaysAvailable",
     "ClientAvailability",
+    "CyclingDeadlinePolicy",
+    "DeadlineObservation",
+    "DeadlinePolicy",
     "DeadlineRoundPolicy",
     "DeadlineVerdict",
     "DeploymentScenario",
     "DiurnalAvailability",
+    "FixedDeadlinePolicy",
     "MarkovAvailability",
     "ScenarioConfig",
     "ScenarioHooks",
@@ -45,4 +63,7 @@ __all__ = [
     "ScenarioStats",
     "TraceAvailability",
     "build_availability",
+    "build_deadline_schedule",
+    "resolve_deadline_schedule",
+    "upload_finish_times",
 ]

@@ -19,6 +19,7 @@ from repro.simulation.heterogeneous import ClientProfile
 
 AVAILABILITY_KINDS = ("always", "markov", "diurnal", "trace")
 REWEIGHT_MODES = ("arrived", "cohort")
+DEADLINE_POLICY_KINDS = ("fixed", "cycling", "adaptive")
 
 
 @dataclass(frozen=True)
@@ -41,7 +42,26 @@ class ScenarioConfig:
     deadline:
         Per-round compute+uplink budget — a float, a tuple (cycling
         per-round schedule, enabling periodic straggler amnesty), or
-        ``None`` (wait for everyone).
+        ``None`` (wait for everyone).  Under ``deadline_policy
+        "adaptive"`` a float is the initial decision d₁ (``None`` starts
+        at the interval midpoint).
+    deadline_policy:
+        One of :data:`DEADLINE_POLICY_KINDS`.  ``"fixed"`` follows the
+        (scalar) ``deadline`` every round; ``"cycling"`` cycles a
+        ``deadline`` tuple; ``"adaptive"`` learns the deadline online
+        with the SignOGD dual of the learned k
+        (:class:`~repro.scenarios.deadline.AdaptiveDeadlinePolicy`) over
+        ``[deadline_min, deadline_max]``.  For backward compatibility a
+        tuple ``deadline`` under the default ``"fixed"`` is normalized
+        to ``"cycling"``.
+    deadline_min / deadline_max:
+        The adaptive policy's search interval.  May be omitted when
+        ``deadline`` is a tuple with distinct entries — the interval is
+        then derived as its (min, max) and ``deadline`` cleared (d₁
+        defaults to the midpoint).
+    deadline_probe:
+        Whether the adaptive policy runs its per-round counterfactual
+        probe (``False`` freezes the deadline at d₁ — a control).
     min_uploads:
         Floor of accepted uploads per round (the server extends the
         round rather than aggregate fewer).
@@ -72,6 +92,10 @@ class ScenarioConfig:
     participants: int = 0
     over_selection: float = 0.0
     deadline: float | tuple[float, ...] | None = None
+    deadline_policy: str = "fixed"
+    deadline_min: float | None = None
+    deadline_max: float | None = None
+    deadline_probe: bool = True
     min_uploads: int = 1
     reweight: str = "arrived"
     slow_fraction: float = 0.0
@@ -109,6 +133,9 @@ class ScenarioConfig:
             object.__setattr__(
                 self, "deadline", tuple(float(d) for d in self.deadline)
             )
+        elif self.deadline is not None:
+            object.__setattr__(self, "deadline", float(self.deadline))
+        self._normalize_deadline_policy()
         if self.min_uploads < 1:
             raise ValueError("min_uploads must be >= 1")
         if self.reweight not in REWEIGHT_MODES:
@@ -120,6 +147,63 @@ class ScenarioConfig:
             raise ValueError("slow_fraction must be in [0, 1]")
         if self.slow_factor <= 0.0:
             raise ValueError("slow_factor must be positive")
+
+    def _normalize_deadline_policy(self) -> None:
+        """Validate/normalize the deadline_policy family of fields.
+
+        Runs inside ``__post_init__`` (after the ``deadline`` value
+        itself is normalized), so serialized configs round-trip: every
+        normalization is idempotent on its own output.
+        """
+        if self.deadline_policy not in DEADLINE_POLICY_KINDS:
+            raise ValueError(
+                f"unknown deadline_policy {self.deadline_policy!r}; "
+                f"expected one of {DEADLINE_POLICY_KINDS}"
+            )
+        if self.deadline_policy == "fixed" and isinstance(self.deadline, tuple):
+            if len(self.deadline) == 1:
+                object.__setattr__(self, "deadline", self.deadline[0])
+            else:
+                # Legacy configs predate the field: a schedule means cycling.
+                object.__setattr__(self, "deadline_policy", "cycling")
+        if self.deadline_policy == "cycling" and not isinstance(
+            self.deadline, tuple
+        ):
+            raise ValueError(
+                "cycling deadline_policy needs a deadline sequence"
+            )
+        if self.deadline_policy != "adaptive":
+            if self.deadline_min is not None or self.deadline_max is not None:
+                raise ValueError(
+                    "deadline_min/deadline_max only apply to the adaptive "
+                    "deadline_policy"
+                )
+            return
+        dmin, dmax = self.deadline_min, self.deadline_max
+        if isinstance(self.deadline, tuple):
+            if dmin is None:
+                dmin = min(self.deadline)
+            if dmax is None:
+                dmax = max(self.deadline)
+            # The schedule only seeded the interval; d1 = its midpoint.
+            object.__setattr__(self, "deadline", None)
+        if dmin is None or dmax is None:
+            raise ValueError(
+                "adaptive deadline_policy needs deadline_min/deadline_max "
+                "(or a deadline schedule to derive them from)"
+            )
+        dmin, dmax = float(dmin), float(dmax)
+        if not 0.0 < dmin < dmax:
+            raise ValueError(
+                f"need 0 < deadline_min < deadline_max, got [{dmin}, {dmax}]"
+            )
+        if self.deadline is not None and not dmin <= self.deadline <= dmax:
+            raise ValueError(
+                f"initial deadline {self.deadline} outside "
+                f"[{dmin}, {dmax}]"
+            )
+        object.__setattr__(self, "deadline_min", dmin)
+        object.__setattr__(self, "deadline_max", dmax)
 
     def with_overrides(self, **kwargs) -> "ScenarioConfig":
         """Copy with fields replaced (scenario configs are immutable)."""
@@ -164,6 +248,7 @@ class ScenarioConfig:
             p_drop=0.15,
             p_recover=0.6,
             deadline=(2.5, 2.5, 2.5, 9.0),
+            deadline_policy="cycling",
             slow_fraction=0.25,
             slow_factor=4.0,
         )

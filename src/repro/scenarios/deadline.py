@@ -16,10 +16,10 @@ Per-client finish times come from the same speed profiles that drive
     finish_i = computation_time · compute_factor_i
              + uplink_time(nnz_i) · comm_factor_i
 
-with ``uplink_time`` the base :class:`~repro.simulation.timing.
-TimingModel` sparse transfer of the client's upload size.  Everything is
-a pure function of (uploads, profiles, round_index), so deadline verdicts
-are identical across execution backends.
+computed by :func:`upload_finish_times`, the one arrival-time helper
+every deadline policy shares.  Everything is a pure function of
+(uploads, profiles, round_index), so deadline verdicts are identical
+across execution backends.
 
 Round-close semantics ("charge the deadline, not the straggler tail"):
 
@@ -32,10 +32,22 @@ Round-close semantics ("charge the deadline, not the straggler tail"):
   the fastest ``min_uploads`` clients (close at the last forced
   acceptee) — partial aggregation never degenerates to an empty round.
 
-``deadline`` may be a single number or a per-round sequence that
-*cycles* (``deadline[(m - 1) mod len]``), which lets a server run
-periodic straggler amnesty — a few tight rounds, then one loose round in
-which slow clients flush their accumulated residuals.
+The deadline *in force* each round comes from a :class:`DeadlinePolicy`:
+
+- :class:`FixedDeadlinePolicy` — one constant budget (or ``None``, wait
+  for everyone);
+- :class:`CyclingDeadlinePolicy` — a per-round sequence that cycles
+  (``schedule[(m - 1) mod len]``), which lets a server run periodic
+  straggler amnesty — a few tight rounds, then one loose round in which
+  slow clients flush their accumulated residuals;
+- :class:`AdaptiveDeadlinePolicy` — the server *learns* the deadline
+  online, the exact dual of the paper's learned sparsity k: a
+  :class:`~repro.online.algorithm2.SignOGD` walk over a deadline
+  interval, fed by the Section IV-E sign estimator applied to a free
+  counterfactual probe (see the class docstring).
+
+``DeadlineRoundPolicy(deadline=...)`` keeps accepting the raw float /
+sequence / ``None`` forms and resolves them to the matching policy.
 """
 
 from __future__ import annotations
@@ -45,9 +57,245 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.online.algorithm2 import SignOGD
+from repro.online.estimator import estimate_sign
+from repro.online.interval import SearchInterval
 from repro.simulation.heterogeneous import ClientProfile
 from repro.simulation.timing import TimingModel
 from repro.sparsify.base import ClientUpload
+
+
+def upload_finish_times(
+    uploads: list[ClientUpload],
+    timing: TimingModel,
+    profiles: dict[int, ClientProfile] | None = None,
+) -> np.ndarray:
+    """Per-upload compute+uplink finish times (normalized).
+
+    The single arrival-time computation every deadline policy consumes:
+    ``computation_time · compute_factor + uplink(nnz) · comm_factor``,
+    with a unit profile for clients missing from ``profiles``.
+    """
+    times = np.empty(len(uploads))
+    for i, up in enumerate(uploads):
+        profile = (profiles or {}).get(up.client_id)
+        cf = profile.compute_factor if profile is not None else 1.0
+        mf = profile.comm_factor if profile is not None else 1.0
+        # Base-class transfer time: a HeterogeneousTimingModel's own
+        # sparse_round already folds in its worst-client comm factor,
+        # which would double-count the per-client ``mf`` here.
+        uplink = TimingModel.sparse_round(timing, up.payload.nnz, 0).uplink
+        times[i] = timing.computation_time * cf + uplink * mf
+    return times
+
+
+# ----------------------------------------------------------------------
+# Deadline policies: what budget is in force each round
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DeadlineObservation:
+    """Feedback one round hands an adaptive deadline policy.
+
+    The dual of :class:`repro.online.policy.RoundObservation` with the
+    decision variable renamed k → deadline.
+
+    Attributes
+    ----------
+    deadline:
+        The deadline that was in force, d_m.
+    round_time:
+        Realized normalized time of the round, τ_m(d_m).
+    loss_prev, loss_now:
+        Evaluation-pool losses L(w(m−1)) and L(w(m)).
+    loss_probe:
+        L(w'(m)) of the counterfactual d'-round, else None.
+    probe_deadline:
+        The probed d' < d (None when no probe ran).
+    probe_round_time:
+        θ_m(d'): what the round would have cost under d'.
+    arrived, dropped:
+        Upload delivery counts of the round — available to custom
+        policies even though the sign-based update does not consume them.
+    """
+
+    deadline: float
+    round_time: float
+    loss_prev: float
+    loss_now: float
+    loss_probe: float | None = None
+    probe_deadline: float | None = None
+    probe_round_time: float | None = None
+    arrived: int = 0
+    dropped: int = 0
+
+
+class DeadlinePolicy:
+    """Interface: the per-round deadline schedule, optionally adaptive."""
+
+    name = "abstract"
+    #: whether :meth:`observe` feedback can move the deadline
+    adaptive = False
+
+    def deadline_for(self, round_index: int) -> float | None:
+        """The deadline in force for 1-based round ``round_index``."""
+        raise NotImplementedError
+
+    def probe_deadline(self, round_index: int) -> float | None:
+        """The d' < d this policy wants probed this round (None = none)."""
+        del round_index
+        return None
+
+    def observe(self, observation: DeadlineObservation) -> None:
+        """Consume the round's feedback (no-op for fixed schedules)."""
+        del observation
+
+    @property
+    def active(self) -> bool:
+        """Whether this policy ever bounds a round."""
+        return True
+
+    @staticmethod
+    def _check_round(round_index: int) -> None:
+        if round_index < 1:
+            raise ValueError("round_index is 1-based and must be >= 1")
+
+
+class FixedDeadlinePolicy(DeadlinePolicy):
+    """One constant deadline, or ``None`` for "wait for everyone"."""
+
+    name = "fixed"
+
+    def __init__(self, deadline: float | None) -> None:
+        if deadline is not None:
+            deadline = float(deadline)
+            if deadline <= 0:
+                raise ValueError("deadlines must be positive")
+        self.deadline = deadline
+
+    def deadline_for(self, round_index: int) -> float | None:
+        self._check_round(round_index)
+        return self.deadline
+
+    @property
+    def active(self) -> bool:
+        return self.deadline is not None
+
+
+class CyclingDeadlinePolicy(DeadlinePolicy):
+    """A per-round deadline sequence that cycles (straggler amnesty)."""
+
+    name = "cycling"
+
+    def __init__(self, schedule: Sequence[float]) -> None:
+        schedule = tuple(float(d) for d in schedule)
+        if not schedule:
+            raise ValueError("empty deadline sequence")
+        if any(d <= 0 for d in schedule):
+            raise ValueError("deadlines must be positive")
+        self.schedule = schedule
+
+    def deadline_for(self, round_index: int) -> float:
+        self._check_round(round_index)
+        return self.schedule[(round_index - 1) % len(self.schedule)]
+
+
+class AdaptiveDeadlinePolicy(DeadlinePolicy):
+    """Online-learned deadline — the exact dual of the learned k.
+
+    The server plays a continuous deadline d_m from a
+    :class:`~repro.online.interval.SearchInterval` and walks it with the
+    paper's Algorithm-2 :class:`~repro.online.algorithm2.SignOGD`
+    (``d_{m+1} = P([dmin, dmax])(d_m − δ_m · ŝ_m)``, ``δ_m = B/√(2m)``).
+    The sign ŝ_m comes from the Section IV-E estimator
+    (:func:`repro.online.estimator.estimate_sign`) with k replaced by d:
+    each round the scenario hook evaluates a *free counterfactual probe*
+    at d' = d − δ_m/2 — because the server already observed every
+    upload's arrival time, it can replay the deadline gate at d' and
+    re-aggregate the uploads that would have made it, entirely
+    server-side, with no extra client communication (unlike the k-probe,
+    which ships a difference downlink).  τ_m(d) is the round's realized
+    charge, θ_m(d') the counterfactual charge, and the loss interval is
+    mapped exactly as eq. (10) does for k.
+
+    The probe point is clamped to ``max(d − δ_m/2, d/2)`` — strictly
+    below d and strictly positive, so (unlike the k-probe's floor at 1)
+    the estimate is never unavailable at the interval's lower edge and
+    the walk cannot get stuck there.  When the round's losses make the
+    estimate unusable the decision stays unchanged, matching the paper's
+    rule for k.  With ``probe=False`` the policy never updates — useful
+    as a "frozen adaptive" control.
+
+    All state lives in the parent process, so adaptive-deadline runs are
+    bit-identical across the serial/vectorized/sharded backends.
+    """
+
+    name = "adaptive"
+    adaptive = True
+
+    def __init__(
+        self,
+        interval: SearchInterval,
+        d1: float | None = None,
+        probe: bool = True,
+    ) -> None:
+        self.interval = interval
+        self.algorithm = SignOGD(interval, k1=d1)
+        self.probe = probe
+
+    @property
+    def deadline(self) -> float:
+        """The continuous decision d_m for the current round."""
+        return self.algorithm.k
+
+    @property
+    def deadline_history(self) -> list[float]:
+        """Every decision played so far (the learned {d_m} trace)."""
+        return self.algorithm.k_history
+
+    def deadline_for(self, round_index: int) -> float:
+        self._check_round(round_index)
+        return self.algorithm.k
+
+    def probe_deadline(self, round_index: int) -> float | None:
+        self._check_round(round_index)
+        if not self.probe:
+            return None
+        d = self.algorithm.k
+        return max(d - self.algorithm.step_size() / 2.0, d / 2.0)
+
+    def observe(self, observation: DeadlineObservation) -> None:
+        if (
+            observation.probe_deadline is None
+            or observation.loss_probe is None
+        ):
+            self.algorithm.update(None)
+            return
+        assert observation.probe_round_time is not None
+        sign = estimate_sign(
+            loss_prev=observation.loss_prev,
+            loss_now=observation.loss_now,
+            loss_probe=observation.loss_probe,
+            round_time=observation.round_time,
+            probe_round_time=observation.probe_round_time,
+            k=observation.deadline,
+            k_probe=observation.probe_deadline,
+        )
+        self.algorithm.update(sign)
+
+
+def resolve_deadline_schedule(
+    deadline: float | Sequence[float] | DeadlinePolicy | None,
+) -> DeadlinePolicy:
+    """Normalize a raw deadline spec into a :class:`DeadlinePolicy`."""
+    if isinstance(deadline, DeadlinePolicy):
+        return deadline
+    if deadline is None or isinstance(deadline, (int, float)):
+        return FixedDeadlinePolicy(deadline)
+    return CyclingDeadlinePolicy(deadline)
+
+
+#: sentinel distinguishing "use the policy's deadline" from None
+_USE_SCHEDULE = object()
 
 
 @dataclass(frozen=True)
@@ -77,7 +325,8 @@ class DeadlineRoundPolicy:
     ----------
     deadline:
         Normalized-time budget of a round's compute+uplink phase — a
-        float, a cycling per-round sequence, or ``None`` for "wait for
+        float, a cycling per-round sequence, a :class:`DeadlinePolicy`
+        instance (fixed / cycling / adaptive), or ``None`` for "wait for
         everyone" (no drops; useful to isolate availability effects).
     over_selection:
         The ε of "sample ``m·(1+ε)`` clients, aggregate the first ``m``
@@ -90,7 +339,7 @@ class DeadlineRoundPolicy:
 
     def __init__(
         self,
-        deadline: float | Sequence[float] | None,
+        deadline: float | Sequence[float] | DeadlinePolicy | None,
         over_selection: float = 0.0,
         min_uploads: int = 1,
     ) -> None:
@@ -99,28 +348,21 @@ class DeadlineRoundPolicy:
         if min_uploads < 1:
             raise ValueError("min_uploads must be >= 1 (the server cannot "
                              "aggregate an empty round)")
-        if deadline is not None and not isinstance(deadline, (int, float)):
-            deadline = tuple(float(d) for d in deadline)
-            if not deadline:
-                raise ValueError("empty deadline sequence")
-            if any(d <= 0 for d in deadline):
-                raise ValueError("deadlines must be positive")
-        elif isinstance(deadline, (int, float)):
-            if deadline <= 0:
-                raise ValueError("deadlines must be positive")
-            deadline = float(deadline)
-        self.deadline = deadline
+        self.schedule = resolve_deadline_schedule(deadline)
+        #: legacy raw spec (None for policy instances beyond fixed/cycling)
+        if isinstance(self.schedule, FixedDeadlinePolicy):
+            self.deadline = self.schedule.deadline
+        elif isinstance(self.schedule, CyclingDeadlinePolicy):
+            self.deadline = self.schedule.schedule
+        else:
+            self.deadline = None
         self.over_selection = over_selection
         self.min_uploads = min_uploads
 
     # ------------------------------------------------------------------
     def deadline_for(self, round_index: int) -> float | None:
         """The deadline in force for 1-based round ``round_index``."""
-        if round_index < 1:
-            raise ValueError("round_index is 1-based and must be >= 1")
-        if self.deadline is None or isinstance(self.deadline, float):
-            return self.deadline
-        return self.deadline[(round_index - 1) % len(self.deadline)]
+        return self.schedule.deadline_for(round_index)
 
     def finish_times(
         self,
@@ -128,18 +370,8 @@ class DeadlineRoundPolicy:
         timing: TimingModel,
         profiles: dict[int, ClientProfile] | None = None,
     ) -> np.ndarray:
-        """Per-upload compute+uplink finish times (normalized)."""
-        times = np.empty(len(uploads))
-        for i, up in enumerate(uploads):
-            profile = (profiles or {}).get(up.client_id)
-            cf = profile.compute_factor if profile is not None else 1.0
-            mf = profile.comm_factor if profile is not None else 1.0
-            # Base-class transfer time: a HeterogeneousTimingModel's own
-            # sparse_round already folds in its worst-client comm factor,
-            # which would double-count the per-client ``mf`` here.
-            uplink = TimingModel.sparse_round(timing, up.payload.nnz, 0).uplink
-            times[i] = timing.computation_time * cf + uplink * mf
-        return times
+        """Per-upload finish times (see :func:`upload_finish_times`)."""
+        return upload_finish_times(uploads, timing, profiles)
 
     def admit(
         self,
@@ -148,16 +380,28 @@ class DeadlineRoundPolicy:
         timing: TimingModel,
         profiles: dict[int, ClientProfile] | None = None,
         target_uploads: int | None = None,
+        deadline_override: float | None | object = _USE_SCHEDULE,
+        finish_times: np.ndarray | None = None,
     ) -> DeadlineVerdict:
         """Gate one round's uploads; deterministic in its arguments.
 
         ``target_uploads`` is the over-selection target ``m`` (``None``
         means "as many as arrive" — plain deadline semantics).
+        ``deadline_override`` replaces the schedule's deadline for this
+        verdict only, and ``finish_times`` reuses already-computed
+        arrival times — together they make the counterfactual replay an
+        adaptive policy's probe runs a pure threshold change.
         """
         if not uploads:
             raise ValueError("no uploads to admit")
-        deadline = self.deadline_for(round_index)
-        finish = self.finish_times(uploads, timing, profiles)
+        if deadline_override is _USE_SCHEDULE:
+            deadline = self.deadline_for(round_index)
+        else:
+            deadline = deadline_override
+        if finish_times is not None:
+            finish = np.asarray(finish_times, dtype=float)
+        else:
+            finish = self.finish_times(uploads, timing, profiles)
         # Deterministic service order: finish time, then client id.
         order = sorted(
             range(len(uploads)),
@@ -213,15 +457,15 @@ class DeadlineRoundPolicy:
     def applies(self, target_uploads: int | None) -> bool:
         """Whether this policy can drop or re-time a round.
 
-        True with a deadline, and also for pure over-selection (no
-        deadline, but the server still closes once the first
-        ``target_uploads`` of the over-sampled cohort finish).
+        True with an active deadline schedule, and also for pure
+        over-selection (no deadline, but the server still closes once
+        the first ``target_uploads`` of the over-sampled cohort finish).
         """
-        return self.deadline is not None or (
+        return self.schedule.active or (
             self.over_selection > 0 and target_uploads is not None
         )
 
     @property
     def active(self) -> bool:
         """Whether a deadline is configured (see :meth:`applies`)."""
-        return self.deadline is not None
+        return self.schedule.active

@@ -42,7 +42,15 @@ from repro.scenarios.availability import (
     TraceAvailability,
 )
 from repro.scenarios.config import ScenarioConfig
-from repro.scenarios.deadline import DeadlineRoundPolicy
+from repro.online.interval import SearchInterval
+from repro.scenarios.deadline import (
+    AdaptiveDeadlinePolicy,
+    CyclingDeadlinePolicy,
+    DeadlineObservation,
+    DeadlinePolicy,
+    DeadlineRoundPolicy,
+    FixedDeadlinePolicy,
+)
 from repro.simulation.heterogeneous import ClientProfile
 from repro.simulation.timing import RoundTiming, TimingModel
 
@@ -176,6 +184,26 @@ class ScenarioSampler:
         return sorted(int(c) for c in chosen)
 
 
+class _PendingProbe:
+    """One round's counterfactual deadline-probe state (parent-owned)."""
+
+    def __init__(
+        self,
+        probe_deadline: float,
+        client_ids: frozenset[int],
+        close_time: float,
+    ) -> None:
+        self.probe_deadline = probe_deadline
+        #: clients whose uploads would have arrived by the probe
+        #: deadline — always a subset of the actually-accepted set (both
+        #: are prefixes of the same deterministic service order), so the
+        #: probe aggregation can draw from the round's *post-preprocess*
+        #: uploads and stay consistent with the protocol the server runs.
+        self.client_ids = client_ids
+        self.close_time = close_time
+        self.w_probe: np.ndarray | None = None
+
+
 class ScenarioHooks(RoundHooks):
     """Deadline gate + partial-aggregation reweighting + timing override.
 
@@ -194,6 +222,24 @@ class ScenarioHooks(RoundHooks):
     - ``after_update``: for non-accumulating sparsifiers
       (``discards_residual``), dropped clients discard their residual
       too — the scheme's semantics, not the scenario's.
+
+    Under an :class:`~repro.scenarios.deadline.AdaptiveDeadlinePolicy`
+    the hooks additionally run the free counterfactual probe (the dual
+    of Fig. 3's k-probe, but with zero extra communication — arrival
+    times are already server knowledge):
+
+    - ``after_local_steps`` replays the gate at the probe deadline d' on
+      the same pre-gate uploads;
+    - ``after_aggregate`` derives the d'-round's weights w'(m) by
+      re-aggregating the probe arrivals over the *actual* round's
+      selection (the stateless server makes this a pure computation);
+    - ``after_update`` evaluates L(w(m−1)) / L(w(m)) / L(w'(m)) on the
+      engine's deterministic evaluation pool;
+    - ``observe`` feeds the :class:`~repro.scenarios.deadline.
+      DeadlineObservation` back so SignOGD can step the deadline.
+
+    Everything is parent-state arithmetic on the engine's uploads and
+    weights, so adaptive runs stay bit-identical across backends.
     """
 
     def __init__(
@@ -214,11 +260,19 @@ class ScenarioHooks(RoundHooks):
         self._dropped_clients: list = []
         self._close_time: float | None = None
         self._worst_comm: float = 1.0
+        self._probe: _PendingProbe | None = None
+        self._played_deadline: float | None = None
+        #: L(w(m-1)) carried over from the previous round's L(w(m))
+        self._loss_prev: float | None = None
+        self._pending_losses: tuple[float, float, float | None] | None = None
 
     # ------------------------------------------------------------------
     def after_local_steps(self, ctx: RoundContext) -> None:
         self._dropped_clients = []
         self._close_time = None
+        self._probe = None
+        self._played_deadline = None
+        self._pending_losses = None
         cohort = list(ctx.participants)
         self._worst_comm = max(
             (
@@ -239,6 +293,7 @@ class ScenarioHooks(RoundHooks):
                     close_time=float("nan"), deadline=None,
                 )
             return
+        self._played_deadline = self.policy.deadline_for(ctx.round_index)
         verdict = self.policy.admit(
             ctx.round_index,
             ctx.uploads,
@@ -246,6 +301,31 @@ class ScenarioHooks(RoundHooks):
             self.profiles,
             target_uploads=self.target_uploads,
         )
+        if self.policy.schedule.adaptive:
+            probe_deadline = self.policy.schedule.probe_deadline(
+                ctx.round_index
+            )
+            if probe_deadline is not None:
+                # Counterfactual replay of the gate at d' on the same
+                # pre-gate uploads — free: the arrival times are known
+                # (and already computed by the actual verdict).
+                probe_verdict = self.policy.admit(
+                    ctx.round_index,
+                    ctx.uploads,
+                    self.timing,
+                    self.profiles,
+                    target_uploads=self.target_uploads,
+                    deadline_override=probe_deadline,
+                    finish_times=verdict.finish_times,
+                )
+                self._probe = _PendingProbe(
+                    probe_deadline=probe_deadline,
+                    client_ids=frozenset(
+                        ctx.uploads[i].client_id
+                        for i in probe_verdict.accepted
+                    ),
+                    close_time=probe_verdict.close_time,
+                )
         accepted = set(verdict.accepted)
         self._dropped_clients = [
             client
@@ -271,6 +351,37 @@ class ScenarioHooks(RoundHooks):
                 verdict.dropped_ids, verdict.close_time,
                 self.policy.deadline_for(ctx.round_index),
             )
+
+    def after_aggregate(self, ctx: RoundContext) -> None:
+        if self._probe is None:
+            return
+        # ctx.uploads here is the accepted, *preprocessed* upload list
+        # (quantization etc. already applied) — the probe must see the
+        # same degraded values the server actually aggregates.
+        probe_uploads = [
+            up for up in ctx.uploads
+            if up.client_id in self._probe.client_ids
+        ]
+        if not probe_uploads:
+            return
+        # The d'-round's update, derived from the actual round's result:
+        # same selection J, aggregated over only the probe arrivals (the
+        # stateless server makes this a pure recomputation) — the dual
+        # of the adaptive-k trainer's server-side k'-GS derivation, and
+        # like that derivation it applies the plain SGD rule even when a
+        # server-side optimizer is configured (a stateful optimizer has
+        # no side-effect-free counterfactual step; the probe loss is an
+        # estimate either way).
+        downlink = ctx.engine.server.aggregate(
+            probe_uploads, ctx.selection,
+            total_weight=ctx.aggregation_weight,
+        )
+        payload = downlink.payload
+        w_probe = ctx.w_prev.copy()
+        w_probe[payload.indices] -= (
+            ctx.engine.learning_rate * payload.values
+        )
+        self._probe.w_probe = w_probe
 
     def round_timing(self, ctx: RoundContext) -> RoundTiming | None:
         if self._close_time is None:
@@ -300,6 +411,68 @@ class ScenarioHooks(RoundHooks):
         ):
             for client in self._dropped_clients:
                 client.reset_all()
+        if self._probe is None:
+            return
+        engine = ctx.engine
+        if self._loss_prev is None:
+            self._loss_prev = self._loss_at(engine, ctx.w_prev, ctx.w_new)
+        # Model already holds w(m); evaluate in place, and hand the
+        # value to the engine so eval-cadence rounds don't re-run the
+        # identical deterministic forward pass.
+        loss_now = float(
+            engine.model.loss_value(engine._eval_x, engine._eval_y)
+        )
+        ctx.eval_loss = loss_now
+        loss_probe = None
+        if self._probe.w_probe is not None:
+            loss_probe = self._loss_at(
+                engine, self._probe.w_probe, ctx.w_new
+            )
+        self._pending_losses = (self._loss_prev, loss_now, loss_probe)
+        # w(m) is next round's w(m-1): carry the evaluation over.
+        self._loss_prev = loss_now
+
+    @staticmethod
+    def _loss_at(engine, weights: np.ndarray, restore: np.ndarray) -> float:
+        """Evaluation-pool loss at ``weights``; model restored exactly."""
+        engine.model.set_weights(weights)
+        try:
+            return float(
+                engine.model.loss_value(engine._eval_x, engine._eval_y)
+            )
+        finally:
+            engine.model.set_weights(restore)
+
+    def observe(self, ctx: RoundContext) -> None:
+        schedule = self.policy.schedule
+        if not schedule.adaptive or self._played_deadline is None:
+            return
+        probe = self._probe
+        if self._pending_losses is not None:
+            loss_prev, loss_now, loss_probe = self._pending_losses
+        else:
+            loss_prev = loss_now = float("nan")
+            loss_probe = None
+        probe_round_time = None
+        if probe is not None and self._close_time is not None:
+            # Only the uplink-phase close differs between d and d'; the
+            # computation/downlink/extra charges carry over unchanged.
+            probe_round_time = (
+                ctx.round_time - self._close_time + probe.close_time
+            )
+        schedule.observe(DeadlineObservation(
+            deadline=self._played_deadline,
+            round_time=ctx.round_time,
+            loss_prev=loss_prev,
+            loss_now=loss_now,
+            loss_probe=loss_probe,
+            probe_deadline=(
+                probe.probe_deadline if probe is not None else None
+            ),
+            probe_round_time=probe_round_time,
+            arrived=len(ctx.uploads),
+            dropped=len(ctx.dropped_ids),
+        ))
 
 
 class DeploymentScenario:
@@ -353,7 +526,7 @@ class DeploymentScenario:
             stats=stats,
         )
         policy = DeadlineRoundPolicy(
-            config.deadline,
+            build_deadline_schedule(config),
             over_selection=config.over_selection,
             min_uploads=config.min_uploads,
         )
@@ -366,6 +539,27 @@ class DeploymentScenario:
             stats=stats,
         )
         return cls(config, sampler, hooks, stats, profiles)
+
+
+def build_deadline_schedule(config: ScenarioConfig) -> DeadlinePolicy:
+    """The deadline policy a :class:`ScenarioConfig` names.
+
+    ``ScenarioConfig.__post_init__`` already normalized the field family
+    (tuple ⇒ cycling, adaptive interval derived/validated), so this is a
+    straight dispatch.  Adaptive policies are stateful — like the rest
+    of a :class:`DeploymentScenario`, build a fresh one per run.
+    """
+    if config.deadline_policy == "adaptive":
+        assert config.deadline_min is not None
+        assert config.deadline_max is not None
+        return AdaptiveDeadlinePolicy(
+            SearchInterval(config.deadline_min, config.deadline_max),
+            d1=config.deadline,
+            probe=config.deadline_probe,
+        )
+    if config.deadline_policy == "cycling":
+        return CyclingDeadlinePolicy(config.deadline)
+    return FixedDeadlinePolicy(config.deadline)
 
 
 def build_availability(

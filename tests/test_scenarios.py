@@ -1,28 +1,45 @@
 """Deployment-scenario subsystem tests.
 
-Three load-bearing guarantees (the PR's acceptance criteria):
+Four load-bearing guarantees (the PR acceptance criteria):
 
 (a) **Backend bit-identity under churn** — the same seeded scenario
     (Markov availability, straggler profiles, deadline drops,
-    over-selection) produces *identical* histories, weights and
-    residuals on the serial, vectorized and sharded backends.
+    over-selection — including quantized uploads, momentum correction,
+    and the online-adapted deadline) produces *identical* histories,
+    weights and residuals on the serial, vectorized and sharded
+    backends.
 (b) **Exact recovery of dropped uploads** — a deadline-dropped client's
     gradient survives in its residual and is transmitted, bit for bit,
     the next time the client makes a deadline.
 (c) **Degenerate scenario = plain trainer** — always-available, no
     deadline, full participation reproduces the scenario-free trainer's
     history exactly.
+(d) **Golden scenario history** — a pinned churn+deadline+over-selection
+    run guards scenario semantics against drift absolutely, not only by
+    cross-backend equality.
 
-Plus unit coverage of the availability processes, the deadline policy,
-the scenario config round-trip, the sampler, partial-aggregation
-reweighting, and the CLI entry point.
+Plus unit coverage of the availability processes (including
+property-based purity tests — the invariant (a) rests on), the deadline
+policies (fixed / cycling / adaptive — the dual of the learned k), the
+scenario config round-trip, the sampler, partial-aggregation
+reweighting, the deadline-policy comparison panel, and the CLI entry
+point.
 """
 
 import json
+import pathlib
 
 import numpy as np
 import pytest
 
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is a dev dependency
+    HAVE_HYPOTHESIS = False
+
+from repro.compress.quantization import QuantizedSparsifier, UniformQuantizer
 from repro.data.partition import partition_by_writer
 from repro.data.synthetic import make_femnist_like
 from repro.fl.engine import ChainedHooks, RoundHooks
@@ -34,20 +51,29 @@ from repro.online.interval import SearchInterval
 from repro.online.policy import SignPolicy
 from repro.parallel.sharded import ShardedBackend
 from repro.scenarios import (
+    AdaptiveDeadlinePolicy,
     AlwaysAvailable,
+    CyclingDeadlinePolicy,
+    DeadlineObservation,
     DeadlineRoundPolicy,
     DeploymentScenario,
     DiurnalAvailability,
+    FixedDeadlinePolicy,
     MarkovAvailability,
     ScenarioConfig,
     ScenarioSampler,
     TraceAvailability,
+    build_deadline_schedule,
+    resolve_deadline_schedule,
+    upload_finish_times,
 )
 from repro.simulation.heterogeneous import ClientProfile, HeterogeneousTimingModel
 from repro.simulation.timing import TimingModel
 from repro.sparsify.base import ClientUpload, SparseVector
 from repro.sparsify.fab_topk import FABTopK
 from repro.sparsify.periodic import PeriodicK
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_histories.json"
 
 
 def history_rows(history):
@@ -128,6 +154,200 @@ class TestAvailability:
         assert av.available_ids(1) == [0]
         assert av.available_ids(5) == [1, 2]
         assert not av.cycle
+
+
+# ----------------------------------------------------------------------
+# Availability purity properties (hypothesis)
+#
+# Backend bit-identity rests on the determinism contract of
+# ClientAvailability: available(cid, round) must be a pure function of
+# (construction args, round_index) — identical across repeated calls, in
+# any query order, and across freshly built instances with the same
+# seed.  Property-based coverage so no adversarial (ids, probabilities,
+# query order) combination slips through the example tests above.
+# ----------------------------------------------------------------------
+if HAVE_HYPOTHESIS:
+    ids_strategy = st.lists(
+        st.integers(min_value=0, max_value=40),
+        min_size=1, max_size=8, unique=True,
+    )
+    seed_strategy = st.integers(min_value=0, max_value=2**16)
+    query_strategy = st.lists(
+        st.integers(min_value=1, max_value=25), min_size=1, max_size=12
+    )
+    probability_strategy = st.floats(
+        min_value=0.0, max_value=1.0, allow_nan=False
+    )
+
+    class TestAvailabilityProperties:
+        @settings(max_examples=50, deadline=None)
+        @given(
+            ids=ids_strategy,
+            p_drop=probability_strategy,
+            p_recover=probability_strategy,
+            seed=seed_strategy,
+            queries=query_strategy,
+        )
+        def test_markov_purity(self, ids, p_drop, p_recover, seed, queries):
+            first = MarkovAvailability(ids, p_drop, p_recover, seed=seed)
+            fresh = MarkovAvailability(ids, p_drop, p_recover, seed=seed)
+            known = set(first.client_ids)
+            for m in queries:
+                observed = first.available_ids(m)
+                # Pure across repeated calls on one instance...
+                assert first.available_ids(m) == observed
+                # ...and across a freshly built instance queried in
+                # this (arbitrary) order with the same seed.
+                assert fresh.available_ids(m) == observed
+                assert observed == sorted(observed)
+                assert set(observed) <= known
+            # In-order replay on a third instance matches too.
+            replay = MarkovAvailability(ids, p_drop, p_recover, seed=seed)
+            for m in range(1, max(queries) + 1):
+                replay.available_ids(m)
+            for m in queries:
+                assert replay.available_ids(m) == first.available_ids(m)
+
+        @settings(max_examples=50, deadline=None)
+        @given(
+            ids=ids_strategy,
+            period=st.integers(min_value=1, max_value=12),
+            duty=st.floats(
+                min_value=0.05, max_value=1.0, allow_nan=False
+            ),
+            seed=seed_strategy,
+            queries=query_strategy,
+        )
+        def test_diurnal_purity_and_period(
+            self, ids, period, duty, seed, queries
+        ):
+            first = DiurnalAvailability(ids, period, duty, seed=seed)
+            fresh = DiurnalAvailability(ids, period, duty, seed=seed)
+            for m in queries:
+                observed = first.available_ids(m)
+                assert first.available_ids(m) == observed
+                assert fresh.available_ids(m) == observed
+                assert observed == sorted(observed)
+                # Deterministic duty cycle: one full period later the
+                # same set is online.
+                assert first.available_ids(m + period) == observed
+
+        @settings(max_examples=50, deadline=None)
+        @given(data=st.data(), ids=ids_strategy, queries=query_strategy)
+        def test_trace_purity_cycle_and_hold(self, data, ids, queries):
+            rounds = data.draw(st.lists(
+                st.lists(st.sampled_from(sorted(set(ids))), unique=True),
+                min_size=1, max_size=6,
+            ))
+            cycling = TraceAvailability(ids, rounds, cycle=True)
+            holding = TraceAvailability(ids, rounds, cycle=False)
+            for m in queries:
+                observed = cycling.available_ids(m)
+                assert cycling.available_ids(m) == observed
+                assert observed == cycling.available_ids(m + len(rounds))
+                assert observed == sorted(rounds[(m - 1) % len(rounds)])
+                held = holding.available_ids(m)
+                assert held == sorted(
+                    rounds[min(m - 1, len(rounds) - 1)]
+                )
+
+        @settings(max_examples=25, deadline=None)
+        @given(ids=ids_strategy, queries=query_strategy)
+        def test_always_purity(self, ids, queries):
+            available = AlwaysAvailable(ids)
+            for m in queries:
+                assert available.available_ids(m) == sorted(ids)
+
+    scenario_config_strategy = st.builds(
+        ScenarioConfig,
+        availability=st.sampled_from(("always", "markov", "diurnal")),
+        p_drop=probability_strategy,
+        p_recover=probability_strategy,
+        period=st.integers(min_value=1, max_value=48),
+        duty=st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+        participants=st.integers(min_value=0, max_value=6),
+        deadline=st.one_of(
+            st.none(),
+            st.floats(min_value=0.5, max_value=50.0, allow_nan=False),
+            st.lists(
+                st.floats(min_value=0.5, max_value=50.0, allow_nan=False),
+                min_size=1, max_size=4,
+            ).map(tuple),
+        ),
+        min_uploads=st.integers(min_value=1, max_value=3),
+        reweight=st.sampled_from(("arrived", "cohort")),
+        slow_fraction=probability_strategy,
+        slow_factor=st.floats(
+            min_value=1.0, max_value=10.0, allow_nan=False
+        ),
+        seed=seed_strategy,
+    )
+
+    class TestScenarioConfigProperties:
+        @settings(max_examples=60, deadline=None)
+        @given(config=scenario_config_strategy)
+        def test_dict_round_trip(self, config):
+            data = config.to_dict()
+            assert ScenarioConfig.from_dict(data) == config
+            # And through an actual JSON wire format (the sweep cache).
+            assert ScenarioConfig.from_dict(
+                json.loads(json.dumps(data))
+            ) == config
+
+        @settings(max_examples=40, deadline=None)
+        @given(
+            data=st.data(),
+            ids=ids_strategy,
+            cycle=st.booleans(),
+            seed=seed_strategy,
+        )
+        def test_trace_config_round_trip(self, data, ids, cycle, seed):
+            rounds = data.draw(st.lists(
+                st.lists(st.sampled_from(sorted(set(ids))), unique=True),
+                min_size=1, max_size=5,
+            ))
+            config = ScenarioConfig(
+                availability="trace",
+                trace=tuple(tuple(entry) for entry in rounds),
+                trace_cycle=cycle,
+                seed=seed,
+            )
+            payload = json.loads(json.dumps(config.to_dict()))
+            rebuilt = ScenarioConfig.from_dict(payload)
+            assert rebuilt == config
+            # The replayed process is the same one, round for round.
+            original = DeploymentScenario.build(
+                config, sorted(ids),
+                TimingModel(dimension=10, comm_time=1.0),
+            )
+            replayed = DeploymentScenario.build(
+                rebuilt, sorted(ids),
+                TimingModel(dimension=10, comm_time=1.0),
+            )
+            for m in range(1, 2 * len(rounds) + 2):
+                assert (
+                    original.sampler.availability.available_ids(m)
+                    == replayed.sampler.availability.available_ids(m)
+                )
+
+        @settings(max_examples=40, deadline=None)
+        @given(
+            bounds=st.tuples(
+                st.floats(min_value=0.5, max_value=20.0, allow_nan=False),
+                st.floats(min_value=0.5, max_value=20.0, allow_nan=False),
+            ).filter(lambda pair: pair[0] < pair[1]),
+            probe=st.booleans(),
+            seed=seed_strategy,
+        )
+        def test_adaptive_config_round_trip(self, bounds, probe, seed):
+            dmin, dmax = bounds
+            config = ScenarioConfig(
+                deadline_policy="adaptive",
+                deadline_min=dmin, deadline_max=dmax,
+                deadline_probe=probe, seed=seed,
+            )
+            payload = json.loads(json.dumps(config.to_dict()))
+            assert ScenarioConfig.from_dict(payload) == config
 
 
 # ----------------------------------------------------------------------
@@ -251,6 +471,191 @@ class TestDeadlinePolicy:
 
 
 # ----------------------------------------------------------------------
+# Deadline schedules: fixed / cycling / adaptive (the dual of learned k)
+# ----------------------------------------------------------------------
+class TestFinishTimeHelper:
+    def test_pinned_values_for_known_profiles(self):
+        # The one arrival-time computation every policy shares:
+        # finish = computation·compute_factor + uplink(nnz)·comm_factor
+        # with uplink(nnz) = (comm_time/2)·(pair_overhead·nnz)/D.
+        timing = TimingModel(dimension=100, comm_time=10.0)
+        uploads = _uploads({0: 10, 1: 10, 2: 25})
+        profiles = {
+            1: ClientProfile(1, compute_factor=3.0, comm_factor=2.0),
+            2: ClientProfile(2, compute_factor=4.0, comm_factor=4.0),
+        }
+        times = upload_finish_times(uploads, timing, profiles)
+        # nnz=10 → uplink = 5·20/100 = 1.0; nnz=25 → uplink = 5·50/100 = 2.5
+        np.testing.assert_allclose(
+            times, [1.0 + 1.0, 3.0 + 2.0, 4.0 + 10.0]
+        )
+        # No profiles: everyone at the unit profile.
+        np.testing.assert_allclose(
+            upload_finish_times(uploads, timing), [2.0, 2.0, 3.5]
+        )
+
+    def test_round_policy_delegates_to_helper(self):
+        timing = TimingModel(dimension=100, comm_time=10.0)
+        uploads = _uploads({0: 10, 1: 25})
+        policy = DeadlineRoundPolicy(deadline=5.0)
+        np.testing.assert_array_equal(
+            policy.finish_times(uploads, timing),
+            upload_finish_times(uploads, timing),
+        )
+
+
+class TestDeadlineSchedules:
+    def test_fixed_is_constant_and_none_inactive(self):
+        fixed = FixedDeadlinePolicy(4.0)
+        assert [fixed.deadline_for(m) for m in (1, 7, 100)] == [4.0] * 3
+        assert fixed.active
+        assert fixed.probe_deadline(1) is None
+        idle = FixedDeadlinePolicy(None)
+        assert idle.deadline_for(3) is None
+        assert not idle.active
+        with pytest.raises(ValueError, match="positive"):
+            FixedDeadlinePolicy(0.0)
+
+    def test_cycling_cycles(self):
+        cycling = CyclingDeadlinePolicy((2.0, 2.0, 9.0))
+        assert [cycling.deadline_for(m) for m in range(1, 7)] == [
+            2.0, 2.0, 9.0, 2.0, 2.0, 9.0
+        ]
+        assert cycling.active
+        with pytest.raises(ValueError, match="empty"):
+            CyclingDeadlinePolicy(())
+        with pytest.raises(ValueError, match="positive"):
+            CyclingDeadlinePolicy((2.0, -1.0))
+
+    def test_resolve_deadline_schedule(self):
+        assert isinstance(
+            resolve_deadline_schedule(5.0), FixedDeadlinePolicy
+        )
+        assert isinstance(
+            resolve_deadline_schedule(None), FixedDeadlinePolicy
+        )
+        assert isinstance(
+            resolve_deadline_schedule((2.0, 9.0)), CyclingDeadlinePolicy
+        )
+        adaptive = AdaptiveDeadlinePolicy(SearchInterval(2.0, 9.0))
+        assert resolve_deadline_schedule(adaptive) is adaptive
+        # DeadlineRoundPolicy accepts any of the raw forms or a policy.
+        assert DeadlineRoundPolicy(adaptive).schedule is adaptive
+        assert DeadlineRoundPolicy(adaptive).active
+
+    def test_adaptive_starts_at_midpoint_or_d1(self):
+        adaptive = AdaptiveDeadlinePolicy(SearchInterval(2.0, 10.0))
+        assert adaptive.deadline == 6.0
+        assert adaptive.deadline_for(1) == 6.0
+        explicit = AdaptiveDeadlinePolicy(SearchInterval(2.0, 10.0), d1=3.0)
+        assert explicit.deadline == 3.0
+        with pytest.raises(ValueError, match="outside"):
+            AdaptiveDeadlinePolicy(SearchInterval(2.0, 10.0), d1=1.0)
+
+    def test_adaptive_probe_is_below_and_never_unavailable(self):
+        adaptive = AdaptiveDeadlinePolicy(SearchInterval(2.0, 10.0))
+        probe = adaptive.probe_deadline(1)
+        assert probe is not None
+        assert probe == pytest.approx(
+            max(6.0 - adaptive.algorithm.step_size() / 2.0, 3.0)
+        )
+        assert 0.0 < probe < adaptive.deadline
+        # Even pinned at the interval's lower edge the probe stays
+        # available (floor d/2) — the walk cannot get stuck at dmin the
+        # way the k-policy can at k=1.
+        pinned = AdaptiveDeadlinePolicy(SearchInterval(2.0, 10.0), d1=2.0)
+        probe = pinned.probe_deadline(1)
+        assert probe is not None and 0.0 < probe < 2.0
+
+    def test_adaptive_probe_disabled(self):
+        frozen = AdaptiveDeadlinePolicy(
+            SearchInterval(2.0, 10.0), probe=False
+        )
+        assert frozen.probe_deadline(1) is None
+        frozen.observe(DeadlineObservation(
+            deadline=6.0, round_time=5.0, loss_prev=1.0, loss_now=0.5,
+        ))
+        assert frozen.deadline == 6.0  # unchanged, round advanced
+        assert frozen.algorithm.m == 2
+
+    def _observation(self, adaptive, loss_probe, probe_round_time):
+        d = adaptive.deadline
+        probe = adaptive.probe_deadline(1)
+        return DeadlineObservation(
+            deadline=d, round_time=5.0, loss_prev=1.0, loss_now=0.5,
+            loss_probe=loss_probe, probe_deadline=probe,
+            probe_round_time=probe_round_time,
+        )
+
+    def test_adaptive_descends_when_tighter_is_cheaper(self):
+        adaptive = AdaptiveDeadlinePolicy(SearchInterval(2.0, 10.0))
+        before = adaptive.deadline
+        # Probe matched the actual loss decrease at lower cost:
+        # τ̂ = 3·0.5/0.5 = 3 < τ = 5 → derivative > 0 → tighten.
+        adaptive.observe(self._observation(
+            adaptive, loss_probe=0.5, probe_round_time=3.0
+        ))
+        assert adaptive.deadline < before
+
+    def test_adaptive_loosens_when_tighter_loses_information(self):
+        adaptive = AdaptiveDeadlinePolicy(SearchInterval(2.0, 10.0))
+        before = adaptive.deadline
+        # Probe barely decreased the loss: τ̂ = 3·0.5/0.1 = 15 > τ = 5
+        # → derivative < 0 → loosen.
+        adaptive.observe(self._observation(
+            adaptive, loss_probe=0.9, probe_round_time=3.0
+        ))
+        assert adaptive.deadline > before
+
+    def test_adaptive_unusable_estimate_keeps_deadline(self):
+        adaptive = AdaptiveDeadlinePolicy(SearchInterval(2.0, 10.0))
+        before = adaptive.deadline
+        # The round failed to decrease the probe loss → estimate
+        # unavailable → d unchanged (the paper's rule for k).
+        adaptive.observe(self._observation(
+            adaptive, loss_probe=1.2, probe_round_time=3.0
+        ))
+        assert adaptive.deadline == before
+        assert adaptive.algorithm.m == 2  # round still advanced
+
+    def test_adaptive_projects_into_interval_and_tracks_history(self):
+        adaptive = AdaptiveDeadlinePolicy(
+            SearchInterval(5.0, 6.0), d1=5.0
+        )
+        for _ in range(4):
+            adaptive.observe(self._observation(
+                adaptive, loss_probe=0.5, probe_round_time=3.0
+            ))
+        assert adaptive.deadline == 5.0  # projected at the lower edge
+        assert adaptive.deadline_history == [5.0] * 5
+        assert all(
+            SearchInterval(5.0, 6.0).contains(d)
+            for d in adaptive.deadline_history
+        )
+
+    def test_build_deadline_schedule_dispatch(self):
+        fixed = build_deadline_schedule(
+            ScenarioConfig(deadline=4.0, deadline_policy="fixed")
+        )
+        assert isinstance(fixed, FixedDeadlinePolicy)
+        assert fixed.deadline == 4.0
+        cycling = build_deadline_schedule(
+            ScenarioConfig(deadline=(2.0, 9.0), deadline_policy="cycling")
+        )
+        assert isinstance(cycling, CyclingDeadlinePolicy)
+        assert cycling.schedule == (2.0, 9.0)
+        adaptive = build_deadline_schedule(ScenarioConfig(
+            deadline_policy="adaptive", deadline=3.0,
+            deadline_min=2.0, deadline_max=9.0, deadline_probe=False,
+        ))
+        assert isinstance(adaptive, AdaptiveDeadlinePolicy)
+        assert adaptive.deadline == 3.0
+        assert adaptive.interval.kmin == 2.0
+        assert adaptive.interval.kmax == 9.0
+        assert not adaptive.probe
+
+
+# ----------------------------------------------------------------------
 # ScenarioConfig
 # ----------------------------------------------------------------------
 class TestScenarioConfig:
@@ -299,6 +704,58 @@ class TestScenarioConfig:
         assert ExperimentConfig.from_dict(config.to_dict()) == config
         with pytest.raises(ValueError, match="scenario"):
             ExperimentConfig.smoke().with_overrides(scenario="churn")
+
+    def test_deadline_policy_validation(self):
+        with pytest.raises(ValueError, match="deadline_policy"):
+            ScenarioConfig(deadline_policy="oracle")
+        with pytest.raises(ValueError, match="cycling"):
+            ScenarioConfig(deadline=5.0, deadline_policy="cycling")
+        with pytest.raises(ValueError, match="deadline_min"):
+            ScenarioConfig(deadline_policy="adaptive")
+        with pytest.raises(ValueError, match="deadline_min"):
+            ScenarioConfig(deadline=5.0, deadline_policy="adaptive")
+        with pytest.raises(ValueError, match="deadline_min"):
+            ScenarioConfig(
+                deadline_policy="adaptive",
+                deadline_min=9.0, deadline_max=2.0,
+            )
+        with pytest.raises(ValueError, match="outside"):
+            ScenarioConfig(
+                deadline_policy="adaptive", deadline=1.0,
+                deadline_min=2.0, deadline_max=9.0,
+            )
+        with pytest.raises(ValueError, match="only apply"):
+            ScenarioConfig(deadline=5.0, deadline_min=2.0)
+
+    def test_deadline_policy_normalization(self):
+        # Legacy dicts predate the field: a schedule means cycling.
+        legacy = ScenarioConfig(deadline=(2.5, 9.0))
+        assert legacy.deadline_policy == "cycling"
+        assert legacy.deadline == (2.5, 9.0)
+        # A 1-entry schedule under "fixed" collapses to its scalar.
+        single = ScenarioConfig(deadline=(4.0,), deadline_policy="fixed")
+        assert single.deadline_policy == "fixed"
+        assert single.deadline == 4.0
+        # Adaptive derives its interval from a schedule and clears the
+        # schedule (d1 defaults to the interval midpoint).
+        derived = ScenarioConfig(
+            deadline=(2.5, 2.5, 9.0), deadline_policy="adaptive"
+        )
+        assert derived.deadline is None
+        assert derived.deadline_min == 2.5
+        assert derived.deadline_max == 9.0
+        assert ScenarioConfig.from_dict(derived.to_dict()) == derived
+
+    def test_legacy_dict_without_policy_fields_loads(self):
+        data = ScenarioConfig.default_churn().to_dict()
+        for field_name in (
+            "deadline_policy", "deadline_min", "deadline_max",
+            "deadline_probe",
+        ):
+            data.pop(field_name)
+        config = ScenarioConfig.from_dict(data)
+        assert config.deadline_policy == "cycling"
+        assert config.deadline == (2.5, 2.5, 2.5, 9.0)
 
 
 # ----------------------------------------------------------------------
@@ -353,8 +810,27 @@ CHURN = ScenarioConfig(
 )
 
 
+ADAPTIVE_CHURN = CHURN.with_overrides(deadline_policy="adaptive")
+
+#: backend-equivalence matrix rows: scenario config + sparsifier factory
+#: + momentum — quantized uploads and momentum correction under deadline
+#: drops, and the online-adapted deadline, all must stay bit-identical.
+SCENARIO_VARIANTS = {
+    "churn": (CHURN, lambda: FABTopK(), 0.0),
+    "quantized": (
+        CHURN,
+        lambda: QuantizedSparsifier(
+            FABTopK(), UniformQuantizer(num_levels=15, seed=5)
+        ),
+        0.0,
+    ),
+    "momentum": (CHURN, lambda: FABTopK(), 0.5),
+    "adaptive-deadline": (ADAPTIVE_CHURN, lambda: FABTopK(), 0.0),
+}
+
+
 def _scenario_trainer(backend, scenario_config=CHURN, sparsifier=None,
-                      seed=5):
+                      seed=5, momentum_correction=0.0):
     fed = _federation(seed=seed)
     model = make_mlp(64, 8, hidden=(10,), seed=seed)
     ids = [c.client_id for c in fed.clients]
@@ -367,6 +843,7 @@ def _scenario_trainer(backend, scenario_config=CHURN, sparsifier=None,
         model, fed, sparsifier if sparsifier is not None else FABTopK(),
         timing=timing, learning_rate=0.05, batch_size=8, eval_every=3,
         seed=seed, backend=backend, scenario=scenario,
+        momentum_correction=momentum_correction,
     )
     return trainer, scenario
 
@@ -375,13 +852,25 @@ class TestScenarioBackendEquivalence:
     """Acceptance (a): same seed => bit-identical histories across backends."""
 
     @pytest.mark.parametrize("backend_name", ["vectorized", "sharded"])
-    def test_churn_histories_identical(self, backend_name):
+    @pytest.mark.parametrize("variant", sorted(SCENARIO_VARIANTS))
+    def test_churn_histories_identical(self, variant, backend_name):
+        scenario_config, sparsifier_factory, momentum = SCENARIO_VARIANTS[
+            variant
+        ]
         backend = (
             ShardedBackend(jobs=2) if backend_name == "sharded"
             else backend_name
         )
-        serial, s_scn = _scenario_trainer("serial")
-        fast, f_scn = _scenario_trainer(backend)
+
+        def build(backend_spec):
+            return _scenario_trainer(
+                backend_spec, scenario_config=scenario_config,
+                sparsifier=sparsifier_factory(),
+                momentum_correction=momentum,
+            )
+
+        serial, s_scn = build("serial")
+        fast, f_scn = build(backend)
         hs = serial.run(9, k=12)
         hf = fast.run(9, k=12)
         assert history_rows(hs) == history_rows(hf)
@@ -395,18 +884,32 @@ class TestScenarioBackendEquivalence:
             r.dropped_ids for r in f_scn.stats.rounds
         ]
         assert s_scn.stats.total_dropped > 0  # the scenario actually bites
+        if variant == "adaptive-deadline":
+            # The adaptation state lives in the parent and walked the
+            # same path on both backends — and it actually walked.
+            trace_s = s_scn.hooks.policy.schedule.deadline_history
+            trace_f = f_scn.hooks.policy.schedule.deadline_history
+            assert trace_s == trace_f
+            assert len(set(trace_s)) > 1
         fast.close()
 
-    def test_adaptive_trainer_composes_with_scenario(self):
+    @pytest.mark.parametrize("scenario_config", [CHURN, ADAPTIVE_CHURN],
+                             ids=["cycling", "adaptive-deadline"])
+    def test_adaptive_trainer_composes_with_scenario(self, scenario_config):
+        # With ADAPTIVE_CHURN this is the double-adaptive composition:
+        # the trainer learns k while the scenario hook learns the
+        # deadline, both through ChainedHooks, still bit-identical.
         def build(backend):
             fed = _federation()
             model = make_mlp(64, 8, hidden=(10,), seed=5)
             ids = [c.client_id for c in fed.clients]
-            profiles = CHURN.build_profiles(ids)
+            profiles = scenario_config.build_profiles(ids)
             timing = HeterogeneousTimingModel(
                 model.dimension, comm_time=10.0, profiles=profiles
             )
-            scenario = DeploymentScenario.build(CHURN, ids, timing, profiles)
+            scenario = DeploymentScenario.build(
+                scenario_config, ids, timing, profiles
+            )
             policy = SignPolicy(
                 SignOGD(SearchInterval(2.0, float(model.dimension)))
             )
@@ -421,6 +924,111 @@ class TestScenarioBackendEquivalence:
             fast.run(6)
         )
         fast.close()
+
+
+class TestAdaptiveDeadlineIntegration:
+    """The online-learned deadline, end to end through the engine."""
+
+    def _run(self, scenario_config, rounds=10):
+        trainer, scenario = _scenario_trainer(
+            "serial", scenario_config=scenario_config
+        )
+        trainer.run(rounds, k=12)
+        return trainer, scenario
+
+    def test_deadline_moves_and_is_recorded(self):
+        _, scenario = self._run(ADAPTIVE_CHURN)
+        schedule = scenario.hooks.policy.schedule
+        assert isinstance(schedule, AdaptiveDeadlinePolicy)
+        history = schedule.deadline_history
+        # One decision per round plus the upcoming one.
+        assert len(history) == len(scenario.stats.rounds) + 1
+        assert len(set(history)) > 1  # it adapted
+        interval = schedule.interval
+        assert all(interval.contains(d) for d in history)
+        # The per-round stats carry the deadline that was in force.
+        assert [r.deadline for r in scenario.stats.rounds] == history[:-1]
+
+    def test_probe_disabled_freezes_the_deadline(self):
+        frozen_config = ADAPTIVE_CHURN.with_overrides(
+            deadline=4.0, deadline_probe=False
+        )
+        _, scenario = self._run(frozen_config)
+        schedule = scenario.hooks.policy.schedule
+        assert schedule.deadline_history == [4.0] * (
+            len(scenario.stats.rounds) + 1
+        )
+        assert all(r.deadline == 4.0 for r in scenario.stats.rounds)
+
+    def test_probe_charges_no_extra_time(self):
+        # The deadline probe is a counterfactual replay of data the
+        # server already has — unlike the k-probe there is no difference
+        # downlink, so an adaptive round at deadline d charges exactly
+        # what a fixed-d round charges.  Round 1 plays d1 = 4.0 in both
+        # runs (the walk only moves from round 2 on); with the probe
+        # disabled the whole history must match the fixed run.
+        fixed_config = CHURN.with_overrides(
+            deadline=4.0, deadline_policy="fixed"
+        )
+        fixed, _ = self._run(fixed_config, rounds=6)
+        probing_config = ADAPTIVE_CHURN.with_overrides(deadline=4.0)
+        probing, _ = self._run(probing_config, rounds=1)
+        assert history_rows(probing.history) == history_rows(
+            fixed.history
+        )[:1]
+        frozen_config = ADAPTIVE_CHURN.with_overrides(
+            deadline=4.0, deadline_probe=False
+        )
+        frozen, _ = self._run(frozen_config, rounds=6)
+        assert history_rows(frozen.history) == history_rows(fixed.history)
+
+    def test_probe_sees_preprocessed_uploads(self):
+        # The counterfactual d'-round must re-aggregate the same
+        # (possibly compression-degraded) uploads the server actually
+        # aggregates.  With every client fast enough to beat both d and
+        # d', the probe set equals the actual set, so w'(m) == w(m)
+        # exactly and the sign estimate is 0 — the deadline never moves.
+        # Aggregating raw (unquantized) uploads instead would make
+        # loss_probe != loss_now and walk the deadline on pure
+        # quantization noise.
+        config = ScenarioConfig(
+            availability="always", deadline_policy="adaptive",
+            deadline_min=4.0, deadline_max=12.0,
+            slow_fraction=0.0, seed=5,
+        )
+        trainer, scenario = _scenario_trainer(
+            "serial", scenario_config=config,
+            sparsifier=QuantizedSparsifier(
+                FABTopK(), UniformQuantizer(num_levels=15, seed=5)
+            ),
+        )
+        trainer.run(6, k=12)
+        schedule = scenario.hooks.policy.schedule
+        assert schedule.deadline_history == [8.0] * 7
+
+    def test_adaptation_state_survives_probing_rounds(self):
+        # Probing must not perturb the model: after any round the
+        # weights equal w_prev - lr * downlink (the probe swap/restore
+        # is exact, not approximately undone).
+        trainer, _ = _scenario_trainer(
+            "serial", scenario_config=ADAPTIVE_CHURN
+        )
+        w_prev = trainer.model.get_weights()
+
+        class Recorder(RoundHooks):
+            downlink = None
+
+            def after_aggregate(self, ctx):
+                Recorder.downlink = ctx.downlink.payload
+
+        trainer.engine.run_round(12, hooks=Recorder())
+        expected = w_prev.copy()
+        expected[Recorder.downlink.indices] -= (
+            trainer.learning_rate * Recorder.downlink.values
+        )
+        np.testing.assert_array_equal(
+            trainer.model.get_weights(), expected
+        )
 
 
 class TestDroppedUploadRecovery:
@@ -571,6 +1179,76 @@ class TestDegenerateScenario:
 
 
 # ----------------------------------------------------------------------
+# Golden scenario history
+# ----------------------------------------------------------------------
+def _golden_scenario_trainer():
+    """The pinned scenario run: Markov churn + cycling deadline +
+    over-selection at tiny scale.  This construction must not change,
+    or the golden loses its meaning."""
+    config = ScenarioConfig(
+        availability="markov",
+        p_drop=0.2,
+        p_recover=0.6,
+        participants=4,
+        over_selection=0.5,
+        deadline=(2.5, 2.5, 9.0),
+        deadline_policy="cycling",
+        slow_fraction=0.25,
+        slow_factor=4.0,
+        seed=3,
+    )
+    fed = _federation(seed=3, num_writers=6)
+    model = make_mlp(64, 8, hidden=(6,), seed=3)
+    ids = [c.client_id for c in fed.clients]
+    profiles = config.build_profiles(ids)
+    timing = HeterogeneousTimingModel(
+        model.dimension, comm_time=10.0, profiles=profiles
+    )
+    scenario = DeploymentScenario.build(config, ids, timing, profiles)
+    trainer = FLTrainer(
+        model, fed, FABTopK(), timing=timing, learning_rate=0.05,
+        batch_size=8, eval_every=2, seed=3, scenario=scenario,
+    )
+    return trainer, scenario
+
+
+class TestGoldenScenarioHistory:
+    """Acceptance (d): scenario semantics are pinned absolutely.
+
+    Cross-backend equality cannot catch a change that moves every
+    backend together (a re-ordered gate, a different close-time charge);
+    this golden does.
+    """
+
+    def test_history_matches_golden(self):
+        trainer, _ = _golden_scenario_trainer()
+        trainer.run(6, k=10)
+        golden = json.loads(GOLDEN_PATH.read_text())["scenario_fl_trainer"]
+        expected = [
+            (row["round_index"], row["k"], row["round_time"],
+             row["cumulative_time"], row["loss"], row["accuracy"],
+             row["uplink_elements"], row["downlink_elements"],
+             tuple(
+                 (int(cid), n) for cid, n in sorted(
+                     row["contributions"].items(), key=lambda kv: int(kv[0])
+                 )
+             ))
+            for row in golden
+        ]
+        assert history_rows(trainer.history) == expected
+
+    def test_deadline_drops_match_golden(self):
+        trainer, scenario = _golden_scenario_trainer()
+        trainer.run(6, k=10)
+        golden = json.loads(GOLDEN_PATH.read_text())
+        expected = golden["scenario_fl_trainer_drops"]
+        assert [
+            list(r.dropped_ids) for r in scenario.stats.rounds
+        ] == expected
+        assert sum(len(d) for d in expected) > 0  # the gate really fired
+
+
+# ----------------------------------------------------------------------
 # Partial-aggregation reweighting
 # ----------------------------------------------------------------------
 class TestReweighting:
@@ -708,6 +1386,14 @@ class TestScenarioDriverAndCLI:
         }
         assert (tmp_path / "scenario_delivery.json").exists()
         assert (tmp_path / "scenario_history_fixed-k.json").exists()
+        # The deadline-policy comparison panel rides along.
+        panel = json.loads(
+            (tmp_path / "scenario_deadline_policies.json").read_text()
+        )
+        labels = {s["label"] for s in panel["series"]}
+        assert {"cycling", "adaptive"} <= labels
+        assert any(label.startswith("fixed-") for label in labels)
+        assert (tmp_path / "scenario_deadline_traces.json").exists()
 
     def test_cli_scenario_flags_reach_the_config(self):
         from repro import cli
@@ -724,9 +1410,206 @@ class TestScenarioDriverAndCLI:
         assert scenario["reweight"] == "cohort"
         assert scenario["seed"] == 3
 
+    def test_cli_deadline_policy_flags(self):
+        from repro import cli
+
+        args = cli.build_parser().parse_args([
+            "scenario", "--deadline-policy", "adaptive",
+            "--deadline-min", "2.0", "--deadline-max", "8.0",
+            "--no-deadline-probe",
+        ])
+        scenario = cli._scenario_overrides(args, seed=0)
+        assert scenario["deadline_policy"] == "adaptive"
+        assert scenario["deadline_min"] == 2.0
+        assert scenario["deadline_max"] == 8.0
+        assert scenario["deadline_probe"] is False
+        # Without an explicit interval the churn preset's schedule
+        # (2.5, 2.5, 2.5, 9.0) seeds it.
+        args = cli.build_parser().parse_args([
+            "scenario", "--deadline-policy", "adaptive",
+        ])
+        scenario = ScenarioConfig.from_dict(
+            cli._scenario_overrides(args, seed=0)
+        )
+        assert scenario.deadline_policy == "adaptive"
+        assert scenario.deadline_min == 2.5
+        assert scenario.deadline_max == 9.0
+        # A single --deadline d seeds the interval [d/2, 2d] around it.
+        args = cli.build_parser().parse_args([
+            "scenario", "--deadline-policy", "adaptive",
+            "--deadline", "5",
+        ])
+        scenario = ScenarioConfig.from_dict(
+            cli._scenario_overrides(args, seed=0)
+        )
+        assert scenario.deadline == 5.0
+        assert scenario.deadline_min == 2.5
+        assert scenario.deadline_max == 10.0
+
+    def test_cli_fixed_policy_collapses_schedule_preset(self):
+        from repro import cli
+
+        args = cli.build_parser().parse_args([
+            "scenario", "--deadline-policy", "fixed",
+        ])
+        scenario = cli._scenario_overrides(args, seed=0)
+        assert scenario["deadline_policy"] == "fixed"
+        assert scenario["deadline"] == pytest.approx(
+            (2.5 + 2.5 + 2.5 + 9.0) / 4.0
+        )
+        # cycling + a single value wraps it into a 1-entry schedule.
+        args = cli.build_parser().parse_args([
+            "scenario", "--deadline-policy", "cycling", "--deadline", "4",
+        ])
+        scenario = cli._scenario_overrides(args, seed=0)
+        assert scenario["deadline_policy"] == "cycling"
+        assert scenario["deadline"] == [4.0]
+
     def test_sweep_includes_scenario(self):
         from repro.cli import FIGURES
         from repro.parallel.sweep import SWEEP_FIGURES
 
         assert "scenario" in SWEEP_FIGURES
         assert SWEEP_FIGURES == FIGURES
+
+
+# ----------------------------------------------------------------------
+# Deadline-policy comparison panel (fixed vs cycling vs adaptive)
+# ----------------------------------------------------------------------
+class TestDeadlineAdaptationPanel:
+    def test_deadline_variants_share_the_regime(self):
+        from repro.experiments.scenario import deadline_variants
+
+        variants = deadline_variants(ScenarioConfig.default_churn())
+        assert set(variants) == {
+            "fixed-2.5", "fixed-9", "cycling", "adaptive"
+        }
+        assert variants["fixed-2.5"].deadline == 2.5
+        assert variants["fixed-9"].deadline == 9.0
+        assert variants["cycling"].deadline == (2.5, 2.5, 2.5, 9.0)
+        adaptive = variants["adaptive"]
+        assert adaptive.deadline_policy == "adaptive"
+        assert adaptive.deadline_min == 2.5
+        assert adaptive.deadline_max == 9.0
+        # Availability / stragglers / seed are shared across variants.
+        for variant in variants.values():
+            assert variant.availability == "markov"
+            assert variant.slow_fraction == 0.25
+            assert variant.seed == ScenarioConfig.default_churn().seed
+
+    def test_deadline_variants_around_a_fixed_deadline(self):
+        from repro.experiments.scenario import deadline_variants
+
+        variants = deadline_variants(
+            ScenarioConfig(deadline=4.0, deadline_policy="fixed")
+        )
+        assert variants["fixed-2"].deadline == 2.0
+        assert variants["fixed-8"].deadline == 8.0
+        assert variants["adaptive"].deadline_min == 2.0
+        with pytest.raises(ValueError, match="needs a scenario"):
+            deadline_variants(ScenarioConfig(deadline=None))
+
+    def test_supports_deadline_comparison(self):
+        from repro.experiments.scenario import supports_deadline_comparison
+
+        assert supports_deadline_comparison(ScenarioConfig.default_churn())
+        assert supports_deadline_comparison(ScenarioConfig(deadline=4.0))
+        assert supports_deadline_comparison(ScenarioConfig(
+            deadline_policy="adaptive", deadline_min=2.0, deadline_max=9.0,
+        ))
+        # Availability-only and degenerate all-equal schedules: no
+        # interval to compare over.
+        assert not supports_deadline_comparison(
+            ScenarioConfig(deadline=None)
+        )
+        assert not supports_deadline_comparison(
+            ScenarioConfig(deadline=(3.0, 3.0), deadline_policy="cycling")
+        )
+
+    def test_availability_only_scenario_skips_the_panel(self):
+        # Regression guard: a deadline-less scenario's sweep/CLI unit
+        # must still produce its primary artifacts — the comparison
+        # panel is skipped, not failed.
+        from repro.experiments.config import ExperimentConfig
+        from repro.parallel.sweep import collect_artifacts
+
+        scenario = ScenarioConfig(
+            availability="markov", p_drop=0.2, p_recover=0.6,
+            deadline=None, seed=0,
+        )
+        config = ExperimentConfig.smoke().with_overrides(
+            num_rounds=3, scenario=scenario.to_dict()
+        )
+        artifacts = collect_artifacts("scenario", config)
+        assert "scenario_loss_vs_time" in artifacts
+        assert "scenario_deadline_policies" not in artifacts
+        assert "scenario_deadline_traces" not in artifacts
+
+    def test_run_deadline_adaptation_smoke(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.scenario import run_deadline_adaptation
+
+        config = ExperimentConfig.smoke().with_overrides(num_rounds=6)
+        result = run_deadline_adaptation(config)
+        assert set(result.histories) == {
+            "fixed-2.5", "fixed-9", "cycling", "adaptive"
+        }
+        assert result.loss_vs_time.labels() == list(result.histories)
+        assert result.deadline_traces.labels() == list(result.histories)
+        # Every policy's trace holds the deadline in force per round.
+        fixed = result.deadline_traces.get("fixed-9")
+        assert set(fixed.y) == {9.0}
+        adaptive_trace = result.deadline_traces.get("adaptive")
+        assert all(2.5 <= d <= 9.0 for d in adaptive_trace.y)
+        for label in result.histories:
+            assert result.stats[label]["rounds"] == len(
+                result.deadline_traces.get(label).y
+            )
+        assert any(
+            note.startswith("time to shared target loss")
+            for note in result.loss_vs_time.notes
+        )
+
+    def test_adaptive_reaches_target_no_slower_than_best_fixed(self):
+        # The acceptance regime: heterogeneous profiles where *neither*
+        # fixed endpoint is good — the tight endpoint sits below the
+        # fast clients' finish time (min_uploads rescues single-upload
+        # rounds that plateau on disjoint writer classes), the loose
+        # endpoint waits the 4x straggler tail — so a learned deadline,
+        # oscillating into its own amnesty cycle, beats both.
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.scenario import run_deadline_adaptation
+
+        scenario = ScenarioConfig(
+            availability="always",
+            deadline_policy="adaptive",
+            deadline_min=1.0, deadline_max=12.0,
+            slow_fraction=0.25, slow_factor=4.0,
+            seed=1,
+        )
+        config = ExperimentConfig.smoke().with_overrides(
+            num_clients=8, samples_per_client=16, num_classes=12,
+            classes_per_writer=2, learning_rate=0.1, num_rounds=80,
+            eval_every=1, seed=1, scenario=scenario.to_dict(),
+        )
+        result = run_deadline_adaptation(config)
+        finals = result.final_losses()
+        fixed_labels = [
+            label for label in finals if label.startswith("fixed-")
+        ]
+        assert len(fixed_labels) == 2
+        # The shared target: a loss level every policy's budget reached.
+        target = max(finals.values())
+        times = result.time_to_loss(target)
+        assert times["adaptive"] < float("inf")
+        assert times["adaptive"] <= min(
+            times[label] for label in fixed_labels
+        )
+        # And adaptive's *final* loss beats both fixed endpoints
+        # outright — the stronger form of the same claim.
+        assert finals["adaptive"] < min(
+            finals[label] for label in fixed_labels
+        )
+        # It earned that by actually moving the deadline.
+        adaptive_trace = result.deadline_traces.get("adaptive").y
+        assert len(set(adaptive_trace)) > 1
