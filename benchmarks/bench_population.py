@@ -1,0 +1,204 @@
+"""Population-scale rounds: O(cohort) time and O(ever-sampled) memory.
+
+The virtual-population path (:class:`repro.data.virtual.
+VirtualFederation` + :mod:`repro.simulation.population`) claims that a
+churn+deadline scenario over N = 1,000,000 clients costs per round what
+a cohort costs — client datasets, residuals, availability chains and
+straggler profiles all regenerate from ``(seed, client_id)`` on demand,
+so nothing is ever enumerated over N.  This benchmark prices exactly
+that claim:
+
+- a 3-round churn+deadline run at N = 10^6 with a fixed cohort, with
+  peak RSS recorded against the *eager extrapolation* (the measured
+  per-client footprint of one materialized client times N — what
+  building the federation eagerly would take).  The acceptance line is
+  a >= 100x gap.
+- the same fixed-cohort run at two population sizes an order of
+  magnitude apart; per-round wall-clock must not scale with N (recorded
+  as the ratio of per-round times, expected ~1).
+
+Run standalone, appending to ``BENCH_population.json`` at the repo
+root::
+
+    PYTHONPATH=src python benchmarks/bench_population.py
+
+or under pytest (assertion-only, smaller N so the suite stays quick)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_population.py -s
+"""
+
+import json
+import pathlib
+import resource
+import sys
+import time
+
+from _hostmeta import host_metadata
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    build_federation,
+    build_model,
+    build_scenario,
+)
+from repro.fl.trainer import FLTrainer
+from repro.scenarios import ScenarioConfig
+from repro.sparsify.fab_topk import FABTopK
+
+POPULATION = 1_000_000
+COHORT = 16
+ROUNDS = 3
+BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_population.json"
+)
+
+
+def population_config(population: int) -> ExperimentConfig:
+    """Churn + cycling deadline over a virtual femnist-like population."""
+    scenario = ScenarioConfig.default_churn().with_overrides(
+        participants=COHORT, over_selection=0.25, seed=0
+    )
+    return ExperimentConfig(
+        population=population,
+        samples_per_client=25,
+        image_size=10,
+        num_classes=16,
+        classes_per_writer=5,
+        hidden=(16,),
+        learning_rate=0.05,
+        batch_size=16,
+        eval_every=1_000_000,  # price the rounds, not the eval pool
+        scenario=scenario.to_dict(),
+        seed=0,
+    )
+
+
+def build_trainer(population: int) -> tuple[FLTrainer, object]:
+    config = population_config(population)
+    federation = build_federation(config)
+    model = build_model(config)
+    timing, scenario = build_scenario(config, [], model.dimension)
+    trainer = FLTrainer(
+        model, federation, FABTopK(), timing=timing,
+        learning_rate=config.learning_rate, batch_size=config.batch_size,
+        eval_every=config.eval_every, seed=config.seed, scenario=scenario,
+    )
+    return trainer, scenario
+
+
+def peak_rss_bytes() -> int:
+    """Process peak RSS; ru_maxrss is KiB on Linux, bytes on macOS."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+def eager_client_bytes(trainer: FLTrainer) -> int:
+    """Measured per-client footprint an eager federation would multiply.
+
+    One materialized client's sample arrays plus the dense residual the
+    engine keeps per client (the momentum buffer, quantization state
+    etc. only widen the gap; this is the conservative floor).
+    """
+    dataset = trainer.engine.federation.client_dataset(0)
+    arrays = dataset.x.nbytes + dataset.y.nbytes
+    residual = trainer.model.dimension * 8
+    return arrays + residual
+
+
+def run_rounds(population: int, rounds: int = ROUNDS):
+    """(per-round seconds, ever-touched count, drop stats) of one run."""
+    trainer, scenario = build_trainer(population)
+    k = max(2, int(0.4 * trainer.model.dimension / COHORT))
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        trainer.step(k)
+        times.append(time.perf_counter() - start)
+    touched = len(trainer.engine.clients)
+    stats = scenario.stats
+    per_client = eager_client_bytes(trainer)
+    return times, touched, stats, per_client
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (reduced N so the suite stays interactive)
+# ----------------------------------------------------------------------
+def test_rounds_touch_cohort_not_population():
+    times, touched, stats, _ = run_rounds(200_000)
+    # ever-touched is bounded by cohort x rounds (over-selection incl.)
+    assert touched <= int(COHORT * 1.25) * ROUNDS
+    assert stats.total_arrived > 0
+
+
+def test_round_time_independent_of_population():
+    small_times, _, _, _ = run_rounds(100_000)
+    large_times, _, _, _ = run_rounds(1_000_000)
+    # Skip round 1 (both pay one-off warmup); later rounds must not
+    # scale with N.  Generous 3x guard: this is a smoke assertion, the
+    # standalone report records the real ratio.
+    assert min(large_times[1:]) < 3.0 * max(small_times[1:]) + 0.05
+
+
+def test_memory_stays_far_below_eager_extrapolation():
+    _, touched, _, per_client = run_rounds(200_000)
+    eager = per_client * 200_000
+    assert peak_rss_bytes() * 10 < eager  # >=10x at N=2e5; ~100x at 1e6
+
+
+def main() -> None:
+    entry = {"host": host_metadata(), "results": []}
+
+    # Wall-clock vs N at fixed cohort: N and 10N, same cohort/rounds.
+    small_pop = POPULATION // 10
+    small_times, small_touched, _, _ = run_rounds(small_pop)
+
+    times, touched, stats, per_client = run_rounds(POPULATION)
+    rss = peak_rss_bytes()
+    eager = per_client * POPULATION
+    # Steady-state per-round time (round 1 pays pool/eval warmup).
+    steady = min(times[1:])
+    steady_small = min(small_times[1:])
+    scaling_ratio = steady / steady_small
+
+    entry["results"].append({
+        "population": POPULATION,
+        "cohort": COHORT,
+        "rounds": ROUNDS,
+        "round_seconds": [round(t, 4) for t in times],
+        "steady_round_seconds": round(steady, 4),
+        "ever_touched_clients": touched,
+        "total_arrived": stats.total_arrived,
+        "total_dropped": stats.total_dropped,
+        "peak_rss_bytes": rss,
+        "eager_per_client_bytes": per_client,
+        "eager_extrapolated_bytes": eager,
+        "rss_vs_eager_ratio": round(eager / rss, 1),
+        "small_population": small_pop,
+        "small_steady_round_seconds": round(steady_small, 4),
+        "small_ever_touched_clients": small_touched,
+        "round_time_scaling_10x_population": round(scaling_ratio, 3),
+    })
+
+    print(
+        f"N={POPULATION:,}: {ROUNDS} churn+deadline rounds, cohort {COHORT}"
+        f" -> touched {touched} clients, steady round {steady * 1e3:.1f} ms"
+    )
+    print(
+        f"peak RSS {rss / 1e6:.1f} MB vs eager extrapolation "
+        f"{eager / 1e9:.1f} GB ({eager / rss:.0f}x headroom)"
+    )
+    print(
+        f"round time at 10x population: {scaling_ratio:.2f}x "
+        f"({steady_small * 1e3:.1f} ms at N={small_pop:,})"
+    )
+    assert eager >= 100 * rss, "memory acceptance: >=100x below eager"
+
+    history = []
+    if BENCH_PATH.exists():
+        history = json.loads(BENCH_PATH.read_text())
+    history.append(entry)
+    BENCH_PATH.write_text(json.dumps(history, indent=1))
+    print(f"appended to {BENCH_PATH}")
+
+
+if __name__ == "__main__":
+    main()

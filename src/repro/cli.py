@@ -155,6 +155,21 @@ def _add_scenario_flags(p: argparse.ArgumentParser) -> None:
                    help="fraction of clients that are stragglers")
     p.add_argument("--slow-factor", type=float, default=None,
                    help="compute+comm slowdown of a straggler")
+    p.add_argument("--population", type=int, default=None, metavar="N",
+                   help="run over a virtual population of N clients "
+                        "(e.g. 1000000): per-client data, availability "
+                        "and straggler profiles regenerate from (seed, "
+                        "id) on demand, so rounds cost O(cohort) and "
+                        "memory O(ever-sampled) at any N; pairs with "
+                        "--participants m (defaults to a small fixed "
+                        "cohort — an all-available round would be O(N))")
+    p.add_argument("--alpha-sweep", type=float, nargs="+", default=None,
+                   metavar="ALPHA",
+                   help="additionally run the scenario comparison at "
+                        "each Dirichlet(ALPHA) label-skew split and "
+                        "write a scenario x alpha panel "
+                        "(scenario_dirichlet_alpha); eager "
+                        "federations only")
 
 
 def _scenario_overrides(args, seed: int) -> dict:
@@ -164,6 +179,13 @@ def _scenario_overrides(args, seed: int) -> dict:
 
     scenario = ScenarioConfig.default_churn().with_overrides(seed=seed)
     overrides = {}
+    if getattr(args, "population", None) and args.participants is None:
+        # Population-scale runs must name a cohort: participants=0
+        # ("all available") is an O(N) round, the one thing a virtual
+        # population exists to avoid.
+        from repro.experiments.scenario import DEFAULT_POPULATION_COHORT
+
+        overrides["participants"] = DEFAULT_POPULATION_COHORT
     for flag, field_name in (
         ("availability", "availability"), ("p_drop", "p_drop"),
         ("p_recover", "p_recover"), ("period", "period"), ("duty", "duty"),
@@ -247,6 +269,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sharded worker processes (0 = all usable "
                             "CPUs); any value except 1 implies "
                             "--backend sharded")
+        p.add_argument("--partition", default=None,
+                       choices=("auto", "dirichlet"),
+                       help="client partition: auto follows the paper "
+                            "(femnist by writer, cifar by class); "
+                            "dirichlet applies a Dirichlet(alpha) "
+                            "label-skew split")
+        p.add_argument("--dirichlet-alpha", type=float, default=None,
+                       help="Dirichlet concentration for --partition "
+                            "dirichlet (small = near-single-class "
+                            "clients, large = near-IID); implies "
+                            "--partition dirichlet")
         p.add_argument("--plot", action="store_true",
                        help="render ASCII charts to stdout")
     ps = sub.add_parser(
@@ -325,6 +358,14 @@ def main(argv: list[str] | None = None) -> int:
         overrides["jobs"] = args.jobs
         if args.backend is None and args.jobs != 1:
             overrides["backend"] = "sharded"
+    if args.partition is not None:
+        overrides["partition"] = args.partition
+    if args.dirichlet_alpha is not None:
+        overrides["dirichlet_alpha"] = args.dirichlet_alpha
+        if args.partition is None:
+            overrides["partition"] = "dirichlet"
+    if getattr(args, "population", None):
+        overrides["population"] = args.population
     if overrides:
         config = config.with_overrides(**overrides)
     if args.command == "scenario":
@@ -335,6 +376,21 @@ def main(argv: list[str] | None = None) -> int:
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     written = _run_figure(args.command, config, out, plot=args.plot)
+    if args.command == "scenario" and args.alpha_sweep:
+        # The α panel is a CLI-only extra (it multiplies the scenario
+        # run per α), kept out of collect_artifacts so sweep cache keys
+        # and the cached artifact set stay exactly the figure suite's.
+        from repro.experiments.io import figure_to_dict
+        from repro.experiments.scenario import run_dirichlet_sweep
+
+        panel = run_dirichlet_sweep(config, args.alpha_sweep)
+        write_json(out / "scenario_dirichlet_alpha.json", figure_to_dict(panel))
+        written.append("scenario_dirichlet_alpha.json")
+        export_figure_csv(panel, out / "scenario_dirichlet_alpha.csv")
+        written.append("scenario_dirichlet_alpha.csv")
+        if args.plot:
+            print(render_figure(panel))
+            print()
     for name in written:
         print(out / name)
     return 0

@@ -134,6 +134,19 @@ class QuantizedSparsifier(Sparsifier):
     ) -> list[ClientUpload]:
         return [self._quantize_upload(up) for up in uploads]
 
+    def preprocess_uploads_counterfactual(
+        self, uploads: list[ClientUpload]
+    ) -> list[ClientUpload]:
+        # Stochastic rounding draws from the quantizer's stream; a
+        # counterfactual replay must not advance it (the next real
+        # round's quantization would diverge from a non-probing run), so
+        # quantize against a snapshot and restore the state after.
+        state = self.quantizer._rng.bit_generator.state
+        try:
+            return self.preprocess_uploads(uploads)
+        finally:
+            self.quantizer._rng.bit_generator.state = state
+
     def server_select(
         self, uploads: list[ClientUpload], k: int, dimension: int
     ) -> SelectionResult:

@@ -25,11 +25,19 @@ from repro.data.synthetic import (
     make_femnist_like,
     make_gaussian_blobs,
 )
+from repro.data.virtual import (
+    LazyClientDataset,
+    VirtualFederation,
+    VirtualSpec,
+)
 
 __all__ = [
     "ClientDataset",
     "FederatedDataset",
+    "LazyClientDataset",
     "SyntheticDataset",
+    "VirtualFederation",
+    "VirtualSpec",
     "make_cifar_like",
     "make_femnist_like",
     "make_gaussian_blobs",

@@ -98,9 +98,23 @@ class FederatedDataset:
         return float(np.mean(tvs))
 
 
-def partition_by_writer(dataset: SyntheticDataset, seed: int = 0) -> FederatedDataset:
-    """One client per writer (the FEMNIST setting)."""
+def partition_by_writer(
+    dataset: SyntheticDataset, seed: int = 0, *, client_id: int | None = None
+):
+    """One client per writer (the FEMNIST setting).
+
+    With ``client_id`` set, returns just that client's
+    :class:`ClientDataset` — bit-identical to the eager partition's
+    (same slice, same minibatch seed) without building the others.
+    """
     writers = np.unique(dataset.writer)
+    if client_id is not None:
+        _check_client_id(client_id, writers.size)
+        mask = dataset.writer == writers[client_id]
+        return ClientDataset(
+            client_id=int(client_id), x=dataset.x[mask], y=dataset.y[mask],
+            seed=seed,
+        )
     clients = []
     for cid, w in enumerate(writers):
         mask = dataset.writer == w
@@ -111,13 +125,21 @@ def partition_by_writer(dataset: SyntheticDataset, seed: int = 0) -> FederatedDa
 
 
 def partition_by_class(
-    dataset: SyntheticDataset, num_clients: int, seed: int = 0
-) -> FederatedDataset:
+    dataset: SyntheticDataset, num_clients: int, seed: int = 0,
+    *, client_id: int | None = None,
+):
     """Each client holds a single class (the paper's CIFAR-10 setting).
 
     Clients are assigned classes round-robin; the samples of each class
     are split randomly and evenly among the clients holding that class.
     Requires ``num_clients >= num_classes`` so every class is covered.
+
+    With ``client_id`` set, returns just that client's
+    :class:`ClientDataset`, bit-identical to the eager partition's: the
+    per-class shuffles consume one shared RNG in class order, so the
+    materializer replays the shuffles up to the client's class and slices
+    its chunk (index bookkeeping only — no other client's arrays are
+    built).
     """
     if num_clients < dataset.num_classes:
         raise ValueError(
@@ -126,6 +148,24 @@ def partition_by_class(
         )
     rng = np.random.default_rng(seed)
     class_of_client = np.arange(num_clients) % dataset.num_classes
+    if client_id is not None:
+        _check_client_id(client_id, num_clients)
+        target = int(client_id) % dataset.num_classes
+        for cls in range(target + 1):
+            holders = np.flatnonzero(class_of_client == cls)
+            idx = np.flatnonzero(dataset.y == cls)
+            if idx.size < holders.size:
+                raise ValueError(
+                    f"class {cls} has {idx.size} samples but "
+                    f"{holders.size} clients"
+                )
+            rng.shuffle(idx)
+        slot = int(np.searchsorted(holders, int(client_id)))
+        part = np.array_split(idx, holders.size)[slot]
+        return ClientDataset(
+            client_id=int(client_id), x=dataset.x[part], y=dataset.y[part],
+            seed=seed,
+        )
     clients: list[ClientDataset] = []
     for cls in range(dataset.num_classes):
         holders = np.flatnonzero(class_of_client == cls)
@@ -146,9 +186,41 @@ def partition_by_class(
 
 
 def partition_dirichlet(
-    dataset: SyntheticDataset, num_clients: int, alpha: float = 0.5, seed: int = 0
-) -> FederatedDataset:
-    """Dirichlet(alpha) label-skew partition (smaller alpha = more skew)."""
+    dataset: SyntheticDataset, num_clients: int, alpha: float = 0.5,
+    seed: int = 0, *, client_id: int | None = None,
+):
+    """Dirichlet(alpha) label-skew partition (smaller alpha = more skew).
+
+    With ``client_id`` set, returns just that client's
+    :class:`ClientDataset`, bit-identical to the eager partition's.  The
+    donor-stealing rescue couples every bucket, so the per-client path
+    still computes all index buckets — but materializes only one client's
+    sample arrays (the dominant cost at image dimensions).
+    """
+    buckets = _dirichlet_buckets(dataset, num_clients, alpha, seed)
+    if client_id is not None:
+        _check_client_id(client_id, num_clients)
+        rows = np.array(sorted(buckets[client_id]))
+        return ClientDataset(
+            client_id=int(client_id), x=dataset.x[rows], y=dataset.y[rows],
+            seed=seed,
+        )
+    clients = [
+        ClientDataset(
+            client_id=cid,
+            x=dataset.x[np.array(sorted(bucket))],
+            y=dataset.y[np.array(sorted(bucket))],
+            seed=seed,
+        )
+        for cid, bucket in enumerate(buckets)
+    ]
+    return _wrap(dataset, clients)
+
+
+def _dirichlet_buckets(
+    dataset: SyntheticDataset, num_clients: int, alpha: float, seed: int
+) -> list[list[int]]:
+    """Per-client sample-index buckets of the Dirichlet partition."""
     if alpha <= 0:
         raise ValueError("alpha must be positive")
     rng = np.random.default_rng(seed)
@@ -168,16 +240,7 @@ def partition_dirichlet(
         if not bucket:
             donor = max(range(num_clients), key=lambda c: len(buckets[c]))
             bucket.append(buckets[donor].pop())
-    clients = [
-        ClientDataset(
-            client_id=cid,
-            x=dataset.x[np.array(sorted(bucket))],
-            y=dataset.y[np.array(sorted(bucket))],
-            seed=seed,
-        )
-        for cid, bucket in enumerate(buckets)
-    ]
-    return _wrap(dataset, clients)
+    return buckets
 
 
 def partition_iid(
@@ -193,6 +256,13 @@ def partition_iid(
         for cid, part in enumerate(np.array_split(idx, num_clients))
     ]
     return _wrap(dataset, clients)
+
+
+def _check_client_id(client_id: int, num_clients: int) -> None:
+    if not 0 <= int(client_id) < num_clients:
+        raise ValueError(
+            f"client_id {client_id} outside [0, {num_clients})"
+        )
 
 
 def _wrap(dataset: SyntheticDataset, clients: list[ClientDataset]) -> FederatedDataset:

@@ -1,0 +1,408 @@
+"""Population-scale virtual federations.
+
+The eager generators in :mod:`repro.data.synthetic` draw every writer from
+ONE sequential RNG, so they cannot produce client ``i`` without producing
+clients ``0..i-1`` first — fine at 96 clients, structurally O(population)
+at a million.  This module provides a *generative family with per-client
+pure streams*: every quantity a client needs is a function of
+``(dataset_seed, client_id)`` alone (plus class prototypes, themselves a
+pure function of the seed), so any client can be regenerated on demand,
+byte-identically, in any order, in any process.
+
+Three pieces:
+
+* :class:`VirtualSpec` — the picklable value object describing the whole
+  federation (what the sharded backend ships to workers instead of
+  datasets).
+* :class:`LazyClientDataset` — the :class:`~repro.data.partition.
+  ClientDataset` surface with arrays that materialize on first access and
+  can be released and regenerated at will; the minibatch RNG stream is
+  seeded exactly like the eager class (``(seed, client_id)``) and survives
+  releases, so draws are bit-identical to an eager run.
+* :class:`VirtualFederation` — the :class:`~repro.data.partition.
+  FederatedDataset` surface over ``population`` virtual clients with a
+  bounded LRU over recently *materialized* clients and an
+  ``eval_pool`` that replicates the engine's eager eval-pool RNG call
+  exactly while only materializing the O(max_samples) touched clients.
+
+Statistically the family mirrors :func:`~repro.data.synthetic.
+make_femnist_like` (per-client class subset, gain/style/noise around
+shared prototypes) — it is a *new* dataset, not a reordering of the eager
+one, because the eager per-writer draws are not per-cid decomposable.
+The bit-identity contract is therefore between a :class:`VirtualFederation`
+and its own :meth:`VirtualFederation.materialize` eager twin.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.data.partition import ClientDataset, FederatedDataset
+from repro.data.synthetic import _make_prototypes, _make_test_pool
+
+#: per-cid client-data stream tag (disjoint from every other stream tag
+#: in the repo: 0xC11E client RNG, 0xE0A1 eval pool, 0x5CE2 sampler, ...)
+CLIENT_DATA_TAG = 0xDA7A
+#: prototype stream tag (shared across the federation, pure in the seed)
+PROTOTYPE_TAG = 0x9707
+#: held-out test-pool stream tag
+TEST_POOL_TAG = 0x7E57
+#: engine eval-pool tag — must equal the engine's so the virtual pool is
+#: bit-identical to the eager ``global_pool + choice`` construction
+EVAL_POOL_TAG = 0xE0A1
+
+#: refuse O(population) conveniences (``.clients``/``global_pool``) above
+#: this size — they exist so small virtual federations can be compared
+#: against their eager twin, not for production populations
+ENUMERATION_LIMIT = 200_000
+
+
+@dataclass(frozen=True)
+class VirtualSpec:
+    """Everything needed to regenerate any client of the federation.
+
+    A frozen value object of primitives: picklable (the sharded backend
+    ships one of these per session instead of per-client datasets) and
+    JSON-ready via :meth:`to_dict` (bench/CI manifests).
+    """
+
+    population: int
+    samples_per_client: int = 30
+    num_classes: int = 62
+    image_size: int = 12
+    classes_per_writer: int = 8
+    channels: int = 1
+    noise_std: float = 0.25
+    flatten: bool = True
+    test_samples: int = 256
+    seed: int = 0
+    name: str = "virtual-femnist"
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise ValueError("population must be positive")
+        if self.samples_per_client < 1:
+            raise ValueError("samples_per_client must be positive")
+        if self.classes_per_writer > self.num_classes:
+            raise ValueError("classes_per_writer cannot exceed num_classes")
+        if self.classes_per_writer < 1 or self.num_classes < 1:
+            raise ValueError("need at least one class")
+        if self.channels < 1 or self.image_size < 1:
+            raise ValueError("invalid image shape")
+        if self.test_samples < 1:
+            raise ValueError("test_samples must be positive")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VirtualSpec":
+        return cls(**data)
+
+    @property
+    def feature_dim(self) -> int:
+        return self.channels * self.image_size**2
+
+
+class LazyClientDataset:
+    """One virtual client's shard; arrays regenerate on demand.
+
+    Satisfies the :class:`~repro.data.partition.ClientDataset` surface
+    (``client_id``/``x``/``y``/``seed``/``__len__``/``minibatch``/
+    ``label_histogram``).  The minibatch RNG is seeded ``(seed,
+    client_id)`` exactly like the eager class and is *not* part of the
+    releasable state: :meth:`release` drops only the arrays, so a client
+    that hibernates and later rematerializes continues its draw stream
+    where it left off — bit-identical to never having released.
+    """
+
+    def __init__(
+        self,
+        federation: "VirtualFederation",
+        client_id: int,
+        sample_count: int,
+        seed: int,
+    ) -> None:
+        self.client_id = int(client_id)
+        self.seed = seed
+        self._federation = federation
+        self._count = int(sample_count)
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._rng = np.random.default_rng((seed, self.client_id))
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def virtual_spec(self) -> VirtualSpec:
+        """The federation spec this client regenerates from.
+
+        The sharded backend ships this tiny value object to the worker
+        owning the client instead of pickling sample arrays; the worker
+        rebuilds the dataset from ``(spec, client_id)`` bit-identically.
+        """
+        return self._federation.spec
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the sample arrays are currently resident."""
+        return self._x is not None
+
+    def _ensure(self) -> None:
+        if self._x is None:
+            self._x, self._y = self._federation.client_arrays(self.client_id)
+        self._federation._touch(self)
+
+    @property
+    def x(self) -> np.ndarray:
+        self._ensure()
+        return self._x
+
+    @property
+    def y(self) -> np.ndarray:
+        self._ensure()
+        return self._y
+
+    def release(self) -> None:
+        """Drop the sample arrays (regenerated on next access)."""
+        self._x = None
+        self._y = None
+
+    def minibatch(self, batch_size: int) -> tuple[np.ndarray, np.ndarray]:
+        """Seeded minibatch; identical logic (and stream) to the eager
+        :meth:`~repro.data.partition.ClientDataset.minibatch`."""
+        n = len(self)
+        if batch_size >= n:
+            return self.x, self.y
+        idx = self._rng.choice(n, size=batch_size, replace=False)
+        return self.x[idx], self.y[idx]
+
+    def label_histogram(self, num_classes: int) -> np.ndarray:
+        return np.bincount(self.y, minlength=num_classes)
+
+
+class VirtualFederation:
+    """``FederatedDataset`` surface over ``population`` virtual clients.
+
+    Only ever-touched clients exist as objects; only the ``cache_size``
+    most recently accessed hold their sample arrays (older ones are
+    released and regenerate on demand).  Per-round cost of a training run
+    is O(cohort); memory is O(ever-sampled clients).
+    """
+
+    #: duck-typed marker the engine/runner check instead of isinstance
+    is_virtual = True
+
+    def __init__(self, spec: VirtualSpec, cache_size: int = 256) -> None:
+        if cache_size < 1:
+            raise ValueError("cache_size must be positive")
+        self.spec = spec
+        self.cache_size = cache_size
+        self.num_classes = spec.num_classes
+        self.name = spec.name
+        self._prototypes: np.ndarray | None = None
+        self._test: tuple[np.ndarray, np.ndarray] | None = None
+        #: ever-touched clients, identity-stable across queries
+        self._datasets: dict[int, LazyClientDataset] = {}
+        #: LRU over clients whose arrays are resident
+        self._resident: OrderedDict[int, LazyClientDataset] = OrderedDict()
+
+    @classmethod
+    def build(cls, population: int, cache_size: int = 256, **spec_kwargs):
+        """Convenience constructor mirroring ``make_femnist_like``."""
+        return cls(VirtualSpec(population=population, **spec_kwargs), cache_size)
+
+    # ------------------------------------------------------------------
+    # FederatedDataset surface
+    # ------------------------------------------------------------------
+    @property
+    def num_clients(self) -> int:
+        return self.spec.population
+
+    @property
+    def client_ids(self) -> range:
+        return range(self.spec.population)
+
+    @property
+    def sample_counts(self) -> np.ndarray:
+        return np.full(self.spec.population, self.spec.samples_per_client)
+
+    @property
+    def total_samples(self) -> int:
+        return self.spec.population * self.spec.samples_per_client
+
+    @property
+    def clients(self) -> list[LazyClientDataset]:
+        """All clients as (unmaterialized) lazy datasets.
+
+        O(population) object construction — only allowed for federations
+        small enough to compare against an eager twin."""
+        self._check_enumerable("clients")
+        return [self.client_dataset(cid) for cid in self.client_ids]
+
+    @property
+    def test_x(self) -> np.ndarray:
+        return self._test_pool()[0]
+
+    @property
+    def test_y(self) -> np.ndarray:
+        return self._test_pool()[1]
+
+    def global_pool(self) -> tuple[np.ndarray, np.ndarray]:
+        """All training samples concatenated — O(population), guarded."""
+        self._check_enumerable("global_pool")
+        xs, ys = zip(*(self.client_arrays(cid) for cid in self.client_ids))
+        return np.concatenate(xs), np.concatenate(ys)
+
+    # ------------------------------------------------------------------
+    # Virtual construction
+    # ------------------------------------------------------------------
+    def client_dataset(self, client_id: int) -> LazyClientDataset:
+        """The (identity-stable) lazy dataset for one client."""
+        cid = int(client_id)
+        dataset = self._datasets.get(cid)
+        if dataset is None:
+            if not 0 <= cid < self.spec.population:
+                raise ValueError(
+                    f"client_id {cid} outside population "
+                    f"[0, {self.spec.population})"
+                )
+            dataset = LazyClientDataset(
+                self, cid, self.spec.samples_per_client, self.spec.seed
+            )
+            self._datasets[cid] = dataset
+        return dataset
+
+    def client_arrays(self, client_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """Regenerate one client's ``(x, y)`` from ``(seed, cid)`` alone.
+
+        Pure: same ``(spec, client_id)`` gives byte-equal arrays across
+        calls, instances, processes and query orders (the invariant lazy
+        residual spilling and worker-side construction rest on).
+        """
+        spec = self.spec
+        cid = int(client_id)
+        if not 0 <= cid < spec.population:
+            raise ValueError(
+                f"client_id {cid} outside population [0, {spec.population})"
+            )
+        prototypes = self._prototype_array()
+        rng = np.random.default_rng((spec.seed, CLIENT_DATA_TAG, cid))
+        classes = rng.choice(
+            spec.num_classes, size=spec.classes_per_writer, replace=False
+        )
+        gain = rng.uniform(0.7, 1.3)
+        style = rng.normal(0.0, 0.2, size=prototypes[0].shape)
+        labels = rng.choice(classes, size=spec.samples_per_client)
+        noise = rng.normal(
+            0.0, spec.noise_std,
+            size=(spec.samples_per_client, *prototypes[0].shape),
+        )
+        x = np.clip(gain * prototypes[labels] + style + noise, -3.0, 3.0)
+        if spec.flatten:
+            x = x.reshape(x.shape[0], -1)
+        return x, labels.astype(np.int64)
+
+    def eval_pool(
+        self, max_samples: int, seed: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The engine's evaluation pool without touching the population.
+
+        Replicates the eager construction exactly — ``global_pool()``
+        followed by ``default_rng((seed, 0xE0A1)).choice(total,
+        max_samples, replace=False)`` — but only materializes the clients
+        that own a selected row (every client holds ``samples_per_client``
+        rows, so row ``r`` lives at ``(r // spc)[r % spc]``).  numpy's
+        no-replacement ``choice`` is O(max_samples) in memory at any
+        population size (verified: no permutation of ``total`` is built).
+        """
+        total = self.total_samples
+        if total <= max_samples:
+            return self.global_pool()
+        rng = np.random.default_rng((seed, EVAL_POOL_TAG))
+        rows = rng.choice(total, size=max_samples, replace=False)
+        spc = self.spec.samples_per_client
+        cids = rows // spc
+        offsets = rows % spc
+        x = np.empty((max_samples, *self._sample_shape()))
+        y = np.empty(max_samples, dtype=np.int64)
+        for cid in np.unique(cids):
+            cx, cy = self.client_arrays(int(cid))
+            mask = cids == cid
+            x[mask] = cx[offsets[mask]]
+            y[mask] = cy[offsets[mask]]
+        return x, y
+
+    def materialize(self) -> FederatedDataset:
+        """The eager twin: every client as a plain ``ClientDataset``.
+
+        Bit-identity anchor for tests — a training run over the virtual
+        federation must equal the same run over this eager federation
+        exactly.  Guarded to enumerable sizes.
+        """
+        self._check_enumerable("materialize")
+        clients = [
+            ClientDataset(client_id=cid, x=x, y=y, seed=self.spec.seed)
+            for cid in self.client_ids
+            for x, y in (self.client_arrays(cid),)
+        ]
+        return FederatedDataset(
+            clients=clients,
+            num_classes=self.spec.num_classes,
+            test_x=self.test_x,
+            test_y=self.test_y,
+            name=self.spec.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _sample_shape(self) -> tuple[int, ...]:
+        spec = self.spec
+        if spec.flatten:
+            return (spec.feature_dim,)
+        return (spec.channels, spec.image_size, spec.image_size)
+
+    def _prototype_array(self) -> np.ndarray:
+        if self._prototypes is None:
+            rng = np.random.default_rng((self.spec.seed, PROTOTYPE_TAG))
+            self._prototypes = _make_prototypes(
+                rng, self.spec.num_classes, self.spec.channels,
+                self.spec.image_size,
+            )
+        return self._prototypes
+
+    def _test_pool(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._test is None:
+            rng = np.random.default_rng((self.spec.seed, TEST_POOL_TAG))
+            test_x, test_y = _make_test_pool(
+                rng, self._prototype_array(), self.spec.noise_std,
+                self.spec.test_samples, self.spec.num_classes,
+            )
+            if self.spec.flatten:
+                test_x = test_x.reshape(test_x.shape[0], -1)
+            self._test = (test_x, test_y)
+        return self._test
+
+    def _touch(self, dataset: LazyClientDataset) -> None:
+        """LRU bookkeeping: ``dataset`` was just accessed while resident."""
+        cid = dataset.client_id
+        if cid in self._resident:
+            self._resident.move_to_end(cid)
+            return
+        self._resident[cid] = dataset
+        while len(self._resident) > self.cache_size:
+            _, evicted = self._resident.popitem(last=False)
+            evicted.release()
+
+    def _check_enumerable(self, what: str) -> None:
+        if self.spec.population > ENUMERATION_LIMIT:
+            raise RuntimeError(
+                f"{what} is O(population) and this federation has "
+                f"{self.spec.population} clients; use client_dataset(cid) "
+                "/ eval_pool() instead"
+            )

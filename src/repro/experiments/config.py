@@ -24,6 +24,15 @@ class ExperimentConfig:
 
     dataset: str = "femnist"
     num_clients: int = 20
+    #: when positive, replace the eager federation with a
+    #: :class:`~repro.data.virtual.VirtualFederation` of this many
+    #: clients (``num_clients`` is then ignored); requires a scenario
+    #: with an explicit participants target so rounds stay O(cohort)
+    population: int = 0
+    #: "auto" follows the paper's mapping (femnist → by writer, cifar →
+    #: by class); "dirichlet" applies a Dirichlet(α) label-skew split
+    partition: str = "auto"
+    dirichlet_alpha: float = 0.5
     samples_per_client: int = 30
     image_size: int = 12
     num_classes: int = 62
@@ -52,6 +61,24 @@ class ExperimentConfig:
             raise ValueError(f"unknown dataset {self.dataset!r}")
         if self.num_clients < 1 or self.samples_per_client < 1:
             raise ValueError("need at least one client and one sample")
+        if self.population < 0:
+            raise ValueError("population must be >= 0 (0 = eager federation)")
+        if self.population and self.dataset != "femnist":
+            raise ValueError(
+                "virtual populations are femnist-like; use dataset='femnist'"
+            )
+        if self.population and self.partition != "auto":
+            raise ValueError(
+                "virtual populations carry their own per-client generator; "
+                "partition overrides only apply to eager federations"
+            )
+        if self.partition not in ("auto", "dirichlet"):
+            raise ValueError(
+                f"unknown partition {self.partition!r}; "
+                "expected 'auto' or 'dirichlet'"
+            )
+        if self.dirichlet_alpha <= 0:
+            raise ValueError("dirichlet_alpha must be positive")
         if self.num_rounds < 1:
             raise ValueError("num_rounds must be positive")
         if not 0.0 < self.kmin_fraction < 1.0:

@@ -12,8 +12,10 @@ from repro.data.partition import (
     FederatedDataset,
     partition_by_class,
     partition_by_writer,
+    partition_dirichlet,
 )
 from repro.data.synthetic import make_cifar_like, make_femnist_like
+from repro.data.virtual import VirtualFederation
 from repro.experiments.config import ExperimentConfig
 from repro.fl.backends import ExecutionBackend, resolve_backend
 from repro.nn.flat import FlatModel
@@ -22,13 +24,30 @@ from repro.online.interval import SearchInterval
 from repro.simulation.timing import TimingModel
 
 
-def build_federation(config: ExperimentConfig) -> FederatedDataset:
+def build_federation(config: ExperimentConfig):
     """Dataset + partition exactly as the paper's two settings.
 
     MLP configs get flat feature vectors; CNN configs
     (``extras={"model_type": "cnn"}``) keep the (channels, H, W) layout.
+    ``config.population > 0`` swaps in a femnist-like
+    :class:`~repro.data.virtual.VirtualFederation` whose clients
+    regenerate on demand (O(cohort) rounds at any N);
+    ``config.partition == "dirichlet"`` applies the Dirichlet(α)
+    label-skew split to either eager dataset.
     """
     flatten = config.extras.get("model_type", "mlp") != "cnn"
+    if config.population:
+        return VirtualFederation.build(
+            population=config.population,
+            samples_per_client=config.samples_per_client,
+            num_classes=config.num_classes,
+            image_size=config.image_size,
+            classes_per_writer=min(
+                config.classes_per_writer, config.num_classes
+            ),
+            flatten=flatten,
+            seed=config.seed,
+        )
     if config.dataset == "femnist":
         ds = make_femnist_like(
             num_writers=config.num_clients,
@@ -39,6 +58,11 @@ def build_federation(config: ExperimentConfig) -> FederatedDataset:
             flatten=flatten,
             seed=config.seed,
         )
+        if config.partition == "dirichlet":
+            return partition_dirichlet(
+                ds, num_clients=config.num_clients,
+                alpha=config.dirichlet_alpha, seed=config.seed,
+            )
         return partition_by_writer(ds, seed=config.seed)
     ds = make_cifar_like(
         num_clients=config.num_clients,
@@ -48,6 +72,11 @@ def build_federation(config: ExperimentConfig) -> FederatedDataset:
         flatten=flatten,
         seed=config.seed,
     )
+    if config.partition == "dirichlet":
+        return partition_dirichlet(
+            ds, num_clients=config.num_clients,
+            alpha=config.dirichlet_alpha, seed=config.seed,
+        )
     return partition_by_class(ds, num_clients=config.num_clients, seed=config.seed)
 
 
@@ -111,6 +140,29 @@ def build_scenario(
     from repro.simulation.heterogeneous import HeterogeneousTimingModel
 
     scenario_config = ScenarioConfig.from_dict(config.scenario)
+    if config.population:
+        # Population-scale path: per-cid laws instead of enumerated
+        # lists — O(cohort) per round at any N (``client_ids`` unused).
+        from repro.scenarios import build_population_scenario
+        from repro.simulation.population import PopulationModel
+
+        model = PopulationModel.from_scenario_config(
+            scenario_config, config.population
+        )
+        if scenario_config.slow_fraction > 0.0:
+            timing = HeterogeneousTimingModel(
+                dimension=dimension,
+                comm_time=(
+                    comm_time if comm_time is not None else config.comm_time
+                ),
+                profiles=model.profiles,
+            )
+        else:
+            timing = build_timing(config, dimension, comm_time)
+        scenario = build_population_scenario(
+            scenario_config, config.population, timing
+        )
+        return timing, scenario
     profiles = scenario_config.build_profiles(client_ids)
     heterogeneous = any(
         p.compute_factor != 1.0 or p.comm_factor != 1.0 for p in profiles

@@ -53,6 +53,12 @@ from repro.sparsify.fab_topk import FABTopK
 
 METHODS = ("fixed-k", "adaptive-k")
 
+#: cohort target a population-scale run falls back to when its scenario
+#: does not name one — ``participants=0`` means "all available", which
+#: is exactly the O(population) iteration virtual federations exist to
+#: avoid, so it is never the right default at N = 10^6.
+DEFAULT_POPULATION_COHORT = 10
+
 
 @dataclass
 class ScenarioRunResult:
@@ -86,6 +92,10 @@ def resolve_scenario_config(config: ExperimentConfig) -> ExperimentConfig:
     if config.scenario is not None:
         return config
     scenario = ScenarioConfig.default_churn().with_overrides(seed=config.seed)
+    if config.population:
+        scenario = scenario.with_overrides(
+            participants=DEFAULT_POPULATION_COHORT
+        )
     return config.with_overrides(scenario=scenario.to_dict())
 
 
@@ -100,7 +110,15 @@ def _scenario_budget(
     """
     dimension = build_model(config).dimension
     if k is None:
-        k = max(2, int(0.4 * dimension / config.num_clients))
+        cohort = config.num_clients
+        if config.population:
+            # Virtual populations never run full-participation rounds;
+            # the per-round cohort is the scenario's participants target.
+            cohort = int(
+                (config.scenario or {}).get("participants")
+                or DEFAULT_POPULATION_COHORT
+            )
+        k = max(2, int(0.4 * dimension / cohort))
     if time_budget is None:
         base = TimingModel(dimension=dimension, comm_time=config.comm_time)
         time_budget = config.num_rounds * base.sparse_round(k, k).total
@@ -158,7 +176,12 @@ def run_scenario(
         for method in METHODS:
             model = build_model(config)
             federation = build_federation(config)
-            client_ids = [c.client_id for c in federation.clients]
+            # Population-scale runs derive availability/profiles from
+            # per-cid laws — enumerating client ids would be O(N).
+            client_ids = (
+                [] if config.population
+                else [c.client_id for c in federation.clients]
+            )
             timing, scenario = build_scenario(config, client_ids, dimension)
             common = dict(
                 learning_rate=config.learning_rate,
@@ -215,6 +238,48 @@ def run_scenario(
         backend.close()
     loss_fig.notes.append(f"scenario: {json.dumps(result.scenario, sort_keys=True)}")
     return result
+
+
+def run_dirichlet_sweep(
+    config: ExperimentConfig,
+    alphas: tuple[float, ...] | list[float],
+    k: int | None = None,
+    time_budget: float | None = None,
+) -> FigureData:
+    """Scenario comparison across Dirichlet(α) label-skew severities.
+
+    One :func:`run_scenario` per α (same scenario realization, same time
+    budget), with the federation re-partitioned by
+    :func:`~repro.data.partition.partition_dirichlet` — small α means
+    near-single-class clients, large α approaches IID.  The panel
+    overlays every method's loss-vs-time curve per α and notes each α's
+    deadline drop rates, so one figure answers how label skew interacts
+    with churn + partial aggregation.
+    """
+    if not alphas:
+        raise ValueError("need at least one Dirichlet α")
+    if config.population:
+        raise ValueError(
+            "the Dirichlet sweep re-partitions an eager dataset; virtual "
+            "populations (population > 0) carry their own per-client "
+            "generator"
+        )
+    fig = FigureData(title="Scenario loss vs normalized time across Dirichlet α")
+    for alpha in alphas:
+        variant = config.with_overrides(
+            partition="dirichlet", dirichlet_alpha=float(alpha)
+        )
+        result = run_scenario(variant, k=k, time_budget=time_budget)
+        for series in result.loss_vs_time.series:
+            fig.add(f"{series.label} α={alpha:g}", series.x, series.y)
+        fig.notes.append(
+            f"α={alpha:g}: drop rates "
+            + json.dumps(
+                {m: round(result.drop_rate(m), 4) for m in METHODS},
+                sort_keys=True,
+            )
+        )
+    return fig
 
 
 # ----------------------------------------------------------------------
@@ -351,7 +416,10 @@ def run_deadline_adaptation(
         for label, variant in variants.items():
             model = build_model(config)
             federation = build_federation(config)
-            client_ids = [c.client_id for c in federation.clients]
+            client_ids = (
+                [] if config.population
+                else [c.client_id for c in federation.clients]
+            )
             timing, scenario = build_scenario(
                 config.with_overrides(scenario=variant.to_dict()),
                 client_ids, dimension,

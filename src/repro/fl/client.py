@@ -45,12 +45,70 @@ class Client:
         self.dimension = dimension
         self.batch_size = batch_size
         self.momentum_correction = momentum_correction
-        self.residual = np.zeros(dimension)
-        self._velocity = np.zeros(dimension) if momentum_correction else None
+        # Dense state is lazy: a never-participating client costs O(1)
+        # memory (population-scale federations construct millions of
+        # these).  The dense residual/velocity materialize on first touch
+        # and can round-trip through a sparse spill store (hibernate) —
+        # both transitions are exact, so laziness never changes results.
+        self._residual: np.ndarray | None = None
+        self._spilled_residual: tuple[np.ndarray, np.ndarray] | None = None
+        self._velocity: np.ndarray | None = None
+        self._spilled_velocity: tuple[np.ndarray, np.ndarray] | None = None
         self._rng = np.random.default_rng((seed, dataset.client_id, 0xC11E))
         self._last_batch: tuple[np.ndarray, np.ndarray] | None = None
         self._last_upload_indices: np.ndarray | None = None
         self.probe_sample: tuple[np.ndarray, np.ndarray] | None = None
+
+    @property
+    def residual(self) -> np.ndarray:
+        """The dense residual ``a_i``; materializes zeros on first touch."""
+        if self._residual is None:
+            self._residual = np.zeros(self.dimension)
+            if self._spilled_residual is not None:
+                indices, values = self._spilled_residual
+                self._residual[indices] = values
+                self._spilled_residual = None
+        return self._residual
+
+    @residual.setter
+    def residual(self, value: np.ndarray) -> None:
+        self._residual = value
+        self._spilled_residual = None
+
+    def hibernate(self) -> None:
+        """Spill dense state to a sparse store after long idleness.
+
+        The residual and velocity collapse to their nonzero entries (an
+        exact round-trip — zeros are exact in float64), stale per-round
+        state is dropped, and a releasable dataset (lazy virtual shards)
+        is asked to free its arrays.  Waking is implicit: the next touch
+        of :attr:`residual` (or the next momentum accumulation) restores
+        the dense form bit-identically, and a released dataset
+        regenerates on its next access with its minibatch RNG stream
+        untouched.  Hibernating is therefore invisible to training
+        results; it only bounds idle-client memory.
+        """
+        if self._residual is not None:
+            indices = np.flatnonzero(self._residual)
+            self._spilled_residual = (indices, self._residual[indices])
+            self._residual = None
+        if self._velocity is not None:
+            indices = np.flatnonzero(self._velocity)
+            self._spilled_velocity = (indices, self._velocity[indices])
+            self._velocity = None
+        self._last_batch = None
+        self.probe_sample = None
+        release = getattr(self.dataset, "release", None)
+        if release is not None:
+            release()
+
+    @property
+    def hibernating(self) -> bool:
+        """Whether dense state is currently spilled to the sparse store."""
+        return (
+            self._spilled_residual is not None
+            or self._spilled_velocity is not None
+        )
 
     @property
     def client_id(self) -> int:
@@ -100,14 +158,26 @@ class Client:
 
     def accumulate_gradient(self, grad: np.ndarray) -> None:
         """Add the round's gradient (or its velocity) to the residual."""
-        if self._velocity is not None:
+        if self.momentum_correction:
             # Momentum correction (Deep Gradient Compression, Lin et al.,
             # the paper's reference [22]): accumulate the *velocity* into
             # the residual so sparse updates carry momentum faithfully.
-            self._velocity = self.momentum_correction * self._velocity + grad
+            self._velocity = (
+                self.momentum_correction * self._velocity_array() + grad
+            )
             self.residual += self._velocity
         else:
             self.residual += grad
+
+    def _velocity_array(self) -> np.ndarray:
+        """Dense momentum velocity; materializes/unspills on first touch."""
+        if self._velocity is None:
+            self._velocity = np.zeros(self.dimension)
+            if self._spilled_velocity is not None:
+                indices, values = self._spilled_velocity
+                self._velocity[indices] = values
+                self._spilled_velocity = None
+        return self._velocity
 
     def select_upload(self, k: int, sparsifier: Sparsifier) -> ClientUpload:
         """Run the sparsifier's client selection and package the upload.
@@ -198,9 +268,12 @@ class Client:
 
     def reset_all(self) -> None:
         """Drop the whole residual (non-accumulating schemes, e.g. [30])."""
-        self.residual[:] = 0.0
+        if self._residual is not None:
+            self._residual[:] = 0.0
         if self._velocity is not None:
             self._velocity[:] = 0.0
+        self._spilled_residual = None
+        self._spilled_velocity = None
 
     # ------------------------------------------------------------------
     # Probes for the derivative-sign estimator (paper Section IV-E)

@@ -309,12 +309,15 @@ class RoundEngine:
         optimizer=None,
         backend: str | ExecutionBackend | None = None,
         scenario_hooks: RoundHooks | None = None,
+        spill_after: int = 0,
         seed: int = 0,
     ) -> None:
         if learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
         if eval_every < 1:
             raise ValueError("eval_every must be >= 1")
+        if spill_after < 0:
+            raise ValueError("spill_after must be >= 0")
         self.model = model
         self.federation = federation
         self.sparsifier = sparsifier
@@ -328,12 +331,26 @@ class RoundEngine:
         self.scenario_hooks = scenario_hooks
         self.backend = resolve_backend(backend)
         self.server = Server(model.dimension)
-        self.clients = [
-            Client(shard, model.dimension, batch_size=batch_size,
-                   momentum_correction=momentum_correction, seed=seed)
-            for shard in federation.clients
-        ]
-        self._clients_by_id = {c.client_id: c for c in self.clients}
+        #: clients spill dense state after this many idle rounds (0 = off)
+        self.spill_after = spill_after
+        self._batch_size = batch_size
+        self._momentum_correction = momentum_correction
+        self._seed = seed
+        #: virtual federations construct Client objects on first
+        #: participation; eager ones keep the seed behaviour (all up
+        #: front), so existing runs are bit-identical.
+        self._virtual = bool(getattr(federation, "is_virtual", False))
+        if self._virtual:
+            self._client_list: list[Client] = []
+            self._clients_by_id: dict[int, Client] = {}
+        else:
+            self._client_list = [
+                Client(shard, model.dimension, batch_size=batch_size,
+                       momentum_correction=momentum_correction, seed=seed)
+                for shard in federation.clients
+            ]
+            self._clients_by_id = {c.client_id: c for c in self._client_list}
+        self._last_active: dict[int, int] = {}
         self.history = TrainingHistory()
         self._round = 0
         self._clock = 0.0
@@ -353,6 +370,64 @@ class RoundEngine:
     def clock(self) -> float:
         """Cumulative normalized time elapsed."""
         return self._clock
+
+    @property
+    def clients(self) -> list[Client]:
+        """Every constructed client.
+
+        For eager federations this is the whole population (seed
+        behaviour); for virtual federations it is the *ever-touched* set
+        in first-participation order — the only clients that exist.
+        """
+        return self._client_list
+
+    def _client_for(self, cid: int) -> Client:
+        """The client object for ``cid``, constructing it on first touch
+        (virtual federations only — eager populations pre-exist)."""
+        client = self._clients_by_id.get(cid)
+        if client is None:
+            if not self._virtual:
+                raise KeyError(cid)
+            client = Client(
+                self.federation.client_dataset(cid), self.model.dimension,
+                batch_size=self._batch_size,
+                momentum_correction=self._momentum_correction,
+                seed=self._seed,
+            )
+            self._clients_by_id[cid] = client
+            self._client_list.append(client)
+        return client
+
+    def _all_participants(self) -> list[Client]:
+        """The no-sampler cohort: the entire population.
+
+        Virtual federations materialize every client here — a guarded
+        small-N escape hatch (bit-identity tests run full-participation
+        rounds); population-scale runs always come with a sampler.
+        """
+        if self._virtual:
+            return [self._client_for(cid) for cid in self.federation.client_ids]
+        return self._client_list
+
+    def _note_participation(self, participants: list[Client]) -> None:
+        """Track last-active rounds and hibernate long-idle clients.
+
+        O(ever-touched) per round, only when ``spill_after`` is enabled;
+        hibernation is exact (sparse spill + regenerable datasets), so
+        results are identical with spilling on or off.
+        """
+        if not self.spill_after:
+            return
+        for client in participants:
+            self._last_active[client.client_id] = self._round
+        for client in self._client_list:
+            if client.hibernating:
+                continue
+            idle = self._round - self._last_active.get(
+                client.client_id, self._round
+            )
+            if idle >= self.spill_after:
+                client.hibernate()
 
     def global_loss(self) -> float:
         """Global training loss L(w) at the current weights."""
@@ -408,11 +483,11 @@ class RoundEngine:
         if self.sampler is not None:
             ctx.participant_ids = self.sampler.sample()
             ctx.participants = [
-                self._clients_by_id[cid] for cid in ctx.participant_ids
+                self._client_for(cid) for cid in ctx.participant_ids
             ]
         else:
             ctx.participant_ids = None
-            ctx.participants = self.clients
+            ctx.participants = self._all_participants()
 
         ctx.w_prev = self.model.get_weights()
         ctx.uploads = self.backend.local_steps(
@@ -447,6 +522,7 @@ class RoundEngine:
         if self.sparsifier.discards_residual:
             for client in ctx.participants:
                 client.reset_all()
+        self._note_participation(ctx.participants)
         hooks.after_update(ctx)
 
         ctx.uplink_elements = max(up.payload.nnz for up in ctx.uploads)
@@ -530,7 +606,14 @@ class RoundEngine:
 def _build_eval_pool(
     federation: FederatedDataset, max_samples: int, seed: int
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Deterministically subsample the global pool for loss evaluation."""
+    """Deterministically subsample the global pool for loss evaluation.
+
+    Federations exposing an ``eval_pool`` (virtual populations) build the
+    identical pool without concatenating the whole population.
+    """
+    eval_pool = getattr(federation, "eval_pool", None)
+    if eval_pool is not None:
+        return eval_pool(max_samples, seed)
     x, y = federation.global_pool()
     if x.shape[0] > max_samples:
         rng = np.random.default_rng((seed, 0xE0A1))

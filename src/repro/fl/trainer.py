@@ -80,6 +80,12 @@ class FLTrainer(EngineFacade):
         sampler and the engine's persistent scenario hooks (mutually
         exclusive with ``sampler``).  Scenarios are stateful — build a
         fresh one per trainer.
+    spill_after:
+        When positive, clients idle for this many rounds spill their
+        dense residual/velocity to a sparse store (and release lazy
+        virtual datasets) — exact, so results are identical with
+        spilling on or off; it only bounds idle-client memory in
+        population-scale runs.  0 (default) disables spilling.
     """
 
     def __init__(
@@ -97,6 +103,7 @@ class FLTrainer(EngineFacade):
         optimizer=None,
         backend: str | ExecutionBackend | None = None,
         scenario=None,
+        spill_after: int = 0,
         seed: int = 0,
     ) -> None:
         sampler, scenario_hooks = _apply_scenario(scenario, sampler)
@@ -116,6 +123,7 @@ class FLTrainer(EngineFacade):
             optimizer=optimizer,
             backend=backend,
             scenario_hooks=scenario_hooks,
+            spill_after=spill_after,
             seed=seed,
         )
 

@@ -9,6 +9,13 @@ the local dataset with its minibatch RNG — is pickled to its worker
 *once*, on registration, and lives there for the rest of the run, so the
 steady-state per-round traffic is ids out, gradients back.
 
+Virtual clients (:class:`repro.data.virtual.LazyClientDataset`) never
+ship arrays at all: registration sends the federation's tiny
+:class:`~repro.data.virtual.VirtualSpec` per client, and the worker
+regenerates the dataset from ``(spec, client_id)`` on the client's first
+gradient request — construction cost lands worker-side, and first
+participation costs the same IPC as steady state.
+
 Workers are grouped into *sessions*: one session per registered model
 (one per trainer/engine).  A worker keeps an independent model replica
 and client shard per session, which makes a single pool safe to reuse
@@ -31,6 +38,8 @@ import traceback
 import weakref
 
 import numpy as np
+
+from repro.data.virtual import VirtualFederation, VirtualSpec
 
 
 def preferred_start_method() -> str:
@@ -60,8 +69,12 @@ def _worker_main(conn, weights_buf, dimension: int) -> None:
     """
     weights = np.frombuffer(weights_buf, dtype=np.float64, count=dimension)
     models: dict[int, object] = {}
-    # session token -> {client_id: (ClientDataset, batch_size)}
+    # session token -> {client_id: (ClientDataset | VirtualSpec, batch_size)}
     shards: dict[int, dict[int, tuple]] = {}
+    # (session token, VirtualSpec) -> VirtualFederation: per-session so
+    # each trainer's clients keep their own uninterrupted minibatch RNG
+    # streams, exactly like the per-session model replicas/shards.
+    federations: dict[tuple, VirtualFederation] = {}
     while True:
         try:
             msg = conn.recv()
@@ -77,6 +90,8 @@ def _worker_main(conn, weights_buf, dimension: int) -> None:
                 for dead in drop_tokens:
                     models.pop(dead, None)
                     shards.pop(dead, None)
+                    for key in [k for k in federations if k[0] == dead]:
+                        del federations[key]
                 models[token] = model
                 shards.setdefault(token, {})
                 conn.send(("ok", None))
@@ -91,6 +106,18 @@ def _worker_main(conn, weights_buf, dimension: int) -> None:
                 out = []
                 for cid in client_ids:
                     dataset, batch_size = shards[token][cid]
+                    if isinstance(dataset, VirtualSpec):
+                        # First gradient request for a virtual client:
+                        # regenerate its dataset from (spec, cid) — the
+                        # identity-stable federation keeps the minibatch
+                        # RNG stream across the session even when the
+                        # bounded LRU later drops the arrays.
+                        fed = federations.get((token, dataset))
+                        if fed is None:
+                            fed = VirtualFederation(dataset)
+                            federations[(token, dataset)] = fed
+                        dataset = fed.client_dataset(cid)
+                        shards[token][cid] = (dataset, batch_size)
                     x, y = dataset.minibatch(batch_size)
                     grad, _ = model.gradient(x, y)
                     out.append((cid, grad, (x, y) if want_batches else None))

@@ -6,7 +6,10 @@ selection/probe RNG.  Only the embarrassingly parallel piece moves out:
 each participant's minibatch draw and gradient computation runs on the
 worker owning that client's shard (:class:`repro.parallel.pool.
 WorkerPool`), with the synchronized weights broadcast through shared
-memory and each client's dataset pickled to its worker exactly once.
+memory and each client's dataset pickled to its worker exactly once —
+or, for virtual clients, never: registration ships only the federation's
+:class:`~repro.data.virtual.VirtualSpec` and the worker regenerates the
+shard from ``(spec, client_id)`` on first participation.
 
 Bit-identity with :class:`repro.fl.backends.SerialBackend` holds by
 construction, the same argument as the vectorized backend's:
@@ -259,8 +262,14 @@ class ShardedBackend(ExecutionBackend):
             if known is not None and known() is client:
                 continue
             worker = pool.worker_of(client.client_id)
+            # Virtual clients register as their federation's tiny spec —
+            # the worker regenerates the dataset from (spec, cid) at the
+            # first gradient request, so no sample arrays ever cross the
+            # pipe and first participation costs the same IPC as steady
+            # state (ids out, gradients back).
+            shard = getattr(client.dataset, "virtual_spec", client.dataset)
             pending.setdefault(worker, {})[client.client_id] = (
-                client.dataset,
+                shard,
                 client.batch_size,
             )
             self._registered[(token, client.client_id)] = weakref.ref(client)

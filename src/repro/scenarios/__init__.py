@@ -32,6 +32,10 @@ from repro.scenarios.deadline import (
     resolve_deadline_schedule,
     upload_finish_times,
 )
+from repro.scenarios.population import (
+    PopulationSampler,
+    build_population_scenario,
+)
 from repro.scenarios.scenario import (
     DeploymentScenario,
     ScenarioHooks,
@@ -57,6 +61,7 @@ __all__ = [
     "DiurnalAvailability",
     "FixedDeadlinePolicy",
     "MarkovAvailability",
+    "PopulationSampler",
     "ScenarioConfig",
     "ScenarioHooks",
     "ScenarioSampler",
@@ -64,6 +69,7 @@ __all__ = [
     "TraceAvailability",
     "build_availability",
     "build_deadline_schedule",
+    "build_population_scenario",
     "resolve_deadline_schedule",
     "upload_finish_times",
 ]

@@ -113,6 +113,11 @@ class DeadlineObservation:
         The probed d' < d (None when no probe ran).
     probe_round_time:
         θ_m(d'): what the round would have cost under d'.
+    loss_probe_up, probe_deadline_up, probe_round_time_up:
+        The same triple for the *upward* probe d'' > d the hooks replay
+        when the round dropped uploads (the tight regime, where the
+        one-sided d' probe alone is slow to discover that loosening
+        helps); all None when no upward probe ran.
     arrived, dropped:
         Upload delivery counts of the round — available to custom
         policies even though the sign-based update does not consume them.
@@ -125,6 +130,9 @@ class DeadlineObservation:
     loss_probe: float | None = None
     probe_deadline: float | None = None
     probe_round_time: float | None = None
+    loss_probe_up: float | None = None
+    probe_deadline_up: float | None = None
+    probe_round_time_up: float | None = None
     arrived: int = 0
     dropped: int = 0
 
@@ -142,6 +150,12 @@ class DeadlinePolicy:
 
     def probe_deadline(self, round_index: int) -> float | None:
         """The d' < d this policy wants probed this round (None = none)."""
+        del round_index
+        return None
+
+    def probe_deadline_up(self, round_index: int) -> float | None:
+        """The d'' > d this policy wants probed when the round dropped
+        uploads (None = no upward probe)."""
         del round_index
         return None
 
@@ -225,6 +239,20 @@ class AdaptiveDeadlinePolicy(DeadlinePolicy):
     rule for k.  With ``probe=False`` the policy never updates — useful
     as a "frozen adaptive" control.
 
+    The probe is *two-sided* in the tight regime: when the round
+    actually dropped uploads the hooks additionally replay the gate at
+    d'' = d + δ_m/2 (:meth:`probe_deadline_up`) — still free, the late
+    arrival times are already server knowledge.  The d'-estimate stays
+    primary (whenever it is usable the walk is the one-sided walk,
+    unchanged); the d''-estimate substitutes exactly when the
+    d'-estimate is unavailable — the deadlock round a one-sided policy
+    freezes on (`update(None)`) because the tighter counterfactual made
+    no loss progress.  A d whose tightness is costing uploads therefore
+    learns from a direct looser-deadline comparison instead of waiting
+    out the freeze, which converges it out of the tight regime faster;
+    rounds that dropped nothing behave exactly as the one-sided probe
+    did.
+
     All state lives in the parent process, so adaptive-deadline runs are
     bit-identical across the serial/vectorized/sharded backends.
     """
@@ -263,24 +291,58 @@ class AdaptiveDeadlinePolicy(DeadlinePolicy):
         d = self.algorithm.k
         return max(d - self.algorithm.step_size() / 2.0, d / 2.0)
 
+    def probe_deadline_up(self, round_index: int) -> float | None:
+        self._check_round(round_index)
+        if not self.probe:
+            return None
+        return self.algorithm.k + self.algorithm.step_size() / 2.0
+
     def observe(self, observation: DeadlineObservation) -> None:
-        if (
-            observation.probe_deadline is None
-            or observation.loss_probe is None
-        ):
-            self.algorithm.update(None)
-            return
-        assert observation.probe_round_time is not None
-        sign = estimate_sign(
+        # The downward probe is the primary estimator (the exact dual of
+        # the paper's k-probe); whenever it yields a sign the walk is the
+        # one-sided walk, unchanged.  The upward replay only speaks when
+        # the d'-estimate is unavailable — in the tight regime that is
+        # precisely the deadlock round (the tighter counterfactual made
+        # no loss progress, so eq. (10) is undefined and a one-sided
+        # policy would freeze), and the d''-estimate turns it into a
+        # step out of the regime instead.
+        sign = self._one_sided_sign(
+            observation,
+            observation.loss_probe,
+            observation.probe_deadline,
+            observation.probe_round_time,
+        )
+        if sign is None:
+            sign = self._one_sided_sign(
+                observation,
+                observation.loss_probe_up,
+                observation.probe_deadline_up,
+                observation.probe_round_time_up,
+            )
+        self.algorithm.update(sign)
+
+    @staticmethod
+    def _one_sided_sign(
+        observation: DeadlineObservation,
+        loss_probe: float | None,
+        probe_deadline: float | None,
+        probe_round_time: float | None,
+    ) -> int | None:
+        if loss_probe is None or probe_deadline is None:
+            return None
+        assert probe_round_time is not None
+        return estimate_sign(
             loss_prev=observation.loss_prev,
             loss_now=observation.loss_now,
-            loss_probe=observation.loss_probe,
+            loss_probe=loss_probe,
             round_time=observation.round_time,
-            probe_round_time=observation.probe_round_time,
+            probe_round_time=probe_round_time,
+            # estimate_sign divides by (d - d'), so the d' < d and the
+            # d'' > d replay both yield the derivative's sign with no
+            # case split.
             k=observation.deadline,
-            k_probe=observation.probe_deadline,
+            k_probe=probe_deadline,
         )
-        self.algorithm.update(sign)
 
 
 def resolve_deadline_schedule(

@@ -229,14 +229,23 @@ class ScenarioHooks(RoundHooks):
     times are already server knowledge):
 
     - ``after_local_steps`` replays the gate at the probe deadline d' on
-      the same pre-gate uploads;
+      the same pre-gate uploads — and, when the round actually dropped
+      uploads (the tight regime), a second time at d'' > d
+      (``probe_deadline_up``), keeping the raw uploads the d''-gate
+      would have admitted but the real round cut;
     - ``after_aggregate`` derives the d'-round's weights w'(m) by
       re-aggregating the probe arrivals over the *actual* round's
       selection (the stateless server makes this a pure computation);
-    - ``after_update`` evaluates L(w(m−1)) / L(w(m)) / L(w'(m)) on the
-      engine's deterministic evaluation pool;
+      the d''-round's w''(m) additionally folds in the cut uploads,
+      preprocessed counterfactually (:meth:`repro.sparsify.base.
+      Sparsifier.preprocess_uploads_counterfactual` — same degradation,
+      no RNG stream advanced);
+    - ``after_update`` evaluates L(w(m−1)) / L(w(m)) / L(w'(m)) (and
+      L(w''(m)) when the upward probe ran) on the engine's
+      deterministic evaluation pool;
     - ``observe`` feeds the :class:`~repro.scenarios.deadline.
-      DeadlineObservation` back so SignOGD can step the deadline.
+      DeadlineObservation` back so SignOGD can step the deadline from
+      the combined sign estimate.
 
     Everything is parent-state arithmetic on the engine's uploads and
     weights, so adaptive runs stay bit-identical across backends.
@@ -261,16 +270,23 @@ class ScenarioHooks(RoundHooks):
         self._close_time: float | None = None
         self._worst_comm: float = 1.0
         self._probe: _PendingProbe | None = None
+        self._probe_up: _PendingProbe | None = None
+        #: raw (pre-preprocess) uploads only the d''-gate admits
+        self._probe_up_raw: list = []
         self._played_deadline: float | None = None
         #: L(w(m-1)) carried over from the previous round's L(w(m))
         self._loss_prev: float | None = None
-        self._pending_losses: tuple[float, float, float | None] | None = None
+        self._pending_losses: (
+            tuple[float, float, float | None, float | None] | None
+        ) = None
 
     # ------------------------------------------------------------------
     def after_local_steps(self, ctx: RoundContext) -> None:
         self._dropped_clients = []
         self._close_time = None
         self._probe = None
+        self._probe_up = None
+        self._probe_up_raw = []
         self._played_deadline = None
         self._pending_losses = None
         cohort = list(ctx.participants)
@@ -326,6 +342,44 @@ class ScenarioHooks(RoundHooks):
                     ),
                     close_time=probe_verdict.close_time,
                 )
+            if verdict.dropped_ids:
+                # Tight regime: the deadline (or the over-selection cap)
+                # cut uploads, so also replay the gate *looser* at
+                # d'' > d — the late arrival times are already known, so
+                # this probe is as free as the downward one.  Rounds
+                # that dropped nothing skip it: the d''-gate would admit
+                # the identical upload set and estimate nothing.
+                probe_up = self.policy.schedule.probe_deadline_up(
+                    ctx.round_index
+                )
+                if probe_up is not None:
+                    up_verdict = self.policy.admit(
+                        ctx.round_index,
+                        ctx.uploads,
+                        self.timing,
+                        self.profiles,
+                        target_uploads=self.target_uploads,
+                        deadline_override=probe_up,
+                        finish_times=verdict.finish_times,
+                    )
+                    actually_accepted = set(verdict.accepted)
+                    self._probe_up = _PendingProbe(
+                        probe_deadline=probe_up,
+                        client_ids=frozenset(
+                            ctx.uploads[i].client_id
+                            for i in up_verdict.accepted
+                        ),
+                        close_time=up_verdict.close_time,
+                    )
+                    # Uploads only the looser gate admits are about to
+                    # be filtered out of ctx (and never preprocessed);
+                    # keep the raw copies for the counterfactual
+                    # aggregation.
+                    self._probe_up_raw = [
+                        ctx.uploads[i]
+                        for i in up_verdict.accepted
+                        if i not in actually_accepted
+                    ]
         accepted = set(verdict.accepted)
         self._dropped_clients = [
             client
@@ -353,25 +407,45 @@ class ScenarioHooks(RoundHooks):
             )
 
     def after_aggregate(self, ctx: RoundContext) -> None:
-        if self._probe is None:
-            return
         # ctx.uploads here is the accepted, *preprocessed* upload list
-        # (quantization etc. already applied) — the probe must see the
-        # same degraded values the server actually aggregates.
+        # (quantization etc. already applied) — the probes must see the
+        # same degraded values the server actually aggregates.  The
+        # upward probe additionally re-admits uploads the real gate cut;
+        # those never went through preprocessing, so they get the
+        # counterfactual (state-preserving) variant.
+        self._derive_probe_weights(ctx, self._probe, extra_raw=None)
+        self._derive_probe_weights(
+            ctx, self._probe_up, extra_raw=self._probe_up_raw
+        )
+
+    @staticmethod
+    def _derive_probe_weights(
+        ctx: RoundContext,
+        probe: "_PendingProbe | None",
+        extra_raw: list | None,
+    ) -> None:
+        if probe is None:
+            return
         probe_uploads = [
             up for up in ctx.uploads
-            if up.client_id in self._probe.client_ids
+            if up.client_id in probe.client_ids
         ]
+        if extra_raw:
+            sparsifier = ctx.engine.sparsifier
+            probe_uploads = probe_uploads + (
+                sparsifier.preprocess_uploads_counterfactual(extra_raw)
+            )
         if not probe_uploads:
             return
-        # The d'-round's update, derived from the actual round's result:
-        # same selection J, aggregated over only the probe arrivals (the
-        # stateless server makes this a pure recomputation) — the dual
-        # of the adaptive-k trainer's server-side k'-GS derivation, and
-        # like that derivation it applies the plain SGD rule even when a
-        # server-side optimizer is configured (a stateful optimizer has
-        # no side-effect-free counterfactual step; the probe loss is an
-        # estimate either way).
+        # The counterfactual round's update, derived from the actual
+        # round's result: same selection J, aggregated over only the
+        # probe arrivals (the stateless server makes this a pure
+        # recomputation) — the dual of the adaptive-k trainer's
+        # server-side k'-GS derivation, and like that derivation it
+        # applies the plain SGD rule even when a server-side optimizer
+        # is configured (a stateful optimizer has no side-effect-free
+        # counterfactual step; the probe loss is an estimate either
+        # way).
         downlink = ctx.engine.server.aggregate(
             probe_uploads, ctx.selection,
             total_weight=ctx.aggregation_weight,
@@ -381,7 +455,7 @@ class ScenarioHooks(RoundHooks):
         w_probe[payload.indices] -= (
             ctx.engine.learning_rate * payload.values
         )
-        self._probe.w_probe = w_probe
+        probe.w_probe = w_probe
 
     def round_timing(self, ctx: RoundContext) -> RoundTiming | None:
         if self._close_time is None:
@@ -411,7 +485,7 @@ class ScenarioHooks(RoundHooks):
         ):
             for client in self._dropped_clients:
                 client.reset_all()
-        if self._probe is None:
+        if self._probe is None and self._probe_up is None:
             return
         engine = ctx.engine
         if self._loss_prev is None:
@@ -424,11 +498,18 @@ class ScenarioHooks(RoundHooks):
         )
         ctx.eval_loss = loss_now
         loss_probe = None
-        if self._probe.w_probe is not None:
+        if self._probe is not None and self._probe.w_probe is not None:
             loss_probe = self._loss_at(
                 engine, self._probe.w_probe, ctx.w_new
             )
-        self._pending_losses = (self._loss_prev, loss_now, loss_probe)
+        loss_probe_up = None
+        if self._probe_up is not None and self._probe_up.w_probe is not None:
+            loss_probe_up = self._loss_at(
+                engine, self._probe_up.w_probe, ctx.w_new
+            )
+        self._pending_losses = (
+            self._loss_prev, loss_now, loss_probe, loss_probe_up
+        )
         # w(m) is next round's w(m-1): carry the evaluation over.
         self._loss_prev = loss_now
 
@@ -448,17 +529,25 @@ class ScenarioHooks(RoundHooks):
         if not schedule.adaptive or self._played_deadline is None:
             return
         probe = self._probe
+        probe_up = self._probe_up
         if self._pending_losses is not None:
-            loss_prev, loss_now, loss_probe = self._pending_losses
+            loss_prev, loss_now, loss_probe, loss_probe_up = (
+                self._pending_losses
+            )
         else:
             loss_prev = loss_now = float("nan")
-            loss_probe = None
+            loss_probe = loss_probe_up = None
         probe_round_time = None
         if probe is not None and self._close_time is not None:
             # Only the uplink-phase close differs between d and d'; the
             # computation/downlink/extra charges carry over unchanged.
             probe_round_time = (
                 ctx.round_time - self._close_time + probe.close_time
+            )
+        probe_round_time_up = None
+        if probe_up is not None and self._close_time is not None:
+            probe_round_time_up = (
+                ctx.round_time - self._close_time + probe_up.close_time
             )
         schedule.observe(DeadlineObservation(
             deadline=self._played_deadline,
@@ -470,6 +559,11 @@ class ScenarioHooks(RoundHooks):
                 probe.probe_deadline if probe is not None else None
             ),
             probe_round_time=probe_round_time,
+            loss_probe_up=loss_probe_up,
+            probe_deadline_up=(
+                probe_up.probe_deadline if probe_up is not None else None
+            ),
+            probe_round_time_up=probe_round_time_up,
             arrived=len(ctx.uploads),
             dropped=len(ctx.dropped_ids),
         ))

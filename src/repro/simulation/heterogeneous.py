@@ -18,6 +18,7 @@ round...".  This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
@@ -49,11 +50,18 @@ class HeterogeneousTimingModel(TimingModel):
         self,
         dimension: int,
         comm_time: float,
-        profiles: list[ClientProfile],
+        profiles: "list[ClientProfile] | Mapping[int, ClientProfile]",
         computation_time: float = 1.0,
         pair_overhead: float = 2.0,
     ) -> None:
         super().__init__(dimension, comm_time, computation_time, pair_overhead)
+        if isinstance(profiles, Mapping) or (
+            not isinstance(profiles, (list, tuple)) and hasattr(profiles, "values")
+        ):
+            # A per-cid mapping (e.g. a population-scale ProfileMap whose
+            # values() is the distribution's support) is used as-is.
+            self.profiles = profiles
+            return
         if not profiles:
             raise ValueError("need at least one client profile")
         ids = [p.client_id for p in profiles]

@@ -200,6 +200,21 @@ class Sparsifier:
         """
         return uploads
 
+    def preprocess_uploads_counterfactual(
+        self, uploads: list["ClientUpload"]
+    ) -> list["ClientUpload"]:
+        """:meth:`preprocess_uploads` without advancing any RNG stream.
+
+        Counterfactual replays (the adaptive deadline's upward probe
+        re-aggregates uploads the real round dropped) must see the same
+        degradation the server would have applied, but must leave the
+        sparsifier's state exactly as it was — otherwise a probing run
+        would diverge from a non-probing one.  Identity preprocessing is
+        trivially stateless; stateful wrappers override this to snapshot
+        and restore their stream.
+        """
+        return self.preprocess_uploads(uploads)
+
     def server_select(
         self, uploads: list[ClientUpload], k: int, dimension: int
     ) -> SelectionResult:

@@ -1,5 +1,7 @@
 """Tests for synthetic datasets and partitioners."""
 
+import json
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -228,3 +230,248 @@ class TestPartitioners:
         # Every original sample appears exactly once (order may differ).
         assert sorted(map(tuple, x.round(9))) == sorted(map(tuple, ds.x.round(9)))
         np.testing.assert_array_equal(np.sort(y), np.sort(ds.y))
+
+
+# ----------------------------------------------------------------------
+# Per-client materialization (the virtual-population data contract)
+# ----------------------------------------------------------------------
+def _small_femnist(seed=0):
+    return make_femnist_like(num_writers=6, samples_per_writer=12,
+                             num_classes=8, image_size=6,
+                             classes_per_writer=3, seed=seed)
+
+
+#: (partitioner name, eager builder, per-cid materializer, num_clients)
+PARTITIONERS = {
+    "writer": (
+        lambda ds, seed: partition_by_writer(ds, seed=seed),
+        lambda ds, seed, cid: partition_by_writer(ds, seed=seed, client_id=cid),
+        6,
+    ),
+    "class": (
+        lambda ds, seed: partition_by_class(ds, num_clients=10, seed=seed),
+        lambda ds, seed, cid: partition_by_class(
+            ds, num_clients=10, seed=seed, client_id=cid
+        ),
+        10,
+    ),
+    "dirichlet": (
+        lambda ds, seed: partition_dirichlet(
+            ds, num_clients=7, alpha=0.5, seed=seed
+        ),
+        lambda ds, seed, cid: partition_dirichlet(
+            ds, num_clients=7, alpha=0.5, seed=seed, client_id=cid
+        ),
+        7,
+    ),
+}
+
+
+class TestPerClientMaterialization:
+    """``materialize(cid)`` must be bit-identical to eager slicing."""
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_matches_eager_partition(self, name):
+        eager_build, materialize, num_clients = PARTITIONERS[name]
+        ds = _small_femnist()
+        eager = eager_build(ds, 3)
+        for cid in range(num_clients):
+            lone = materialize(ds, 3, cid)
+            ref = eager.clients[cid]
+            assert lone.client_id == ref.client_id == cid
+            np.testing.assert_array_equal(lone.x, ref.x)
+            np.testing.assert_array_equal(lone.y, ref.y)
+            # Same minibatch stream too: the materialized client can
+            # substitute for the eager one mid-simulation.
+            np.testing.assert_array_equal(
+                lone.minibatch(4)[0], ref.minibatch(4)[0]
+            )
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_rejects_out_of_range_cid(self, name):
+        _, materialize, num_clients = PARTITIONERS[name]
+        ds = _small_femnist()
+        with pytest.raises(ValueError, match="outside"):
+            materialize(ds, 3, num_clients)
+        with pytest.raises(ValueError, match="outside"):
+            materialize(ds, 3, -1)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=30),
+        queries=st.lists(
+            st.integers(min_value=0, max_value=6), min_size=1, max_size=10
+        ),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_dirichlet_purity_under_query_order(self, seed, queries):
+        # Same (seed, cid) -> byte-equal arrays regardless of which
+        # clients were materialized before, in what order, how often.
+        ds = _small_femnist(seed=seed % 3)
+        reference = {
+            cid: partition_dirichlet(
+                ds, num_clients=7, alpha=0.5, seed=seed, client_id=cid
+            )
+            for cid in range(7)
+        }
+        for cid in queries:
+            again = partition_dirichlet(
+                ds, num_clients=7, alpha=0.5, seed=seed, client_id=cid
+            )
+            assert again.x.tobytes() == reference[cid].x.tobytes()
+            assert again.y.tobytes() == reference[cid].y.tobytes()
+
+
+# ----------------------------------------------------------------------
+# Virtual federations
+# ----------------------------------------------------------------------
+from repro.data.virtual import (  # noqa: E402  (grouped with its tests)
+    ENUMERATION_LIMIT,
+    VirtualFederation,
+    VirtualSpec,
+)
+
+SPEC = dict(samples_per_client=9, num_classes=6, image_size=5,
+            classes_per_writer=3, test_samples=16, seed=7)
+
+
+def _virtual(population=12, cache_size=256):
+    return VirtualFederation.build(
+        population, cache_size=cache_size, **SPEC
+    )
+
+
+class TestVirtualSpec:
+    def test_round_trips_through_dict(self):
+        spec = VirtualSpec(population=50, **SPEC)
+        assert VirtualSpec.from_dict(spec.to_dict()) == spec
+        assert json.loads(json.dumps(spec.to_dict())) == spec.to_dict()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="population"):
+            VirtualSpec(population=0)
+        with pytest.raises(ValueError, match="exceed"):
+            VirtualSpec(population=5, num_classes=3, classes_per_writer=4)
+
+    def test_feature_dim(self):
+        assert VirtualSpec(population=1, image_size=5).feature_dim == 25
+
+
+class TestVirtualFederation:
+    def test_satisfies_federated_dataset_surface(self):
+        fed = _virtual()
+        assert fed.num_clients == 12
+        assert list(fed.client_ids) == list(range(12))
+        np.testing.assert_array_equal(fed.sample_counts, np.full(12, 9))
+        assert fed.total_samples == 108
+        assert fed.test_x.shape[0] == fed.test_y.shape[0] == 16
+        dataset = fed.client_dataset(3)
+        assert len(dataset) == 9
+        assert dataset.x.shape == (9, 25)
+        np.testing.assert_array_equal(
+            dataset.label_histogram(6),
+            np.bincount(dataset.y, minlength=6),
+        )
+
+    def test_client_dataset_identity_stable(self):
+        fed = _virtual()
+        assert fed.client_dataset(4) is fed.client_dataset(4)
+        with pytest.raises(ValueError, match="outside"):
+            fed.client_dataset(12)
+
+    def test_materialize_is_the_bit_identical_eager_twin(self):
+        fed = _virtual()
+        eager = fed.materialize()
+        assert eager.num_clients == 12
+        for cid in range(12):
+            lazy = fed.client_dataset(cid)
+            np.testing.assert_array_equal(lazy.x, eager.clients[cid].x)
+            np.testing.assert_array_equal(lazy.y, eager.clients[cid].y)
+            # ... and the minibatch streams coincide draw for draw.
+            np.testing.assert_array_equal(
+                lazy.minibatch(4)[0], eager.clients[cid].minibatch(4)[0]
+            )
+        np.testing.assert_array_equal(fed.test_x, eager.test_x)
+        np.testing.assert_array_equal(fed.test_y, eager.test_y)
+
+    def test_release_and_regenerate_is_exact(self):
+        fed = _virtual()
+        dataset = fed.client_dataset(5)
+        x_before = dataset.x.copy()
+        batch_ref = _virtual().client_dataset(5)  # never-released twin
+        np.testing.assert_array_equal(
+            dataset.minibatch(4)[0], batch_ref.minibatch(4)[0]
+        )
+        dataset.release()
+        assert not dataset.materialized
+        np.testing.assert_array_equal(dataset.x, x_before)
+        # The draw stream survived the release: next draws still match
+        # the twin that never released.
+        np.testing.assert_array_equal(
+            dataset.minibatch(4)[0], batch_ref.minibatch(4)[0]
+        )
+
+    def test_lru_bounds_resident_arrays(self):
+        fed = _virtual(population=10, cache_size=3)
+        datasets = [fed.client_dataset(cid) for cid in range(10)]
+        for dataset in datasets:
+            dataset.x  # materialize in order
+        resident = [d.client_id for d in datasets if d.materialized]
+        assert resident == [7, 8, 9]  # only the LRU tail holds arrays
+        # Touching an evicted client regenerates and evicts the oldest.
+        datasets[0].x
+        assert datasets[0].materialized and not datasets[7].materialized
+
+    def test_eval_pool_matches_eager_construction(self):
+        fed = _virtual()
+        x, y = fed.eval_pool(max_samples=20, seed=11)
+        gx, gy = fed.materialize().global_pool()
+        rng = np.random.default_rng((11, 0xE0A1))
+        rows = rng.choice(108, size=20, replace=False)
+        np.testing.assert_array_equal(x, gx[rows])
+        np.testing.assert_array_equal(y, gy[rows])
+        # Small pools short-circuit to the full pool.
+        fx, fy = fed.eval_pool(max_samples=1000, seed=11)
+        np.testing.assert_array_equal(fx, gx)
+        np.testing.assert_array_equal(fy, gy)
+
+    def test_enumeration_guard(self):
+        fed = _virtual(population=ENUMERATION_LIMIT + 1)
+        with pytest.raises(RuntimeError, match="O\\(population\\)"):
+            fed.clients
+        with pytest.raises(RuntimeError, match="O\\(population\\)"):
+            fed.global_pool()
+        with pytest.raises(RuntimeError, match="O\\(population\\)"):
+            fed.materialize()
+        # Point queries stay fine at any size.
+        assert fed.client_dataset(ENUMERATION_LIMIT).x.shape == (9, 25)
+
+    def test_virtual_spec_reaches_the_backend(self):
+        fed = _virtual()
+        assert fed.is_virtual
+        assert fed.client_dataset(2).virtual_spec is fed.spec
+
+    @given(
+        cid=st.integers(min_value=0, max_value=11),
+        queries=st.lists(
+            st.integers(min_value=0, max_value=11),
+            min_size=0, max_size=8,
+        ),
+        spec_seed=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_client_arrays_are_pure(self, cid, queries, spec_seed):
+        # Same (seed, cid) -> byte-equal arrays across calls,
+        # instances and query orders: the invariant residual
+        # spilling and worker-side regeneration rest on.
+        spec = dict(SPEC, seed=spec_seed)
+        fresh = VirtualFederation.build(12, **spec)
+        reference_x, reference_y = fresh.client_arrays(cid)
+        warmed = VirtualFederation.build(12, **spec)
+        for other in queries:  # materialize others first, any order
+            warmed.client_arrays(other)
+        x, y = warmed.client_arrays(cid)
+        assert x.tobytes() == reference_x.tobytes()
+        assert y.tobytes() == reference_y.tobytes()
+        again_x, again_y = warmed.client_arrays(cid)
+        assert again_x.tobytes() == reference_x.tobytes()
+        assert again_y.tobytes() == reference_y.tobytes()

@@ -338,6 +338,92 @@ class TestBackendEquivalence:
 # ----------------------------------------------------------------------
 # Batched kernels
 # ----------------------------------------------------------------------
+class TestVirtualEagerEquivalence:
+    """A virtual federation equals its materialized eager twin bit for bit.
+
+    The contract every population-scale claim rests on: training over
+    :class:`~repro.data.virtual.VirtualFederation` (lazy datasets, lazy
+    clients, LRU releases, optional hibernation spilling) must produce
+    the same histories, weights and residuals as the same run over
+    ``federation.materialize()`` — across sparsifier families, momentum
+    correction and every backend.
+    """
+
+    #: (sparsifier factory, momentum, spill_after) matrix rows
+    VARIANTS = {
+        "fab-top-k": (lambda: FABTopK(), 0.0, 0),
+        "quantized": (
+            lambda: QuantizedSparsifier(
+                FABTopK(), UniformQuantizer(num_levels=15, seed=7)
+            ),
+            0.0,
+            0,
+        ),
+        "momentum": (lambda: FABTopK(), 0.5, 0),
+        "spill": (lambda: FABTopK(), 0.0, 2),
+        "momentum-spill": (lambda: FABTopK(), 0.5, 2),
+    }
+
+    def _virtual_federation(self, seed=7):
+        from repro.data.virtual import VirtualFederation
+
+        return VirtualFederation.build(
+            10, samples_per_client=14, num_classes=8, image_size=7,
+            classes_per_writer=4, test_samples=32, seed=seed,
+        )
+
+    def _trainer(self, federation, sparsifier, backend="serial",
+                 momentum=0.0, spill_after=0, seed=7):
+        model = make_mlp(49, 8, hidden=(10,), seed=seed)
+        timing = TimingModel(dimension=model.dimension, comm_time=10.0)
+        return FLTrainer(
+            model, federation, sparsifier, timing=timing,
+            learning_rate=0.05, batch_size=6, eval_every=3, seed=seed,
+            backend=backend, momentum_correction=momentum,
+            spill_after=spill_after,
+        )
+
+    @pytest.mark.parametrize("name", sorted(VARIANTS))
+    def test_virtual_matches_materialized_twin(self, name):
+        factory, momentum, spill_after = self.VARIANTS[name]
+        virtual_fed = self._virtual_federation()
+        eager_fed = self._virtual_federation().materialize()
+        virtual = self._trainer(
+            virtual_fed, factory(), momentum=momentum,
+            spill_after=spill_after,
+        )
+        # The eager twin never spills — hibernation must be exact, so
+        # the spilling virtual run still equals the non-spilling eager.
+        eager = self._trainer(eager_fed, factory(), momentum=momentum)
+        hv = virtual.run(8, k=12)
+        he = eager.run(8, k=12)
+        assert history_rows(hv) == history_rows(he)
+        assert contribution_rows(hv) == contribution_rows(he)
+        np.testing.assert_array_equal(
+            virtual.model.get_weights(), eager.model.get_weights()
+        )
+        assert len(virtual.clients) == len(eager.clients)
+        for cv, ce in zip(virtual.clients, eager.clients):
+            assert cv.client_id == ce.client_id
+            np.testing.assert_array_equal(cv.residual, ce.residual)
+
+    @pytest.mark.parametrize("backend_name", FAST_BACKENDS)
+    def test_virtual_equivalence_holds_on_fast_backends(self, backend_name):
+        eager_fed = self._virtual_federation().materialize()
+        eager = self._trainer(eager_fed, FABTopK())
+        virtual = self._trainer(
+            self._virtual_federation(), FABTopK(),
+            backend=make_backend(backend_name),
+        )
+        he = eager.run(6, k=12)
+        hv = virtual.run(6, k=12)
+        assert history_rows(he) == history_rows(hv)
+        np.testing.assert_array_equal(
+            eager.model.get_weights(), virtual.model.get_weights()
+        )
+        virtual.close()
+
+
 class TestBatchedKernels:
     def test_gradients_batched_bitwise_equal(self):
         rng = np.random.default_rng(0)

@@ -633,6 +633,72 @@ class TestDeadlineSchedules:
             for d in adaptive.deadline_history
         )
 
+    def _two_sided(self, adaptive, loss_probe, probe_round_time,
+                   loss_probe_up, probe_round_time_up):
+        d = adaptive.deadline
+        return DeadlineObservation(
+            deadline=d, round_time=5.0, loss_prev=1.0, loss_now=0.5,
+            loss_probe=loss_probe, probe_deadline=adaptive.probe_deadline(1),
+            probe_round_time=probe_round_time,
+            loss_probe_up=loss_probe_up,
+            probe_deadline_up=adaptive.probe_deadline_up(1),
+            probe_round_time_up=probe_round_time_up,
+        )
+
+    def test_up_probe_sits_strictly_above_the_deadline(self):
+        adaptive = AdaptiveDeadlinePolicy(SearchInterval(2.0, 10.0))
+        up = adaptive.probe_deadline_up(1)
+        assert up == pytest.approx(
+            6.0 + adaptive.algorithm.step_size() / 2.0
+        )
+        assert up > adaptive.deadline
+        frozen = AdaptiveDeadlinePolicy(
+            SearchInterval(2.0, 10.0), probe=False
+        )
+        assert frozen.probe_deadline_up(1) is None
+
+    def test_up_estimate_breaks_the_deadlock(self):
+        # One-sided rule: the tighter replay failed to decrease the
+        # loss, so the d'-estimate is unavailable and d would freeze
+        # (test_adaptive_unusable_estimate_keeps_deadline).  The upward
+        # replay recovered the dropped uploads and moved the loss:
+        # τ̂_up = 6·0.5/0.8 = 3.75 < τ = 5 with d'' > d → derivative
+        # < 0 → loosen.
+        adaptive = AdaptiveDeadlinePolicy(SearchInterval(2.0, 10.0))
+        before = adaptive.deadline
+        adaptive.observe(self._two_sided(
+            adaptive, loss_probe=1.2, probe_round_time=3.0,
+            loss_probe_up=0.2, probe_round_time_up=6.0,
+        ))
+        assert adaptive.deadline > before
+        assert adaptive.algorithm.m == 2
+
+    def test_down_estimate_stays_primary(self):
+        # Both replays usable but pointing in opposite directions: the
+        # d'-estimate drives the walk exactly as in the one-sided
+        # policy (a summed combination deadlocks the walk in the tight
+        # regime — the signs cancel); d'' is fallback only.
+        one_sided = AdaptiveDeadlinePolicy(SearchInterval(2.0, 10.0))
+        one_sided.observe(self._observation(
+            one_sided, loss_probe=0.5, probe_round_time=3.0
+        ))
+        two_sided = AdaptiveDeadlinePolicy(SearchInterval(2.0, 10.0))
+        two_sided.observe(self._two_sided(
+            two_sided, loss_probe=0.5, probe_round_time=3.0,
+            loss_probe_up=0.2, probe_round_time_up=6.0,
+        ))
+        assert two_sided.deadline == one_sided.deadline < 6.0
+
+    def test_both_estimates_unusable_keeps_deadline(self):
+        adaptive = AdaptiveDeadlinePolicy(SearchInterval(2.0, 10.0))
+        before = adaptive.deadline
+        adaptive.observe(self._two_sided(
+            adaptive, loss_probe=1.2, probe_round_time=3.0,
+            loss_probe_up=1.1, probe_round_time_up=6.0,
+        ))
+        assert adaptive.deadline == before
+        assert adaptive.algorithm.m == 2  # round still advanced
+
     def test_build_deadline_schedule_dispatch(self):
         fixed = build_deadline_schedule(
             ScenarioConfig(deadline=4.0, deadline_policy="fixed")
@@ -926,6 +992,200 @@ class TestScenarioBackendEquivalence:
         fast.close()
 
 
+class TestPopulationSampler:
+    """The O(cohort) rejection sampler over a virtual population."""
+
+    def _model(self, **overrides):
+        from repro.simulation.population import PopulationModel
+
+        kwargs = dict(
+            population=500, availability="markov", p_drop=0.2,
+            p_recover=0.6, seed=0,
+        )
+        kwargs.update(overrides)
+        return PopulationModel(**kwargs)
+
+    def test_rejects_degenerate_construction(self):
+        from repro.scenarios import PopulationSampler
+
+        model = self._model()
+        with pytest.raises(ValueError, match="cohort size"):
+            PopulationSampler(model, count=0)
+        with pytest.raises(ValueError, match="over_selection"):
+            PopulationSampler(model, count=4, over_selection=-0.1)
+        with pytest.raises(ValueError, match="max_attempts"):
+            PopulationSampler(model, count=4, max_attempts=0)
+
+    def test_build_requires_an_explicit_cohort(self):
+        # participants=0 means "all available" in the list-based path —
+        # an O(population) round, exactly what the virtual path forbids.
+        from repro.scenarios import build_population_scenario
+
+        config = ScenarioConfig.default_churn().with_overrides(
+            participants=0, seed=0
+        )
+        timing = TimingModel(dimension=10, comm_time=10.0)
+        with pytest.raises(ValueError, match="participants"):
+            build_population_scenario(config, 1000, timing)
+
+    def test_cohort_is_distinct_online_and_deterministic(self):
+        from repro.scenarios import PopulationSampler
+
+        a = PopulationSampler(self._model(), count=6, seed=3)
+        b = PopulationSampler(self._model(), count=6, seed=3)
+        for round_index in range(1, 5):
+            cohort = a.sample()
+            assert cohort == b.sample()  # pure in (seed, round)
+            assert len(cohort) == 6
+            assert len(set(cohort)) == 6
+            assert all(
+                self._model().is_online(cid, round_index) for cid in cohort
+            )
+
+    def test_deep_outage_falls_back_to_offline_candidates(self):
+        # Nobody ever recovers: the round still runs, filled from the
+        # offline candidates in draw order (the population analogue of
+        # the list sampler's everyone-offline fallback).
+        from repro.scenarios import PopulationSampler
+
+        dark = self._model(p_drop=1.0, p_recover=0.0)
+        sampler = PopulationSampler(dark, count=5, seed=1, max_attempts=2)
+        sampler.sample()  # round 1: initial all-online state may linger
+        cohort = sampler.sample()
+        assert len(cohort) == 5
+        assert len(set(cohort)) == 5
+        assert not any(dark.is_online(cid, 2) for cid in cohort)
+
+
+class TestVirtualScenarioEquivalence:
+    """Scenario drops over a virtual federation equal its eager twin.
+
+    Same churn + deadline + over-selection gate, same seeds — the only
+    difference is the data/client layer (lazy regeneration, LRU
+    releases, optional hibernation spilling).  Histories, weights,
+    residuals and the per-round drop sets must all stay bit-identical
+    to the run over ``federation.materialize()``.
+    """
+
+    #: (sparsifier factory, momentum, virtual-side spill_after)
+    VARIANTS = {
+        "churn": (lambda: FABTopK(), 0.0, 0),
+        "quantized": (
+            lambda: QuantizedSparsifier(
+                FABTopK(), UniformQuantizer(num_levels=15, seed=7)
+            ),
+            0.0,
+            0,
+        ),
+        "momentum": (lambda: FABTopK(), 0.5, 0),
+        "spill": (lambda: FABTopK(), 0.0, 2),
+    }
+
+    def _virtual(self, seed=7):
+        from repro.data.virtual import VirtualFederation
+
+        return VirtualFederation.build(
+            8, samples_per_client=14, num_classes=8, image_size=8,
+            classes_per_writer=4, test_samples=32, seed=seed,
+        )
+
+    def _trainer(self, fed, sparsifier, momentum, spill_after, seed=7):
+        model = make_mlp(64, 8, hidden=(10,), seed=seed)
+        ids = list(range(8))
+        profiles = CHURN.build_profiles(ids)
+        timing = HeterogeneousTimingModel(
+            model.dimension, comm_time=10.0, profiles=profiles
+        )
+        scenario = DeploymentScenario.build(CHURN, ids, timing, profiles)
+        trainer = FLTrainer(
+            model, fed, sparsifier, timing=timing, learning_rate=0.05,
+            batch_size=8, eval_every=3, seed=seed, scenario=scenario,
+            momentum_correction=momentum, spill_after=spill_after,
+        )
+        return trainer, scenario
+
+    @pytest.mark.parametrize("name", sorted(VARIANTS))
+    def test_drops_identical_to_materialized_twin(self, name):
+        factory, momentum, spill_after = self.VARIANTS[name]
+        virtual, v_scn = self._trainer(
+            self._virtual(), factory(), momentum, spill_after
+        )
+        # The eager twin never spills — hibernation must be exact.
+        eager, e_scn = self._trainer(
+            self._virtual().materialize(), factory(), momentum, 0
+        )
+        hv = virtual.run(9, k=12)
+        he = eager.run(9, k=12)
+        assert history_rows(hv) == history_rows(he)
+        assert [r.dropped_ids for r in v_scn.stats.rounds] == [
+            r.dropped_ids for r in e_scn.stats.rounds
+        ]
+        assert e_scn.stats.total_dropped > 0  # the gate actually bit
+        np.testing.assert_array_equal(
+            virtual.model.get_weights(), eager.model.get_weights()
+        )
+        # Virtual clients exist in first-participation order; compare
+        # residuals by id against the eager population.
+        eager_by_id = {c.client_id: c for c in eager.clients}
+        assert virtual.clients  # cohorts were drawn
+        for cv in virtual.clients:
+            np.testing.assert_array_equal(
+                cv.residual, eager_by_id[cv.client_id].residual
+            )
+
+    def test_population_scenario_backends_identical(self):
+        # The full population-scale path (PopulationModel laws +
+        # PopulationSampler cohorts + deadline gate) must stay
+        # bit-identical between serial and sharded execution — the
+        # CI smoke at N=1e5 runs this same check bigger.
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import (
+            build_federation,
+            build_model,
+            build_scenario,
+        )
+
+        def build(backend):
+            scenario_cfg = ScenarioConfig.default_churn().with_overrides(
+                participants=6, over_selection=0.25, seed=0
+            )
+            config = ExperimentConfig(
+                population=2000, samples_per_client=12, image_size=6,
+                num_classes=8, classes_per_writer=4, hidden=(8,),
+                learning_rate=0.05, batch_size=8, eval_every=2,
+                scenario=scenario_cfg.to_dict(), seed=0,
+            )
+            federation = build_federation(config)
+            model = build_model(config)
+            timing, scenario = build_scenario(config, [], model.dimension)
+            trainer = FLTrainer(
+                model, federation, FABTopK(), timing=timing,
+                learning_rate=config.learning_rate,
+                batch_size=config.batch_size,
+                eval_every=config.eval_every, seed=config.seed,
+                backend=backend, scenario=scenario,
+            )
+            return trainer, scenario
+
+        serial, s_scn = build("serial")
+        fast, f_scn = build(ShardedBackend(jobs=2))
+        hs = serial.run(3, k=20)
+        hf = fast.run(3, k=20)
+        assert history_rows(hs) == history_rows(hf)
+        np.testing.assert_array_equal(
+            serial.model.get_weights(), fast.model.get_weights()
+        )
+        assert [r.dropped_ids for r in s_scn.stats.rounds] == [
+            r.dropped_ids for r in f_scn.stats.rounds
+        ]
+        # Only cohort-touched clients ever came to exist, identically.
+        ids_s = [c.client_id for c in serial.clients]
+        ids_f = [c.client_id for c in fast.clients]
+        assert ids_s == ids_f
+        assert 0 < len(ids_s) < 100  # O(cohort), nowhere near N=2000
+        fast.close()
+
+
 class TestAdaptiveDeadlineIntegration:
     """The online-learned deadline, end to end through the engine."""
 
@@ -1005,6 +1265,104 @@ class TestAdaptiveDeadlineIntegration:
         trainer.run(6, k=12)
         schedule = scenario.hooks.policy.schedule
         assert schedule.deadline_history == [8.0] * 7
+
+    def test_up_probe_fires_exactly_on_dropped_rounds(self):
+        # The upward replay only carries information when the real
+        # round closed early — on clean rounds d'' admits the same set
+        # as d and the observation must not carry an up triple at all
+        # (so no-drop rounds behave exactly as the one-sided policy).
+        trainer, scenario = _scenario_trainer(
+            "serial", scenario_config=ADAPTIVE_CHURN
+        )
+        schedule = scenario.hooks.policy.schedule
+        seen = []
+        original = schedule.observe
+
+        def spy(observation):
+            seen.append(observation)
+            original(observation)
+
+        schedule.observe = spy
+        trainer.run(10, k=12)
+        dropped = [bool(r.dropped_ids) for r in scenario.stats.rounds]
+        assert any(dropped) and not all(dropped)  # both kinds occurred
+        assert len(seen) == len(dropped)
+        for was_dropped, obs in zip(dropped, seen):
+            if was_dropped:
+                assert obs.probe_deadline_up is not None
+                assert obs.probe_deadline_up > obs.deadline
+                assert obs.loss_probe_up is not None
+                assert obs.probe_round_time_up is not None
+            else:
+                assert obs.probe_deadline_up is None
+                assert obs.loss_probe_up is None
+                assert obs.probe_round_time_up is None
+
+    def test_up_probe_never_perturbs_a_usable_walk(self):
+        # Primacy, end to end: whenever the d'-estimate is usable the
+        # two-sided walk is *identical* to the one-sided walk — the
+        # upward replay only substitutes on deadlock rounds (down
+        # estimate unavailable), it never votes alongside.  A summed
+        # combination fails exactly this trace (the up sign cancels
+        # the down sign in the tight regime and pins the walk at the
+        # interval floor).
+        def trace(one_sided):
+            trainer, scenario = _scenario_trainer(
+                "serial", scenario_config=ADAPTIVE_CHURN
+            )
+            schedule = scenario.hooks.policy.schedule
+            down_always_usable = True
+            original = schedule.observe
+
+            def spy(observation):
+                nonlocal down_always_usable
+                if observation.dropped and AdaptiveDeadlinePolicy._one_sided_sign(
+                    observation, observation.loss_probe,
+                    observation.probe_deadline,
+                    observation.probe_round_time,
+                ) is None:
+                    down_always_usable = False
+                original(observation)
+
+            schedule.observe = spy
+            if one_sided:
+                schedule.probe_deadline_up = lambda round_index: None
+            trainer.run(10, k=12)
+            return schedule.deadline_history, down_always_usable
+
+        one, usable = trace(one_sided=True)
+        two, _ = trace(one_sided=False)
+        assert usable  # the scenario exercises the primary path only
+        assert two == one
+        assert len(set(two)) > 1  # and the walk actually moved
+
+    def test_counterfactual_preprocess_leaves_the_quantizer_untouched(self):
+        # The up-probe re-quantizes uploads the real round dropped; the
+        # replay must not advance the quantizer's stream, or a probing
+        # run would diverge from a non-probing one on later rounds.
+        def upload():
+            return ClientUpload(
+                client_id=0,
+                payload=SparseVector(
+                    indices=np.array([1, 4, 7]),
+                    values=np.array([0.3, -1.2, 0.05]),
+                    dimension=10,
+                ),
+                sample_count=8,
+            )
+
+        sparsifier = QuantizedSparsifier(
+            FABTopK(), UniformQuantizer(num_levels=15, seed=5)
+        )
+        state = sparsifier.quantizer._rng.bit_generator.state
+        ghost = sparsifier.preprocess_uploads_counterfactual([upload()])
+        assert sparsifier.quantizer._rng.bit_generator.state == state
+        # ...and from that untouched state the real pass degrades the
+        # values identically — the probe saw what the server would.
+        real = sparsifier.preprocess_uploads([upload()])
+        np.testing.assert_array_equal(
+            ghost[0].payload.values, real[0].payload.values
+        )
 
     def test_adaptation_state_survives_probing_rounds(self):
         # Probing must not perturb the model: after any round the
