@@ -20,7 +20,9 @@ over time::
 """
 
 import json
+import os
 import pathlib
+import tempfile
 import time
 
 import pytest
@@ -30,6 +32,7 @@ from repro.data.partition import partition_by_writer
 from repro.data.synthetic import make_femnist_like
 from repro.fl.trainer import FLTrainer
 from repro.nn.models import make_cnn, make_mlp
+from repro.obs import JsonlSink, Telemetry
 from repro.simulation.timing import TimingModel
 from repro.sparsify.fab_topk import FABTopK
 
@@ -46,7 +49,8 @@ SCENARIOS = (
 BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
-def build_trainer(num_clients: int, backend: str, model: str = "mlp") -> FLTrainer:
+def build_trainer(num_clients: int, backend: str, model: str = "mlp",
+                  telemetry=None) -> FLTrainer:
     """Benchmark-scale federation: MLP preset (D ≈ 1.9k) or fig6-style CNN.
 
     The CNN scenario keeps images in (C, H, W) layout so the grouped
@@ -67,6 +71,7 @@ def build_trainer(num_clients: int, backend: str, model: str = "mlp") -> FLTrain
     return FLTrainer(
         net, federation, FABTopK(), timing=timing, learning_rate=0.05,
         batch_size=16, eval_every=1_000_000, seed=0, backend=backend,
+        telemetry=telemetry,
     )
 
 
@@ -78,18 +83,38 @@ def round_k(trainer: FLTrainer, num_clients: int) -> int:
 def measure_rounds_per_second(num_clients: int, backend: str,
                               model: str = "mlp",
                               rounds: int = MEASURE_ROUNDS,
-                              repeats: int = 3) -> float:
-    """Best-of-``repeats`` throughput (minimum wall time resists noise)."""
-    trainer = build_trainer(num_clients, backend, model)
-    k = round_k(trainer, num_clients)
-    trainer.step(k)  # warmup (round 1 always evaluates)
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        for _ in range(rounds):
-            trainer.step(k)
-        best = min(best, time.perf_counter() - start)
-    return rounds / best
+                              repeats: int = 3,
+                              traced: bool = False) -> float:
+    """Best-of-``repeats`` throughput (minimum wall time resists noise).
+
+    ``traced=True`` runs with telemetry streaming JSONL round events to
+    a scratch file — the telemetry-enabled column of the report.  The
+    default runs telemetry-off: the instrumented engine's disabled path
+    (one attribute check per site), which is the number every other
+    entry in ``BENCH_engine.json`` has always measured.
+    """
+    telemetry = None
+    scratch = None
+    if traced:
+        fd, scratch = tempfile.mkstemp(suffix=".jsonl")
+        os.close(fd)
+        telemetry = Telemetry(sink=JsonlSink(scratch))
+    try:
+        trainer = build_trainer(num_clients, backend, model,
+                                telemetry=telemetry)
+        k = round_k(trainer, num_clients)
+        trainer.step(k)  # warmup (round 1 always evaluates)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(rounds):
+                trainer.step(k)
+            best = min(best, time.perf_counter() - start)
+        return rounds / best
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+            os.unlink(scratch)
 
 
 #: pytest grids derive from SCENARIOS so the standalone run and the
@@ -131,17 +156,32 @@ def main() -> None:
                 num_clients, backend, model, rounds=rounds
             )
         speedup = rates["vectorized"] / rates["serial"]
+        # Telemetry-on vs -off on the vectorized backend: the plain
+        # measurement above *is* the telemetry-off number, so the pair
+        # tracks both the enabled cost (JSONL streaming per round) and,
+        # across BENCH entries, the disabled-path cost of the
+        # instrumentation itself.
+        traced = measure_rounds_per_second(
+            num_clients, "vectorized", model, rounds=rounds, traced=True
+        )
+        tracing_overhead = (rates["vectorized"] - traced) / rates["vectorized"]
         report["results"].append({
             "model": model,
             "num_clients": num_clients,
             "rounds": rounds,
             "rounds_per_second": {b: round(r, 2) for b, r in rates.items()},
             "vectorized_speedup": round(speedup, 3),
+            "telemetry": {
+                "off_rps": round(rates["vectorized"], 2),
+                "on_rps": round(traced, 2),
+                "enabled_overhead_pct": round(100 * tracing_overhead, 2),
+            },
         })
         print(
             f"{model} N={num_clients:3d}: serial {rates['serial']:7.1f} r/s | "
             f"vectorized {rates['vectorized']:7.1f} r/s | "
-            f"speedup {speedup:.2f}x"
+            f"speedup {speedup:.2f}x | "
+            f"traced {traced:7.1f} r/s ({100 * tracing_overhead:+.1f}%)"
         )
     history = []
     if BENCH_PATH.exists():

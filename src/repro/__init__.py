@@ -39,6 +39,12 @@ Quick start
 True
 """
 
+import logging as _logging
+
+# Library convention: the package logger stays silent unless the
+# application (or the CLI's --verbose flag) attaches a handler.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 __version__ = "1.0.0"
 
 __all__ = [

@@ -57,6 +57,7 @@ from repro.experiments.io import (
     write_json,
 )
 from repro.experiments.plotting import render_figure
+from repro.obs import configure_cli_logging, get_logger
 from repro.parallel.sweep import (
     SWEEP_FIGURES,
     SweepSpec,
@@ -65,6 +66,8 @@ from repro.parallel.sweep import (
 )
 
 FIGURES = ("fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "scenario")
+
+logger = get_logger("cli")
 
 
 def _run_figure(figure: str, config: ExperimentConfig, out: Path,
@@ -282,6 +285,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "--partition dirichlet")
         p.add_argument("--plot", action="store_true",
                        help="render ASCII charts to stdout")
+        p.add_argument("--telemetry", default=None, metavar="PATH",
+                       help="trace the run: append structured JSONL "
+                            "events (round spans, byte counts, drops, "
+                            "counters) to PATH; summarize with "
+                            "`repro trace-report PATH`.  Observation-"
+                            "only — results are bit-identical with or "
+                            "without it")
+        p.add_argument("--verbose", action="store_true",
+                       help="debug-level progress logging")
     ps = sub.add_parser(
         "sweep",
         help="run a cached grid of figure configs over a process pool",
@@ -305,7 +317,36 @@ def build_parser() -> argparse.ArgumentParser:
                     help="content-addressed results store directory")
     ps.add_argument("--force", action="store_true",
                     help="recompute cached units")
+    ps.add_argument("--telemetry", default=None, metavar="PATH",
+                    help="append each unit's trace events to PATH "
+                         "(units run with config.telemetry set; the "
+                         "cache key ignores it)")
+    ps.add_argument("--verbose", action="store_true",
+                    help="debug-level progress logging")
+    pt = sub.add_parser(
+        "trace-report",
+        help="summarize a --telemetry JSONL trace file",
+    )
+    pt.add_argument("trace_file", metavar="FILE",
+                    help="JSONL trace written by --telemetry")
+    pt.add_argument("--json", action="store_true",
+                    help="emit the summary as JSON instead of a table")
+    pt.add_argument("--verbose", action="store_true",
+                    help="debug-level progress logging")
     return parser
+
+
+def _run_trace_report(args) -> int:
+    from repro.obs import format_trace_report, summarize_trace
+
+    summary = summarize_trace(args.trace_file)
+    if args.json:
+        import json
+
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(format_trace_report(summary))
+    return 0
 
 
 def _run_sweep_command(args) -> int:
@@ -315,6 +356,7 @@ def _run_sweep_command(args) -> int:
         seeds=tuple(args.seeds),
         backends=tuple(args.backends),
         rounds=args.rounds,
+        telemetry=args.telemetry,
     )
     from repro.parallel.pool import default_worker_count
 
@@ -324,23 +366,29 @@ def _run_sweep_command(args) -> int:
         out=args.out,
         jobs=args.jobs if args.jobs >= 1 else default_worker_count(),
         force=args.force,
-        echo=print,
+        echo=logger.info,
     )
     for result in report.results:
         timing = "cache hit" if result.status == "cached" else (
             f"{result.seconds:.2f}s"
         )
-        print(f"{result.unit.run_id}: {result.status} ({timing}), "
-              f"{len(result.artifacts)} artifacts [{result.key[:12]}]")
+        logger.info(
+            "%s: %s (%s), %d artifacts [%s]",
+            result.unit.run_id, result.status, timing,
+            len(result.artifacts), result.key[:12],
+        )
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_cli_logging(verbose=getattr(args, "verbose", False))
     if args.command == "list":
         for figure in FIGURES:
             print(figure)
         return 0
+    if args.command == "trace-report":
+        return _run_trace_report(args)
     if args.command == "sweep":
         return _run_sweep_command(args)
 
@@ -366,6 +414,8 @@ def main(argv: list[str] | None = None) -> int:
             overrides["partition"] = "dirichlet"
     if getattr(args, "population", None):
         overrides["population"] = args.population
+    if args.telemetry is not None:
+        overrides["telemetry"] = args.telemetry
     if overrides:
         config = config.with_overrides(**overrides)
     if args.command == "scenario":

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.data.partition import ClientDataset, FederatedDataset
 from repro.data.synthetic import _make_prototypes, _make_test_pool
+from repro.obs import NULL_TELEMETRY
 
 #: per-cid client-data stream tag (disjoint from every other stream tag
 #: in the repo: 0xC11E client RNG, 0xE0A1 eval pool, 0x5CE2 sampler, ...)
@@ -155,6 +156,9 @@ class LazyClientDataset:
     def _ensure(self) -> None:
         if self._x is None:
             self._x, self._y = self._federation.client_arrays(self.client_id)
+            tel = self._federation.telemetry
+            if tel.enabled:
+                tel.count("virtual.regenerate")
         self._federation._touch(self)
 
     @property
@@ -196,6 +200,9 @@ class VirtualFederation:
 
     #: duck-typed marker the engine/runner check instead of isinstance
     is_virtual = True
+    #: observation-only; the engine replaces this with its telemetry so
+    #: LRU hits/evictions/regenerations get counted (parent process only).
+    telemetry = NULL_TELEMETRY
 
     def __init__(self, spec: VirtualSpec, cache_size: int = 256) -> None:
         if cache_size < 1:
@@ -390,14 +397,19 @@ class VirtualFederation:
 
     def _touch(self, dataset: LazyClientDataset) -> None:
         """LRU bookkeeping: ``dataset`` was just accessed while resident."""
+        tel = self.telemetry
         cid = dataset.client_id
         if cid in self._resident:
             self._resident.move_to_end(cid)
+            if tel.enabled:
+                tel.count("virtual.lru_hit")
             return
         self._resident[cid] = dataset
         while len(self._resident) > self.cache_size:
             _, evicted = self._resident.popitem(last=False)
             evicted.release()
+            if tel.enabled:
+                tel.count("virtual.lru_evict")
 
     def _check_enumerable(self, what: str) -> None:
         if self.spec.population > ENUMERATION_LIMIT:

@@ -53,6 +53,10 @@ class ExperimentConfig:
     #: a plain dict so configs stay import-light and sweep-cacheable);
     #: None = the paper's ideal population (everyone, always, no deadline)
     scenario: dict | None = None
+    #: JSONL trace destination (``--telemetry out.jsonl``); None disables.
+    #: Observation-only: traced runs are bit-identical to untraced ones,
+    #: and sweep cache keys exclude this field.
+    telemetry: str | None = None
     seed: int = 0
     extras: dict = field(default_factory=dict)
 
@@ -94,6 +98,8 @@ class ExperimentConfig:
             raise ValueError(
                 "scenario must be a ScenarioConfig.to_dict() mapping or None"
             )
+        if self.telemetry is not None and not isinstance(self.telemetry, str):
+            raise ValueError("telemetry must be a JSONL path string or None")
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Copy with fields replaced (configs are immutable)."""

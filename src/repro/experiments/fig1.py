@@ -23,6 +23,7 @@ from repro.experiments.runner import (
     build_backend,
     build_federation,
     build_model,
+    build_telemetry,
     build_timing,
 )
 from repro.fl.trainer import FLTrainer
@@ -82,8 +83,10 @@ def run_fig1(
     result = Fig1Result(psi=0.0, k_common=k_common, figure=figure)
 
     backend = build_backend(config)
+    telemetry = build_telemetry(config)
     try:
         for i, k_pre in enumerate(pre_ks):
+            telemetry.annotate(figure="fig1", method=f"pre-k={k_pre}")
             model = build_model(config)
             federation = build_federation(config)
             timing = build_timing(config, model.dimension)
@@ -97,6 +100,7 @@ def run_fig1(
                 eval_every=1,
                 eval_max_samples=config.eval_max_samples,
                 backend=backend,
+                telemetry=(telemetry if telemetry.enabled else None),
                 seed=config.seed,
             )
             if psi is None and i == 0:
@@ -119,6 +123,7 @@ def run_fig1(
             )
     finally:
         backend.close()
+        telemetry.close()
     figure.notes.append(
         f"psi={result.psi:.4f}, common k={k_common}, dimension={dimension}"
     )

@@ -24,6 +24,7 @@ from repro.experiments.runner import (
     build_backend,
     build_federation,
     build_model,
+    build_telemetry,
     build_timing,
     contribution_cdf,
 )
@@ -100,10 +101,12 @@ def run_fig4(
     )
 
     backend = build_backend(config)
+    telemetry = build_telemetry(config)
     try:
         for method in METHODS:
+            telemetry.annotate(figure="fig4", method=method)
             history = _run_method(
-                method, config, k, timing, time_budget, backend
+                method, config, k, timing, time_budget, backend, telemetry
             )
             result.histories[method] = history
             xs, losses, accs = [], [], []
@@ -122,6 +125,7 @@ def run_fig4(
                     cdf_fig.add(method, values.tolist(), cdf.tolist())
     finally:
         backend.close()
+        telemetry.close()
     return result
 
 
@@ -132,6 +136,7 @@ def _run_method(
     timing,
     time_budget: float,
     backend,
+    telemetry=None,
 ) -> TrainingHistory:
     model = build_model(config)
     federation = build_federation(config)
@@ -141,6 +146,9 @@ def _run_method(
         eval_every=config.eval_every,
         eval_max_samples=config.eval_max_samples,
         backend=backend,
+        telemetry=(
+            telemetry if telemetry is not None and telemetry.enabled else None
+        ),
         seed=config.seed,
     )
     if method == "fedavg":

@@ -26,6 +26,7 @@ from repro.experiments.runner import (
     build_backend,
     build_model,
     build_search_interval,
+    build_telemetry,
     build_timing,
 )
 from repro.fl.metrics import TrainingHistory
@@ -91,8 +92,10 @@ def run_fig5(
                         k_traces=k_fig)
 
     backend = build_backend(config)
+    telemetry = build_telemetry(config)
     try:
         for name in policies:
+            telemetry.annotate(figure="fig5", method=name)
             model = build_model(config)
             federation = build_federation(config)
             timing = build_timing(config, model.dimension, comm_time)
@@ -104,6 +107,7 @@ def run_fig5(
                 eval_every=config.eval_every,
                 eval_max_samples=config.eval_max_samples,
                 backend=backend,
+                telemetry=(telemetry if telemetry.enabled else None),
                 seed=config.seed,
             )
             trainer.run(num_rounds)
@@ -125,4 +129,5 @@ def run_fig5(
             )
     finally:
         backend.close()
+        telemetry.close()
     return result

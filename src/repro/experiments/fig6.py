@@ -20,6 +20,7 @@ from repro.experiments.runner import (
     build_backend,
     build_model,
     build_search_interval,
+    build_telemetry,
     build_timing,
 )
 from repro.fl.metrics import TrainingHistory
@@ -59,8 +60,10 @@ def run_fig6(
     result = Fig6Result(loss_vs_time=loss_fig, k_traces=k_fig)
 
     backend = build_backend(config)
+    telemetry = build_telemetry(config)
     try:
         for label in ("algorithm3", "algorithm2"):
+            telemetry.annotate(figure="fig6", method=label)
             model = build_model(config)
             federation = build_federation(config)
             timing = build_timing(config, model.dimension, comm_time)
@@ -79,6 +82,7 @@ def run_fig6(
                 eval_every=config.eval_every,
                 eval_max_samples=config.eval_max_samples,
                 backend=backend,
+                telemetry=(telemetry if telemetry.enabled else None),
                 seed=config.seed,
             )
             trainer.run(num_rounds)
@@ -95,4 +99,5 @@ def run_fig6(
             )
     finally:
         backend.close()
+        telemetry.close()
     return result

@@ -25,6 +25,7 @@ from repro.experiments.runner import (
     build_backend,
     build_model,
     build_search_interval,
+    build_telemetry,
     build_timing,
 )
 from repro.fl.trainer import FLTrainer
@@ -81,9 +82,11 @@ def run_cross_application(
     result.k_traces = FigureData(title="learned k_m sequences")
 
     backend = build_backend(config)
+    telemetry = build_telemetry(config)
     try:
         # Phase 1: learn {k_m, beta} with Algorithm 3 at each beta.
         for beta in comm_times:
+            telemetry.annotate(figure="fig7", method=f"learn-beta={beta:g}")
             model = build_model(config)
             federation = build_federation(config)
             timing = build_timing(config, model.dimension, beta)
@@ -101,6 +104,7 @@ def run_cross_application(
                 eval_every=max(config.eval_every, 10),
                 eval_max_samples=config.eval_max_samples,
                 backend=backend,
+                telemetry=(telemetry if telemetry.enabled else None),
                 seed=config.seed,
             )
             trainer.run(learn_rounds)
@@ -127,8 +131,12 @@ def run_cross_application(
                     for k in matched
                 )
             for seq_beta in comm_times:
+                telemetry.annotate(
+                    figure="fig7",
+                    method=f"replay-seq={seq_beta:g}-at={replay_beta:g}",
+                )
                 history = _replay(config, result.sequences[seq_beta],
-                                  replay_beta, budget, backend)
+                                  replay_beta, budget, backend, telemetry)
                 xs = [r.cumulative_time for r in history if r.loss == r.loss]
                 ys = [r.loss for r in history if r.loss == r.loss]
                 fig.add(f"k-seq(beta={seq_beta:g})", xs, ys)
@@ -137,6 +145,7 @@ def run_cross_application(
                 )
     finally:
         backend.close()
+        telemetry.close()
     return result
 
 
@@ -146,6 +155,7 @@ def _replay(
     beta: float,
     time_budget: float,
     backend,
+    telemetry=None,
 ):
     model = build_model(config)
     federation = build_federation(config)
@@ -157,6 +167,9 @@ def _replay(
         eval_every=config.eval_every,
         eval_max_samples=config.eval_max_samples,
         backend=backend,
+        telemetry=(
+            telemetry if telemetry is not None and telemetry.enabled else None
+        ),
         seed=config.seed,
     )
     int_sequence = [max(1, min(int(round(k)), model.dimension)) for k in sequence]

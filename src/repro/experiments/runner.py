@@ -181,6 +181,20 @@ def build_scenario(
     return timing, scenario
 
 
+def build_telemetry(config: ExperimentConfig):
+    """The config's telemetry: a JSONL-backed instance, or the no-op.
+
+    Figure drivers open this once per run, pass it into every trainer,
+    and close it in their ``finally`` block so counters flush with the
+    backend teardown.  Telemetry is observation-only — it consumes no
+    RNG and touches no numeric state, so artifacts are identical with
+    or without it.
+    """
+    from repro.obs import open_telemetry
+
+    return open_telemetry(config.telemetry)
+
+
 def build_backend(config: ExperimentConfig) -> ExecutionBackend:
     """The execution backend the config's trainers should run on.
 

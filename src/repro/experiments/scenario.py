@@ -43,6 +43,7 @@ from repro.experiments.runner import (
     build_federation,
     build_model,
     build_scenario,
+    build_telemetry,
 )
 from repro.fl.metrics import TrainingHistory
 from repro.fl.trainer import FLTrainer
@@ -172,8 +173,10 @@ def run_scenario(
     )
 
     backend = build_backend(config)
+    telemetry = build_telemetry(config)
     try:
         for method in METHODS:
+            telemetry.annotate(figure="scenario", method=method)
             model = build_model(config)
             federation = build_federation(config)
             # Population-scale runs derive availability/profiles from
@@ -190,6 +193,7 @@ def run_scenario(
                 eval_max_samples=config.eval_max_samples,
                 backend=backend,
                 scenario=scenario,
+                telemetry=(telemetry if telemetry.enabled else None),
                 seed=config.seed,
             )
             if method == "fixed-k":
@@ -236,6 +240,7 @@ def run_scenario(
             )
     finally:
         backend.close()
+        telemetry.close()
     loss_fig.notes.append(f"scenario: {json.dumps(result.scenario, sort_keys=True)}")
     return result
 
@@ -412,8 +417,10 @@ def run_deadline_adaptation(
     )
 
     backend = build_backend(config)
+    telemetry = build_telemetry(config)
     try:
         for label, variant in variants.items():
+            telemetry.annotate(figure="scenario-deadline", method=label)
             model = build_model(config)
             federation = build_federation(config)
             client_ids = (
@@ -431,7 +438,9 @@ def run_deadline_adaptation(
                 batch_size=config.batch_size,
                 eval_every=config.eval_every,
                 eval_max_samples=config.eval_max_samples,
-                backend=backend, scenario=scenario, seed=config.seed,
+                backend=backend, scenario=scenario,
+                telemetry=(telemetry if telemetry.enabled else None),
+                seed=config.seed,
             )
             _step_for_budget(trainer, k, time_budget, max_rounds)
             result.histories[label] = trainer.history
@@ -449,6 +458,7 @@ def run_deadline_adaptation(
             )
     finally:
         backend.close()
+        telemetry.close()
     targets = result.final_losses()
     reachable = max(targets.values())
     loss_fig.notes.append(

@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.fl.client import Client
 from repro.nn.flat import FlatModel
+from repro.obs import NULL_TELEMETRY
 from repro.sparsify.base import ClientUpload, Sparsifier
 
 BACKEND_NAMES = ("serial", "vectorized", "sharded")
@@ -50,6 +51,9 @@ class ExecutionBackend:
     """Strategy interface for executing the participants' local steps."""
 
     name = "abstract"
+    #: observation-only hook; the engine replaces this with its enabled
+    #: telemetry so process-backed backends can report IPC traffic.
+    telemetry = NULL_TELEMETRY
 
     def local_steps(
         self,

@@ -32,20 +32,37 @@ class ResidualStats:
         return float(np.mean(list(self.per_client_l1.values())))
 
 
-def residual_stats(clients: list[Client]) -> ResidualStats:
-    """Aggregate residual statistics across clients."""
-    if not clients:
-        raise ValueError("no clients")
-    per_client = {c.client_id: float(np.abs(c.residual).sum()) for c in clients}
-    stacked_max = max(float(np.abs(c.residual).max()) for c in clients)
-    nonzero = np.mean([
-        np.count_nonzero(c.residual) / c.residual.size for c in clients
-    ])
+def residual_stats(clients) -> ResidualStats:
+    """Aggregate residual statistics across clients.
+
+    ``clients`` is a list of :class:`~repro.fl.client.Client` objects or
+    anything exposing one via a ``.clients`` attribute — a trainer or
+    round engine works directly.  For population-scale runs the engine's
+    ever-touched list is the right source: it is O(touched), never an
+    O(N) enumeration of the virtual federation.  The inspection is
+    read-only — hibernating clients are measured through their sparse
+    spill store without being woken, and an empty client set (nothing
+    ever touched) yields zeroed stats.
+    """
+    client_list: list[Client] = list(getattr(clients, "clients", clients))
+    if not client_list:
+        return ResidualStats(
+            total_l1=0.0, max_abs=0.0, per_client_l1={}, nonzero_fraction=0.0
+        )
+    per_client: dict[int, float] = {}
+    max_abs = 0.0
+    densities = []
+    for client in client_list:
+        magnitudes = np.abs(client.residual_nonzeros())
+        per_client[client.client_id] = float(magnitudes.sum())
+        if magnitudes.size:
+            max_abs = max(max_abs, float(magnitudes.max()))
+        densities.append(magnitudes.size / client.dimension)
     return ResidualStats(
         total_l1=float(sum(per_client.values())),
-        max_abs=stacked_max,
+        max_abs=max_abs,
         per_client_l1=per_client,
-        nonzero_fraction=float(nonzero),
+        nonzero_fraction=float(np.mean(densities)),
     )
 
 

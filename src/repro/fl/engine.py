@@ -36,10 +36,13 @@ scenario is a new hook object or backend, not a fourth copy of the loop.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.data.partition import FederatedDataset
 from repro.fl.backends import ExecutionBackend, resolve_backend
+from repro.obs import NULL_TELEMETRY, SPARSE_ELEMENT_BYTES
 from repro.fl.client import Client
 from repro.fl.metrics import RoundRecord, TrainingHistory
 from repro.fl.server import Server
@@ -310,6 +313,7 @@ class RoundEngine:
         backend: str | ExecutionBackend | None = None,
         scenario_hooks: RoundHooks | None = None,
         spill_after: int = 0,
+        telemetry=None,
         seed: int = 0,
     ) -> None:
         if learning_rate <= 0:
@@ -330,6 +334,14 @@ class RoundEngine:
         #: hooks (deployment scenarios: availability/deadline gating).
         self.scenario_hooks = scenario_hooks
         self.backend = resolve_backend(backend)
+        #: observation only — telemetry consumes no RNG and touches no
+        #: numeric state, so traced runs stay bit-identical to untraced.
+        self.telemetry = NULL_TELEMETRY if telemetry is None else telemetry
+        if telemetry is not None:
+            self.backend.telemetry = self.telemetry
+            if getattr(federation, "is_virtual", False):
+                federation.telemetry = self.telemetry
+        self._pending_trace: dict | None = None
         self.server = Server(model.dimension)
         #: clients spill dense state after this many idle rounds (0 = off)
         self.spill_after = spill_after
@@ -428,6 +440,8 @@ class RoundEngine:
             )
             if idle >= self.spill_after:
                 client.hibernate()
+                if self.telemetry.enabled:
+                    self.telemetry.count("engine.residual_spill")
 
     def global_loss(self) -> float:
         """Global training loss L(w) at the current weights."""
@@ -476,6 +490,20 @@ class RoundEngine:
             hooks = ChainedHooks(self.scenario_hooks, hooks)
         ctx = RoundContext(self, self.begin_round(), k)
 
+        tel = self.telemetry
+        tracing = tel.enabled
+        if tracing:
+            phases: dict[str, float] = {}
+            wall_start = mark = time.perf_counter()
+
+            def lap(phase: str) -> None:
+                # Hook work around local steps (deadline gate, replays,
+                # probe evals) accumulates under one "probe" phase.
+                nonlocal mark
+                now = time.perf_counter()
+                phases[phase] = phases.get(phase, 0.0) + (now - mark)
+                mark = now
+
         start_round = getattr(self.sparsifier, "start_round", None)
         if start_round is not None:
             start_round(k)
@@ -488,22 +516,39 @@ class RoundEngine:
         else:
             ctx.participant_ids = None
             ctx.participants = self._all_participants()
+        if tracing:
+            lap("sample")
+            restored = sum(1 for c in ctx.participants if c.hibernating)
+            if restored:
+                tel.count("engine.residual_restore", restored)
 
         ctx.w_prev = self.model.get_weights()
         ctx.uploads = self.backend.local_steps(
             self.model, ctx.participants, k, self.sparsifier,
             draw_probes=hooks.wants_probes,
         )
+        if tracing:
+            lap("local_steps")
         hooks.after_local_steps(ctx)
+        if tracing:
+            lap("probe")
 
         ctx.uploads = self.sparsifier.preprocess_uploads(ctx.uploads)
+        if tracing:
+            lap("preprocess")
         ctx.selection = self.sparsifier.server_select(
             ctx.uploads, k, self.model.dimension
         )
+        if tracing:
+            lap("select")
         ctx.downlink = self.server.aggregate(
             ctx.uploads, ctx.selection, total_weight=ctx.aggregation_weight
         )
+        if tracing:
+            lap("aggregate")
         hooks.after_aggregate(ctx)
+        if tracing:
+            lap("probe")
 
         sparse_update = ctx.downlink.payload
         weights = ctx.w_prev.copy()
@@ -515,6 +560,8 @@ class RoundEngine:
             )
         ctx.w_new = weights
         self.model.set_weights(weights)
+        if tracing:
+            lap("update")
 
         self.backend.reset_residuals(
             ctx.participants, ctx.uploads, ctx.selection.indices
@@ -523,7 +570,11 @@ class RoundEngine:
             for client in ctx.participants:
                 client.reset_all()
         self._note_participation(ctx.participants)
+        if tracing:
+            lap("residual_reset")
         hooks.after_update(ctx)
+        if tracing:
+            lap("probe")
 
         ctx.uplink_elements = max(up.payload.nnz for up in ctx.uploads)
         timing_override = hooks.round_timing(ctx)
@@ -541,6 +592,17 @@ class RoundEngine:
             )
         ctx.round_time = ctx.round_timing.total + hooks.extra_round_time(ctx)
         hooks.observe(ctx)
+        if tracing:
+            lap("probe")
+            self._pending_trace = {
+                "phases": phases,
+                "wall_start": wall_start,
+                "participants": len(ctx.participants),
+                "dropped_ids": list(ctx.dropped_ids),
+                "uplink_bytes": SPARSE_ELEMENT_BYTES * sum(
+                    up.payload.nnz for up in ctx.uploads
+                ),
+            }
 
         return self.finish_round(
             k=hooks.record_k(ctx),
@@ -580,14 +642,45 @@ class RoundEngine:
         and test accuracy; FedAvg-style trainers override them to
         evaluate their averaged model instead.
         """
+        tel = self.telemetry
+        trace = self._pending_trace
+        self._pending_trace = None
         self._clock += round_time
         evaluate = (self._round % self.eval_every == 0) or (self._round == 1)
+        if tel.enabled:
+            eval_start = time.perf_counter()
         if evaluate:
             loss = (loss_fn or self.global_loss)()
             accuracy = (accuracy_fn or self.test_accuracy)()
         else:
             loss = (loss_fn or self.global_loss)() if ensure_loss else float("nan")
             accuracy = None
+        if tel.enabled:
+            # Trainers that skip run_round (FedAvg-style local phases)
+            # still emit a round event, with an eval-only breakdown.
+            phases = trace["phases"] if trace else {}
+            phases["eval"] = time.perf_counter() - eval_start
+            tel.event(
+                "round",
+                round=self._round,
+                k=k,
+                round_time=round_time,
+                cumulative_time=self._clock,
+                loss=None if loss != loss else float(loss),
+                accuracy=None if accuracy is None else float(accuracy),
+                participants=(trace["participants"] if trace
+                              else len(self._client_list)),
+                dropped=len(trace["dropped_ids"]) if trace else 0,
+                dropped_ids=trace["dropped_ids"] if trace else [],
+                uplink_elements=uplink_elements,
+                downlink_elements=downlink_elements,
+                uplink_bytes=(trace["uplink_bytes"] if trace
+                              else uplink_elements * SPARSE_ELEMENT_BYTES),
+                downlink_bytes=downlink_elements * SPARSE_ELEMENT_BYTES,
+                wall_seconds=(time.perf_counter() - trace["wall_start"]
+                              if trace else phases["eval"]),
+                phases=phases,
+            )
         record = RoundRecord(
             round_index=self._round,
             k=k,

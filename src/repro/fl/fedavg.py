@@ -47,6 +47,7 @@ class _BaselineTrainer(EngineFacade):
         eval_max_samples: int,
         backend: str | ExecutionBackend | None,
         seed: int,
+        telemetry=None,
     ) -> None:
         self.engine = RoundEngine(
             model=model,
@@ -58,6 +59,7 @@ class _BaselineTrainer(EngineFacade):
             eval_every=eval_every,
             eval_max_samples=eval_max_samples,
             backend=backend,
+            telemetry=telemetry,
             seed=seed,
         )
 
@@ -84,13 +86,14 @@ class FedAvgTrainer(_BaselineTrainer):
         eval_every: int = 1,
         eval_max_samples: int = 2000,
         backend: str | ExecutionBackend | None = None,
+        telemetry=None,
         seed: int = 0,
     ) -> None:
         if aggregation_period < 1:
             raise ValueError("aggregation_period must be >= 1")
         super().__init__(
             model, federation, timing, learning_rate, batch_size,
-            eval_every, eval_max_samples, backend, seed,
+            eval_every, eval_max_samples, backend, seed, telemetry=telemetry,
         )
         self.period = aggregation_period
         # Per-client local weight copies, initially synchronized.
@@ -166,11 +169,12 @@ class AlwaysSendAllTrainer(_BaselineTrainer):
         eval_every: int = 1,
         eval_max_samples: int = 2000,
         backend: str | ExecutionBackend | None = None,
+        telemetry=None,
         seed: int = 0,
     ) -> None:
         super().__init__(
             model, federation, timing, learning_rate, batch_size,
-            eval_every, eval_max_samples, backend, seed,
+            eval_every, eval_max_samples, backend, seed, telemetry=telemetry,
         )
 
     def step(self) -> RoundRecord:

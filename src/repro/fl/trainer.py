@@ -86,6 +86,10 @@ class FLTrainer(EngineFacade):
         virtual datasets) — exact, so results are identical with
         spilling on or off; it only bounds idle-client memory in
         population-scale runs.  0 (default) disables spilling.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry` receiving round traces and
+        counters.  Observation-only — traced runs are bit-identical to
+        untraced ones.
     """
 
     def __init__(
@@ -104,6 +108,7 @@ class FLTrainer(EngineFacade):
         backend: str | ExecutionBackend | None = None,
         scenario=None,
         spill_after: int = 0,
+        telemetry=None,
         seed: int = 0,
     ) -> None:
         sampler, scenario_hooks = _apply_scenario(scenario, sampler)
@@ -124,6 +129,7 @@ class FLTrainer(EngineFacade):
             backend=backend,
             scenario_hooks=scenario_hooks,
             spill_after=spill_after,
+            telemetry=telemetry,
             seed=seed,
         )
 

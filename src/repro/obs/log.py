@@ -1,0 +1,29 @@
+"""Package-level logging helpers.
+
+``repro`` installs a ``NullHandler`` on import (library best practice);
+CLI entry points call :func:`configure_cli_logging` to attach a stderr
+handler, with ``--verbose`` flipping the level to DEBUG.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The ``repro`` logger, or a ``repro.<name>`` child."""
+    return logging.getLogger(_ROOT if not name else f"{_ROOT}.{name}")
+
+
+def configure_cli_logging(verbose: bool = False) -> logging.Logger:
+    """Attach one stream handler to the package logger (idempotent)."""
+    logger = logging.getLogger(_ROOT)
+    logger.setLevel(logging.DEBUG if verbose else logging.INFO)
+    if not any(getattr(h, "_repro_cli", False) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        handler._repro_cli = True
+        logger.addHandler(handler)
+    return logger

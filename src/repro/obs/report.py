@@ -1,0 +1,90 @@
+"""Summarize a JSONL trace file: the ``trace-report`` rollup.
+
+Replays a trace through :class:`MemoryAggregator`, so a post-hoc report
+of a file and the in-memory summary of a live run agree by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from .events import ENGINE_PHASES, validate_event
+from .sinks import MemoryAggregator
+
+
+def summarize_trace(path: str | pathlib.Path) -> dict:
+    """Validate every event in ``path`` and return the aggregate summary."""
+    aggregator = MemoryAggregator()
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}")
+            try:
+                validate_event(record)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}")
+            aggregator.add(record)
+    return aggregator.summary()
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} GiB"
+
+
+def format_trace_report(summary: dict) -> str:
+    """Human-readable phase-time / bytes / drops rollup of a summary."""
+    lines = ["trace summary", "============="]
+    events = summary["events"]
+    lines.append("events:   " + ", ".join(
+        f"{kind}={count}" for kind, count in events.items()) or "none")
+    lines.append(f"rounds:   {summary['rounds']}")
+
+    total = sum(summary["phase_seconds"].values())
+    if summary["phase_seconds"]:
+        lines.append("")
+        lines.append(f"phase wall-clock ({total:.3f}s total)")
+        # Present in engine order, extras (if any) after.
+        ordered = [p for p in ENGINE_PHASES if p in summary["phase_seconds"]]
+        ordered += [p for p in summary["phase_seconds"] if p not in ordered]
+        for phase in ordered:
+            seconds = summary["phase_seconds"][phase]
+            share = 100.0 * seconds / total if total else 0.0
+            lines.append(f"  {phase:<14} {seconds:9.3f}s  {share:5.1f}%")
+
+    lines.append("")
+    lines.append(
+        f"uplink:   {summary['uplink_elements']} elements"
+        f" ({_fmt_bytes(summary['uplink_bytes'])})"
+    )
+    lines.append(
+        f"downlink: {summary['downlink_elements']} elements"
+        f" ({_fmt_bytes(summary['downlink_bytes'])})"
+    )
+    lines.append(
+        f"drops:    {summary['dropped_uploads']} uploads dropped,"
+        f" {summary['recovered_clients']} clients recovered"
+    )
+
+    if summary["span_seconds"]:
+        lines.append("")
+        lines.append("spans")
+        for name, seconds in summary["span_seconds"].items():
+            lines.append(f"  {name:<24} {seconds:9.3f}s")
+
+    if summary["counters"]:
+        lines.append("")
+        lines.append("counters")
+        for name, value in summary["counters"].items():
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:<28} {rendered}")
+    return "\n".join(lines)

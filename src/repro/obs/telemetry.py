@@ -1,0 +1,140 @@
+"""The telemetry facade: counters, gauges, span timers, structured events.
+
+Two implementations share one interface:
+
+* :class:`NullTelemetry` — the default.  Every method is a no-op and
+  ``enabled`` is ``False``, so instrumented hot paths pay exactly one
+  attribute check before skipping all telemetry work.
+* :class:`Telemetry` — accumulates counters/gauges in memory, times spans
+  with the monotonic clock, and emits schema-validated events to an
+  in-memory aggregator plus (optionally) an append-only JSONL sink.
+
+The hard invariant every emitter must respect: telemetry consumes **no
+RNG and touches no numeric training state**.  It only reads values the
+run already computed (plus ``time.perf_counter``), which is what keeps
+telemetry-on runs bit-identical to telemetry-off runs on every backend.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from .events import validate_event
+from .sinks import JsonlSink, MemoryAggregator
+
+#: Bytes per sparse upload element on the simulated wire: an int64
+#: coordinate plus a float64 value.
+SPARSE_ELEMENT_BYTES = 16
+
+
+class NullTelemetry:
+    """Disabled telemetry: every operation is a no-op.
+
+    Instrumentation sites should check ``telemetry.enabled`` before doing
+    any work beyond calling these methods, so the disabled path costs one
+    attribute read.
+    """
+
+    enabled = False
+
+    def count(self, name: str, value: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def event(self, kind: str, **fields) -> None:
+        pass
+
+    def annotate(self, **fields) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, **fields):
+        yield
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared default instance — safe because NullTelemetry is stateless.
+NULL_TELEMETRY = NullTelemetry()
+
+
+class Telemetry:
+    """Enabled telemetry: counters, gauges, spans, and structured events."""
+
+    enabled = True
+
+    def __init__(self, sink: JsonlSink | None = None,
+                 aggregator: MemoryAggregator | None = None):
+        self.sink = sink
+        self.aggregator = MemoryAggregator() if aggregator is None \
+            else aggregator
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.annotations: dict[str, object] = {}
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the named monotonically-growing counter."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest value of a point-in-time measurement."""
+        self.gauges[name] = value
+
+    def annotate(self, **fields) -> None:
+        """Attach run-level context (figure, method, …) to future events."""
+        self.annotations.update(fields)
+
+    def event(self, kind: str, **fields) -> None:
+        """Emit one schema-validated event to the aggregator and sink."""
+        record = {"type": kind, **self.annotations, **fields}
+        validate_event(record)
+        self.aggregator.add(record)
+        if self.sink is not None:
+            self.sink.write(record)
+
+    @contextmanager
+    def span(self, name: str, **fields):
+        """Time a block with the monotonic clock; emits a ``span`` event."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.event("span", name=name,
+                       seconds=time.perf_counter() - start, **fields)
+
+    def flush(self) -> None:
+        """Emit accumulated counters/gauges as a ``counters`` event.
+
+        Counters are reset after the snapshot so repeated flushes (e.g.
+        per sweep unit) report deltas, never double-counting.
+        """
+        if self.counters or self.gauges:
+            self.event("counters", counters=dict(self.counters),
+                       gauges=dict(self.gauges))
+            self.counters = {}
+            self.gauges = {}
+        if self.sink is not None:
+            self.sink.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self.sink is not None:
+            self.sink.close()
+
+
+def open_telemetry(path: str | None) -> NullTelemetry | Telemetry:
+    """Build telemetry from a config/CLI value.
+
+    ``None`` (or empty string) yields the shared no-op instance; a path
+    yields enabled telemetry appending JSONL events to that file.
+    """
+    if not path:
+        return NULL_TELEMETRY
+    return Telemetry(sink=JsonlSink(path))

@@ -117,6 +117,17 @@ class _ProbeHooks(RoundHooks):
             ).total
         loss_decrease = self.loss_prev - self.loss_now
         cost = ctx.round_time / loss_decrease if loss_decrease > 0 else None
+        tel = ctx.engine.telemetry
+        if tel.enabled:
+            tel.event(
+                "probe",
+                round=ctx.round_index,
+                k_continuous=self.k_continuous,
+                probe_k=self.probe_int,
+                loss_prev=self.loss_prev,
+                loss_now=self.loss_now,
+                loss_probe=self.loss_probe,
+            )
         self.trainer.policy.observe(RoundObservation(
             k=self.k_continuous,
             round_time=ctx.round_time,
@@ -153,6 +164,7 @@ class AdaptiveKTrainer(EngineFacade):
         sampler=None,
         backend: str | ExecutionBackend | None = None,
         scenario=None,
+        telemetry=None,
         seed: int = 0,
     ) -> None:
         sampler, scenario_hooks = _apply_scenario(scenario, sampler)
@@ -168,6 +180,7 @@ class AdaptiveKTrainer(EngineFacade):
             sampler=sampler,
             backend=backend,
             scenario_hooks=scenario_hooks,
+            telemetry=telemetry,
             seed=seed,
         )
         self.policy = policy

@@ -34,12 +34,15 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import pickle
+import time
 import traceback
 import weakref
 
 import numpy as np
 
 from repro.data.virtual import VirtualFederation, VirtualSpec
+from repro.obs import NULL_TELEMETRY
 
 
 def preferred_start_method() -> str:
@@ -136,6 +139,10 @@ class WorkerPool:
     methods are synchronous and must be called from the owning process.
     """
 
+    #: observation-only; the sharded backend forwards the engine's
+    #: telemetry here so IPC traffic and worker utilization get counted.
+    telemetry = NULL_TELEMETRY
+
     def __init__(
         self,
         num_workers: int,
@@ -183,13 +190,35 @@ class WorkerPool:
         workers release first — without this, a driver running many
         trainers on one pool would grow worker memory per trainer.
         """
+        tel = self.telemetry
+        if tel.enabled:
+            start = time.perf_counter()
+            tel.count(
+                "pool.ipc_bytes_out",
+                len(pickle.dumps(("model", token, model, drop_tokens)))
+                * len(self._conns),
+            )
         for conn in self._conns:
             conn.send(("model", token, model, drop_tokens))
         for worker in range(self.num_workers):
             self._receive(worker)
+        if tel.enabled:
+            tel.count("pool.model_broadcast_seconds",
+                      time.perf_counter() - start)
 
     def register_clients(self, worker: int, token: int, clients: dict) -> None:
         """Pickle client shards (dataset + batch size) to one worker, once."""
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("pool.ipc_bytes_out",
+                      len(pickle.dumps(("register", token, clients))))
+            specs = sum(1 for dataset, _ in clients.values()
+                        if isinstance(dataset, VirtualSpec))
+            if specs:
+                tel.count("pool.register_spec", specs)
+            if len(clients) - specs:
+                tel.count("pool.register_array", len(clients) - specs)
+            tel.count(f"pool.worker{worker}.clients", len(clients))
         self._conns[worker].send(("register", token, clients))
         self._receive(worker)
 
@@ -207,15 +236,35 @@ class WorkerPool:
         it was computed on; shipping batches every round would roughly
         double the steady-state IPC for nothing.
         """
+        tel = self.telemetry
+        if tel.enabled:
+            start = time.perf_counter()
         self._weights_view[:] = weights
+        if tel.enabled:
+            tel.count("pool.weights_broadcast_seconds",
+                      time.perf_counter() - start)
         by_worker: dict[int, list[int]] = {}
         for cid in client_ids:
             by_worker.setdefault(self.worker_of(cid), []).append(cid)
         for worker, cids in by_worker.items():
+            if tel.enabled:
+                tel.count(
+                    "pool.ipc_bytes_out",
+                    len(pickle.dumps(("grads", token, cids, want_batches))),
+                )
+                tel.count(f"pool.worker{worker}.requests")
+                tel.count(f"pool.worker{worker}.clients_stepped", len(cids))
             self._conns[worker].send(("grads", token, cids, want_batches))
         results = {}
         for worker in by_worker:
-            for cid, grad, batch in self._receive(worker):
+            payload = self._receive(worker)
+            if tel.enabled:
+                tel.count("pool.ipc_bytes_back", sum(
+                    grad.nbytes
+                    + (batch[0].nbytes + batch[1].nbytes if batch else 0)
+                    for _, grad, batch in payload
+                ))
+            for cid, grad, batch in payload:
                 results[cid] = (grad, batch)
         return [results[cid] for cid in client_ids]
 

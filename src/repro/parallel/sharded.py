@@ -163,6 +163,9 @@ class ShardedBackend(ExecutionBackend):
         pool = self._ensure_pool(model)
         if pool is None:
             return self._serial.compute_gradients(model, participants)
+        # Engines attach telemetry after construction; forward the current
+        # reference so pool-level IPC counters land in the same stream.
+        pool.telemetry = self.telemetry
         token = self._session_token(pool, model)
         self._register_missing(pool, token, participants)
         results = pool.compute_gradients(

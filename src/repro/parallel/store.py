@@ -43,6 +43,10 @@ class ResultsStore:
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
+        #: lifetime load() outcomes; the sweep report surfaces these as
+        #: first-class fields (no log grepping).
+        self.hits = 0
+        self.misses = 0
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -58,9 +62,12 @@ class ResultsStore:
         """
         path = self.path_for(key)
         try:
-            return json.loads(path.read_text())
+            payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
+            self.misses += 1
             return None
+        self.hits += 1
+        return payload
 
     def store(self, key: str, payload: dict) -> Path:
         """Atomically persist ``payload`` under ``key``."""

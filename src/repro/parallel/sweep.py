@@ -60,6 +60,9 @@ class SweepSpec:
     rounds: int | None = None
     #: ExperimentConfig.jobs for sharded units (0 = all usable CPUs)
     jobs_per_run: int = 0
+    #: optional JSONL trace destination applied to every unit
+    #: (observation-only; excluded from cache keys)
+    telemetry: str | None = None
 
     def __post_init__(self) -> None:
         for figure in self.figures:
@@ -98,12 +101,19 @@ class SweepUnit:
         )
 
     def key(self) -> str:
-        """Content address: figure + full config + artifact schema."""
+        """Content address: figure + full config + artifact schema.
+
+        Telemetry is excluded: it is observation-only (traced runs are
+        bit-identical to untraced), so a trace destination must neither
+        invalidate cached results nor fork the cache.
+        """
+        config = self.config.to_dict()
+        config.pop("telemetry", None)
         return content_key({
             "kind": "figure-run",
             "schema": SCHEMA_VERSION,
             "figure": self.figure,
-            "config": self.config.to_dict(),
+            "config": config,
         })
 
 
@@ -120,6 +130,10 @@ class UnitResult:
 class SweepReport:
     results: list[UnitResult] = field(default_factory=list)
     seconds: float = 0.0
+    #: ResultsStore.load outcomes over the whole sweep — first-class so
+    #: CI asserts on them directly instead of grepping the summary line.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def cached(self) -> int:
@@ -142,6 +156,8 @@ def expand(spec: SweepSpec) -> list[SweepUnit]:
                         overrides["num_rounds"] = spec.rounds
                     if backend == "sharded":
                         overrides["jobs"] = spec.jobs_per_run
+                    if spec.telemetry is not None:
+                        overrides["telemetry"] = spec.telemetry
                     config = scaled_config(scale, figure).with_overrides(
                         **overrides
                     )
@@ -313,7 +329,7 @@ def run_sweep(
             entry["seconds"] = seconds
             say(f"  computed {unit.run_id} in {seconds:.2f}s")
 
-    report = SweepReport()
+    report = SweepReport(cache_hits=store.hits, cache_misses=store.misses)
     out_dir = Path(out) if out is not None else None
     for entry in entries:
         unit, payload = entry["unit"], entry["payload"]

@@ -279,6 +279,9 @@ class ScenarioHooks(RoundHooks):
         self._pending_losses: (
             tuple[float, float, float | None, float | None] | None
         ) = None
+        #: clients with a past deadline drop, pending a recovery event
+        #: (tracked only while telemetry is enabled — observation only)
+        self._ever_dropped: set = set()
 
     # ------------------------------------------------------------------
     def after_local_steps(self, ctx: RoundContext) -> None:
@@ -399,6 +402,20 @@ class ScenarioHooks(RoundHooks):
             ]
         ctx.dropped_ids = verdict.dropped_ids
         self._close_time = verdict.close_time
+        tel = ctx.engine.telemetry
+        if tel.enabled:
+            recovered = [up.client_id for up in ctx.uploads
+                         if up.client_id in self._ever_dropped]
+            if recovered:
+                tel.event("recovery", round=ctx.round_index,
+                          client_ids=recovered)
+                self._ever_dropped.difference_update(recovered)
+            if verdict.dropped_ids:
+                tel.event("drop", round=ctx.round_index,
+                          client_ids=list(verdict.dropped_ids),
+                          deadline=self._played_deadline,
+                          close_time=verdict.close_time)
+                self._ever_dropped.update(verdict.dropped_ids)
         if self.stats is not None:
             self.stats.record_round(
                 ctx.round_index, len(cohort), len(ctx.uploads),
@@ -548,6 +565,22 @@ class ScenarioHooks(RoundHooks):
         if probe_up is not None and self._close_time is not None:
             probe_round_time_up = (
                 ctx.round_time - self._close_time + probe_up.close_time
+            )
+        tel = ctx.engine.telemetry
+        if tel.enabled:
+            tel.event(
+                "deadline",
+                round=ctx.round_index,
+                deadline=self._played_deadline,
+                probe_deadline=(
+                    probe.probe_deadline if probe is not None else None
+                ),
+                probe_deadline_up=(
+                    probe_up.probe_deadline if probe_up is not None else None
+                ),
+                arrived=len(ctx.uploads),
+                dropped=len(ctx.dropped_ids),
+                round_time=ctx.round_time,
             )
         schedule.observe(DeadlineObservation(
             deadline=self._played_deadline,

@@ -601,3 +601,119 @@ class TestEngineBehaviour:
         assert backend._pool is None
         with pytest.raises(RuntimeError, match="close"):
             trainer.step(12)
+
+
+# ----------------------------------------------------------------------
+# Telemetry bit-identity: traced runs equal untraced runs exactly
+# ----------------------------------------------------------------------
+ALL_BACKENDS = ("serial",) + FAST_BACKENDS
+
+
+class TestTelemetryBitIdentity:
+    """Telemetry is observation-only on every backend.
+
+    Enabling tracing must change nothing: histories, final weights, and
+    residuals are byte-equal to the untraced run (the no-RNG /
+    no-numeric-state invariant of :mod:`repro.obs`), including under a
+    deployment scenario with the online-adapted deadline — the
+    configuration with the most instrumented code paths (drop/recovery/
+    deadline events plus counterfactual replays).
+    """
+
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    def test_fl_run_identical_with_tracing(self, backend_name, tmp_path):
+        from repro.obs import ENGINE_PHASES, JsonlSink, Telemetry
+        from repro.obs import summarize_trace
+
+        factory = SPARSIFIER_FACTORIES["fab-top-k"]
+        plain = _fl_trainer(make_backend(backend_name), factory)
+        telemetry = Telemetry(sink=JsonlSink(tmp_path / "trace.jsonl"))
+        traced = _fl_trainer(make_backend(backend_name), factory,
+                             telemetry=telemetry)
+        hp = plain.run(8, k=12)
+        ht = traced.run(8, k=12)
+        telemetry.close()
+        assert history_rows(hp) == history_rows(ht)
+        assert contribution_rows(hp) == contribution_rows(ht)
+        np.testing.assert_array_equal(
+            plain.model.get_weights(), traced.model.get_weights()
+        )
+        for cp, ct in zip(plain.clients, traced.clients):
+            np.testing.assert_array_equal(cp.residual, ct.residual)
+        plain.close()
+        traced.close()
+        # The trace itself is schema-valid and covers every engine phase.
+        summary = summarize_trace(tmp_path / "trace.jsonl")
+        assert summary["rounds"] == 8
+        assert summary["phases"] == sorted(ENGINE_PHASES)
+
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    def test_scenario_adaptive_deadline_identical_with_tracing(
+        self, backend_name, tmp_path
+    ):
+        from repro.obs import JsonlSink, Telemetry, summarize_trace
+        from repro.scenarios import DeploymentScenario, ScenarioConfig
+        from repro.simulation.heterogeneous import HeterogeneousTimingModel
+
+        churn = ScenarioConfig(
+            availability="markov", p_drop=0.2, p_recover=0.6,
+            participants=5, over_selection=0.4,
+            deadline=(2.5, 2.5, 9.0), deadline_policy="adaptive",
+            slow_fraction=0.25, slow_factor=4.0, seed=5,
+        )
+
+        def build(backend, telemetry=None):
+            fed = _federation(seed=5)
+            model = make_mlp(64, 10, hidden=(12,), seed=5)
+            ids = [c.client_id for c in fed.clients]
+            profiles = churn.build_profiles(ids)
+            timing = HeterogeneousTimingModel(
+                model.dimension, comm_time=10.0, profiles=profiles
+            )
+            scenario = DeploymentScenario.build(churn, ids, timing, profiles)
+            return FLTrainer(
+                model, fed, FABTopK(), timing=timing, learning_rate=0.05,
+                batch_size=8, eval_every=3, seed=5, backend=backend,
+                scenario=scenario, telemetry=telemetry,
+            )
+
+        plain = build(make_backend(backend_name))
+        telemetry = Telemetry(sink=JsonlSink(tmp_path / "trace.jsonl"))
+        traced = build(make_backend(backend_name), telemetry=telemetry)
+        hp = plain.run(8, k=12)
+        ht = traced.run(8, k=12)
+        telemetry.close()
+        assert history_rows(hp) == history_rows(ht)
+        np.testing.assert_array_equal(
+            plain.model.get_weights(), traced.model.get_weights()
+        )
+        for cp, ct in zip(plain.clients, traced.clients):
+            np.testing.assert_array_equal(cp.residual, ct.residual)
+        plain.close()
+        traced.close()
+        summary = summarize_trace(tmp_path / "trace.jsonl")
+        assert summary["rounds"] == 8
+        assert summary["events"].get("deadline", 0) == 8
+
+    def test_adaptive_k_probe_events_identical_with_tracing(self, tmp_path):
+        from repro.obs import JsonlSink, Telemetry, summarize_trace
+
+        def build(telemetry=None):
+            fed = _federation()
+            model = make_mlp(64, 10, hidden=(12,), seed=5)
+            timing = TimingModel(dimension=model.dimension, comm_time=10.0)
+            policy = SignPolicy(
+                SignOGD(SearchInterval(2.0, float(model.dimension)))
+            )
+            return AdaptiveKTrainer(model, fed, FABTopK(), policy, timing,
+                                    learning_rate=0.05, batch_size=8,
+                                    eval_every=2, seed=5,
+                                    telemetry=telemetry)
+
+        telemetry = Telemetry(sink=JsonlSink(tmp_path / "trace.jsonl"))
+        traced = build(telemetry=telemetry)
+        assert history_rows(build().run(6)) == history_rows(traced.run(6))
+        telemetry.close()
+        summary = summarize_trace(tmp_path / "trace.jsonl")
+        assert summary["rounds"] == 6
+        assert summary["events"]["probe"] == 6

@@ -1,0 +1,464 @@
+"""Telemetry subsystem tests.
+
+Four layers of guarantees:
+
+1. **Schema** — every event type validates its required fields; unknown
+   types, missing fields, and unknown engine phases are rejected.
+2. **Sinks and facade** — JSONL append semantics, numpy coercion,
+   counter/gauge/span/flush behaviour, and the no-op ``NullTelemetry``.
+3. **Zero-overhead-when-disabled** — a structural proof: a raising
+   ``NullTelemetry`` subclass rides through full training runs without
+   a single telemetry method doing work, so the disabled path is exactly
+   one attribute check per site.
+4. **End-to-end traces** — a traced run emits schema-valid events
+   covering every engine phase, the trace-report rollup matches a golden
+   snapshot of the deterministic fields, and pool/virtual counters
+   surface from the sharded backend and virtual federations.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.data.partition import partition_iid
+from repro.data.synthetic import make_femnist_like, make_gaussian_blobs
+from repro.data.virtual import VirtualFederation
+from repro.fl.trainer import FLTrainer
+from repro.nn.models import make_logistic, make_mlp
+from repro.obs import (
+    ENGINE_PHASES,
+    EVENT_TYPES,
+    NULL_TELEMETRY,
+    JsonlSink,
+    MemoryAggregator,
+    NullTelemetry,
+    Telemetry,
+    configure_cli_logging,
+    encode_event,
+    format_trace_report,
+    get_logger,
+    open_telemetry,
+    summarize_trace,
+    validate_event,
+)
+from repro.parallel.sharded import ShardedBackend
+from repro.simulation.timing import TimingModel
+from repro.sparsify.fab_topk import FABTopK
+
+GOLDEN_REPORT = (
+    pathlib.Path(__file__).parent / "data" / "golden_trace_report.json"
+)
+
+#: one schema-valid instance of every event type
+VALID_EVENTS = {
+    "round": {
+        "type": "round", "round": 1, "k": 9.0, "round_time": 2.0,
+        "cumulative_time": 2.0, "participants": 6, "uplink_elements": 9,
+        "downlink_elements": 9, "uplink_bytes": 864, "downlink_bytes": 144,
+        "wall_seconds": 0.01, "phases": {"sample": 0.001, "eval": 0.002},
+    },
+    "span": {"type": "span", "name": "collect", "seconds": 0.5},
+    "drop": {"type": "drop", "round": 3, "client_ids": [1, 4],
+             "deadline": 2.5, "close_time": 2.5},
+    "recovery": {"type": "recovery", "round": 5, "client_ids": [4]},
+    "probe": {"type": "probe", "round": 2, "k_continuous": 14.2,
+              "probe_k": 15, "loss_prev": 1.2, "loss_now": 1.1,
+              "loss_probe": 1.05},
+    "deadline": {"type": "deadline", "round": 4, "deadline": 3.0,
+                 "arrived": 5, "dropped": 1, "round_time": 3.0},
+    "counters": {"type": "counters", "counters": {"pool.ipc_bytes_out": 10},
+                 "gauges": {}},
+}
+
+
+class TestEventSchema:
+    @pytest.mark.parametrize("kind", sorted(EVENT_TYPES))
+    def test_valid_event_passes(self, kind):
+        validate_event(VALID_EVENTS[kind])
+
+    @pytest.mark.parametrize("kind", sorted(EVENT_TYPES))
+    def test_extra_fields_allowed(self, kind):
+        validate_event({**VALID_EVENTS[kind], "figure": "fig4",
+                        "method": "fab-top-k"})
+
+    @pytest.mark.parametrize("kind", sorted(EVENT_TYPES))
+    def test_missing_required_field_rejected(self, kind):
+        for field in EVENT_TYPES[kind]:
+            broken = dict(VALID_EVENTS[kind])
+            del broken[field]
+            with pytest.raises(ValueError, match="missing"):
+                validate_event(broken)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown event type"):
+            validate_event({"type": "mystery"})
+        with pytest.raises(ValueError, match="unknown event type"):
+            validate_event({"name": "no type at all"})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="must be a dict"):
+            validate_event(["round"])
+
+    def test_unknown_phase_rejected(self):
+        broken = dict(VALID_EVENTS["round"])
+        broken["phases"] = {"sample": 0.1, "quantum_leap": 0.2}
+        with pytest.raises(ValueError, match="unknown engine phases"):
+            validate_event(broken)
+        broken["phases"] = [0.1, 0.2]
+        with pytest.raises(ValueError, match="phases"):
+            validate_event(broken)
+
+
+class TestSinks:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.write(VALID_EVENTS["span"])
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0]) == VALID_EVENTS["span"]
+
+    def test_jsonl_appends_across_instances(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for _ in range(2):
+            sink = JsonlSink(path)
+            sink.write(VALID_EVENTS["recovery"])
+            sink.close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_jsonl_creates_parent_directories(self, tmp_path):
+        sink = JsonlSink(tmp_path / "deep" / "down" / "trace.jsonl")
+        sink.write(VALID_EVENTS["span"])
+        sink.close()
+        assert (tmp_path / "deep" / "down" / "trace.jsonl").exists()
+
+    def test_encode_event_coerces_numpy_scalars(self):
+        line = encode_event({
+            "type": "span", "name": "x",
+            "seconds": np.float64(0.25), "count": np.int64(3),
+        })
+        assert json.loads(line) == {
+            "type": "span", "name": "x", "seconds": 0.25, "count": 3,
+        }
+
+    def test_encode_event_rejects_unserializable(self):
+        with pytest.raises(TypeError, match="not JSON serializable"):
+            encode_event({"type": "span", "obj": object()})
+
+    def test_aggregator_rollup(self):
+        agg = MemoryAggregator()
+        for kind in sorted(EVENT_TYPES):
+            agg.add(VALID_EVENTS[kind])
+        summary = agg.summary()
+        assert summary["events"] == {k: 1 for k in sorted(EVENT_TYPES)}
+        assert summary["rounds"] == 1
+        assert summary["phases"] == ["eval", "sample"]
+        assert summary["uplink_elements"] == 9
+        assert summary["uplink_bytes"] == 864
+        assert summary["downlink_bytes"] == 144
+        assert summary["dropped_uploads"] == 2
+        assert summary["recovered_clients"] == 1
+        assert summary["span_seconds"] == {"collect": 0.5}
+        assert summary["counters"] == {"pool.ipc_bytes_out": 10}
+
+
+class TestTelemetryFacade:
+    def test_counters_accumulate_gauges_overwrite(self):
+        tel = Telemetry()
+        tel.count("a")
+        tel.count("a", 4)
+        tel.gauge("g", 1.0)
+        tel.gauge("g", 2.5)
+        assert tel.counters == {"a": 5}
+        assert tel.gauges == {"g": 2.5}
+
+    def test_annotations_ride_on_events(self):
+        tel = Telemetry()
+        tel.annotate(figure="fig4", method="fab-top-k")
+        tel.event("span", name="x", seconds=0.1)
+        assert tel.aggregator.event_counts == {"span": 1}
+        # Events are validated before reaching the aggregator/sink.
+        with pytest.raises(ValueError, match="missing"):
+            tel.event("span", name="unfinished")
+
+    def test_span_times_a_block(self):
+        tel = Telemetry()
+        with tel.span("work", figure="fig1"):
+            pass
+        assert tel.aggregator.span_seconds["work"] >= 0.0
+
+    def test_flush_snapshots_and_resets(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tel = Telemetry(sink=JsonlSink(path))
+        tel.count("pool.ipc_bytes_out", 128)
+        tel.gauge("workers", 2)
+        tel.flush()
+        assert tel.counters == {} and tel.gauges == {}
+        tel.flush()  # empty flush emits nothing
+        tel.count("pool.ipc_bytes_out", 64)
+        tel.close()
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [e["type"] for e in events] == ["counters", "counters"]
+        assert events[0]["counters"] == {"pool.ipc_bytes_out": 128}
+        assert events[0]["gauges"] == {"workers": 2}
+        # Delta semantics: the second snapshot never double-counts.
+        assert events[1]["counters"] == {"pool.ipc_bytes_out": 64}
+        # The aggregator sums the deltas back to the true total.
+        assert tel.aggregator.counters == {"pool.ipc_bytes_out": 192}
+
+    def test_open_telemetry(self, tmp_path):
+        assert open_telemetry(None) is NULL_TELEMETRY
+        assert open_telemetry("") is NULL_TELEMETRY
+        tel = open_telemetry(str(tmp_path / "trace.jsonl"))
+        assert tel.enabled
+        tel.close()
+
+    def test_null_telemetry_is_inert(self):
+        null = NullTelemetry()
+        assert not null.enabled
+        null.count("x")
+        null.gauge("x", 1.0)
+        null.event("round")  # no validation, no storage
+        null.annotate(figure="fig1")
+        with null.span("x"):
+            pass
+        null.flush()
+        null.close()
+        assert not NULL_TELEMETRY.enabled
+
+
+class _RaisingNull(NullTelemetry):
+    """Disabled telemetry that fails loudly if any site does work anyway.
+
+    ``enabled`` stays False; every recording method raises.  A training
+    run that completes with this attached proves the disabled path never
+    calls past the ``telemetry.enabled`` check.
+    """
+
+    def _forbidden(self, *args, **kwargs):
+        raise AssertionError("telemetry work on the disabled path")
+
+    count = gauge = event = _forbidden
+
+
+def _trainer(backend, telemetry=None, seed=5):
+    ds = make_femnist_like(num_writers=6, samples_per_writer=16,
+                           num_classes=8, image_size=8, classes_per_writer=4,
+                           seed=seed)
+    fed = partition_iid(ds, num_clients=6, seed=seed)
+    model = make_mlp(64, 8, hidden=(10,), seed=seed)
+    timing = TimingModel(dimension=model.dimension, comm_time=10.0)
+    return FLTrainer(model, fed, FABTopK(), timing=timing,
+                     learning_rate=0.05, batch_size=8, eval_every=3,
+                     seed=seed, backend=backend, telemetry=telemetry)
+
+
+class TestDisabledPath:
+    @pytest.mark.parametrize("backend", ["serial", "vectorized"])
+    def test_disabled_run_does_no_telemetry_work(self, backend):
+        trainer = _trainer(backend, telemetry=_RaisingNull())
+        trainer.run(4, k=10)
+        trainer.close()
+
+    def test_disabled_run_does_no_telemetry_work_sharded(self):
+        trainer = _trainer(ShardedBackend(jobs=2), telemetry=_RaisingNull())
+        trainer.run(3, k=10)
+        trainer.close()
+
+    def test_default_engine_telemetry_is_the_shared_null(self):
+        trainer = _trainer("serial")
+        assert trainer.engine.telemetry is NULL_TELEMETRY
+        trainer.close()
+
+
+def _golden_traced_run(trace_path):
+    """The pinned deterministic run behind the golden trace report."""
+    telemetry = Telemetry(sink=JsonlSink(trace_path))
+    ds = make_gaussian_blobs(num_samples=240, num_classes=4, feature_dim=12,
+                             separation=3.0, seed=7)
+    fed = partition_iid(ds, num_clients=6, seed=7)
+    model = make_logistic(12, 4, seed=7)
+    timing = TimingModel(dimension=model.dimension, comm_time=8.0)
+    trainer = FLTrainer(model, fed, FABTopK(), timing=timing,
+                        learning_rate=0.1, batch_size=8, eval_every=3,
+                        seed=7, telemetry=telemetry)
+    trainer.run(6, k=9)
+    telemetry.close()
+    return trainer
+
+
+def _deterministic_subset(summary):
+    """The summary minus its wall-clock fields (which vary run to run)."""
+    return {
+        key: value for key, value in summary.items()
+        if key not in ("phase_seconds", "wall_seconds", "span_seconds")
+    }
+
+
+class TestTraceReport:
+    def test_traced_run_matches_golden_report(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        _golden_traced_run(trace)
+        summary = summarize_trace(trace)
+        golden = json.loads(GOLDEN_REPORT.read_text())
+        assert _deterministic_subset(summary) == golden
+
+    def test_round_events_cover_every_engine_phase(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        _golden_traced_run(trace)
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        rounds = [e for e in events if e["type"] == "round"]
+        assert len(rounds) == 6
+        for event in rounds:
+            assert set(event["phases"]) == set(ENGINE_PHASES)
+            assert all(s >= 0.0 for s in event["phases"].values())
+            # NaN losses serialize as null, never as bare NaN.
+            assert event["loss"] is None or isinstance(event["loss"], float)
+
+    def test_report_renders_the_rollup(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        _golden_traced_run(trace)
+        report = format_trace_report(summarize_trace(trace))
+        assert "trace summary" in report
+        assert "rounds:   6" in report
+        assert "phase wall-clock" in report
+        for phase in ENGINE_PHASES:
+            assert phase in report
+        assert "uplink:" in report and "downlink:" in report
+
+    def test_summarize_rejects_corrupt_lines(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span", "name": "x", "seconds": 0.1}\n'
+                       "not json\n")
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            summarize_trace(bad)
+        bad.write_text('{"type": "span", "name": "only"}\n')
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            summarize_trace(bad)
+
+    def test_trace_report_cli(self, tmp_path, capsys):
+        from repro import cli
+
+        trace = tmp_path / "trace.jsonl"
+        _golden_traced_run(trace)
+        assert cli.main(["trace-report", str(trace)]) == 0
+        assert "trace summary" in capsys.readouterr().out
+        assert cli.main(["trace-report", str(trace), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["rounds"] == 6
+
+
+class TestInstrumentationCounters:
+    def test_sharded_pool_counters_surface(self, tmp_path):
+        telemetry = Telemetry(sink=JsonlSink(tmp_path / "trace.jsonl"))
+        trainer = _trainer(ShardedBackend(jobs=2), telemetry=telemetry)
+        trainer.run(3, k=10)
+        trainer.close()
+        telemetry.close()
+        counters = telemetry.aggregator.counters
+        assert counters["pool.ipc_bytes_out"] > 0
+        assert counters["pool.ipc_bytes_back"] > 0
+        assert counters["pool.model_broadcast_seconds"] >= 0.0
+        assert counters["pool.weights_broadcast_seconds"] >= 0.0
+        assert counters["pool.register_array"] == 6
+        requests = [name for name in counters
+                    if name.startswith("pool.worker") and
+                    name.endswith(".requests")]
+        assert len(requests) == 2
+        assert sum(counters[name] for name in requests) == 3 * 2
+
+    def test_virtual_lru_counters_surface(self):
+        telemetry = Telemetry()
+        fed = VirtualFederation.build(
+            population=10, cache_size=2, samples_per_client=6,
+            num_classes=4, image_size=8, classes_per_writer=2, seed=3,
+        )
+        fed.telemetry = telemetry
+        for cid in range(4):  # 4 regenerations, 2 evictions at cache_size=2
+            fed.client_dataset(cid).x
+        fed.client_dataset(3).x  # resident: pure LRU hit
+        counters = telemetry.counters
+        assert counters["virtual.regenerate"] == 4
+        assert counters["virtual.lru_evict"] == 2
+        assert counters["virtual.lru_hit"] >= 1
+
+    def test_hibernation_spill_and_restore_counted(self, tmp_path):
+        from repro.fl.engine import RoundEngine
+        from repro.simulation.heterogeneous import ClientSampler
+
+        telemetry = Telemetry()
+        ds = make_gaussian_blobs(num_samples=160, num_classes=4,
+                                 feature_dim=12, seed=3)
+        fed = partition_iid(ds, num_clients=8, seed=3)
+        model = make_logistic(12, 4, seed=3)
+        timing = TimingModel(dimension=model.dimension, comm_time=8.0)
+        engine = RoundEngine(
+            model=model, federation=fed, sparsifier=FABTopK(), timing=timing,
+            learning_rate=0.1, batch_size=8, eval_every=100,
+            eval_max_samples=200, backend="serial",
+            sampler=ClientSampler([c.client_id for c in fed.clients],
+                                  count=2, seed=3),
+            spill_after=2, telemetry=telemetry, seed=3,
+        )
+        for _ in range(12):
+            engine.run_round(k=6)
+        assert telemetry.counters.get("engine.residual_spill", 0) > 0
+        assert telemetry.counters.get("engine.residual_restore", 0) > 0
+
+
+class TestLogging:
+    def test_package_logger_has_null_handler(self):
+        import logging
+
+        import repro  # noqa: F401 — import installs the handler
+
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler)
+                   for h in root.handlers)
+
+    def test_get_logger_names(self):
+        assert get_logger().name == "repro"
+        assert get_logger("cli").name == "repro.cli"
+
+    def test_configure_cli_logging_is_idempotent(self):
+        import logging
+
+        root = logging.getLogger("repro")
+        before = list(root.handlers)
+        configure_cli_logging(verbose=False)
+        configure_cli_logging(verbose=True)
+        added = [h for h in root.handlers if h not in before]
+        assert len(added) <= 1
+        assert root.level == logging.DEBUG
+        configure_cli_logging(verbose=False)
+        assert root.level == logging.INFO
+
+
+class TestConfigThreading:
+    def test_config_round_trips_telemetry(self):
+        from repro.experiments.config import ExperimentConfig
+
+        config = ExperimentConfig.smoke().with_overrides(
+            telemetry="results/trace.jsonl"
+        )
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
+        with pytest.raises(ValueError, match="telemetry"):
+            ExperimentConfig.smoke().with_overrides(telemetry=7)
+
+    def test_cli_exposes_telemetry_flags(self):
+        from repro import cli
+
+        parser = cli.build_parser()
+        args = parser.parse_args(
+            ["scenario", "--telemetry", "t.jsonl", "--verbose"]
+        )
+        assert args.telemetry == "t.jsonl"
+        assert args.verbose
+        args = parser.parse_args(["sweep", "--telemetry", "t.jsonl"])
+        assert args.telemetry == "t.jsonl"
+        args = parser.parse_args(["trace-report", "t.jsonl", "--json"])
+        assert args.trace_file == "t.jsonl"
+        assert args.json

@@ -492,16 +492,37 @@ class TestSweep:
         out = tmp_path / "out"
         cold = run_sweep(spec, cache_dir=cache, out=out, jobs=1)
         assert (cold.computed, cold.cached) == (1, 0)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 1)
         artifact = out / "fig6_smoke_seed0_serial" / "fig6_k_traces.json"
         assert artifact.exists()
 
         artifact.unlink()
         warm = run_sweep(spec, cache_dir=cache, out=out, jobs=1)
         assert (warm.computed, warm.cached) == (0, 1)
+        assert (warm.cache_hits, warm.cache_misses) == (1, 0)
         assert artifact.exists()  # re-exported from the store
 
         forced = run_sweep(spec, cache_dir=cache, jobs=1, force=True)
         assert (forced.computed, forced.cached) == (1, 0)
+        # force skips the load entirely: neither a hit nor a miss.
+        assert (forced.cache_hits, forced.cache_misses) == (0, 0)
+
+    def test_telemetry_never_forks_the_cache(self, tmp_path):
+        spec = SweepSpec(figures=("fig6",), scales=("smoke",), rounds=3)
+        traced = SweepSpec(figures=("fig6",), scales=("smoke",), rounds=3,
+                           telemetry=str(tmp_path / "trace.jsonl"))
+        (plain_unit,) = expand(spec)
+        (traced_unit,) = expand(traced)
+        assert traced_unit.config.telemetry == str(tmp_path / "trace.jsonl")
+        assert plain_unit.key() == traced_unit.key()
+
+        cache = tmp_path / "cache"
+        cold = run_sweep(spec, cache_dir=cache, jobs=1)
+        assert (cold.computed, cold.cached) == (1, 0)
+        # A traced re-run of the same grid hits the untraced run's cache.
+        warm = run_sweep(traced, cache_dir=cache, jobs=1)
+        assert (warm.computed, warm.cached) == (0, 1)
+        assert (warm.cache_hits, warm.cache_misses) == (1, 0)
 
     def test_run_sweep_pool_matches_inline(self, tmp_path):
         spec = SweepSpec(figures=("fig1", "fig6"), scales=("smoke",),
