@@ -1,0 +1,159 @@
+"""Robust-aggregation overhead: Byzantine defenses vs the plain mean.
+
+A robust aggregator replaces one ``np.add.at`` accumulation with a
+per-coordinate order statistic (one lexsort over the round's ragged
+upload hits plus cumulative-sum arithmetic — see
+``repro.fl.robust._CoordinateView``), so its cost must stay a thin
+per-round constant over the mean path.  This benchmark measures exactly
+that: rounds/second of the same attacked federation under each
+aggregator, in the sparse (top-k) and dense (k = D) upload regimes —
+dense rounds are where the statistic has the most work to do, sparse
+rounds are the paper's operating point.
+
+``aggregation_overhead`` per aggregator is ``mean_rate / rate − 1`` in
+the same regime: the wall-clock premium of the defense.  The attack
+itself (sign-flip corruption of designated uploads, a parent-side copy
+of each poisoned payload) rides along in every cell including "mean",
+so the comparison isolates aggregation, not corruption.
+
+Run under the benchmark harness::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_adversary.py --benchmark-only -s
+
+or standalone, appending to ``BENCH_adversary.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_adversary.py
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from _hostmeta import host_metadata
+from repro.data.partition import partition_by_writer
+from repro.data.synthetic import make_femnist_like
+from repro.fl.trainer import FLTrainer
+from repro.nn.models import make_mlp
+from repro.scenarios import DeploymentScenario, ScenarioConfig
+from repro.simulation.timing import TimingModel
+from repro.sparsify.fab_topk import FABTopK
+
+NUM_CLIENTS = 24
+MEASURE_ROUNDS = 60
+AGGREGATORS = ("mean", "trimmed_mean", "median", "cosine")
+REGIMES = ("sparse", "dense")
+BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_adversary.json"
+)
+
+
+def build_trainer(aggregator: str):
+    """Bench-scale federation under a 25% sign-flip attack.
+
+    Availability is "always" with no deadline so every round aggregates
+    the full 24-upload cohort — the aggregation path is the only thing
+    the cells vary.
+    """
+    ds = make_femnist_like(
+        num_writers=NUM_CLIENTS, samples_per_writer=25, num_classes=16,
+        image_size=10, classes_per_writer=5, seed=0,
+    )
+    federation = partition_by_writer(ds, seed=0)
+    model = make_mlp(100, 16, hidden=(16,), seed=0)
+    config = ScenarioConfig(
+        availability="always",
+        adversary="sign_flip",
+        adversary_fraction=0.25,
+        aggregator=aggregator,
+        seed=0,
+    )
+    ids = [c.client_id for c in federation.clients]
+    profiles = config.build_profiles(ids)
+    timing = TimingModel(dimension=model.dimension, comm_time=10.0)
+    scenario = DeploymentScenario.build(config, ids, timing, profiles)
+    trainer = FLTrainer(
+        model, federation, FABTopK(), timing=timing, learning_rate=0.05,
+        batch_size=16, eval_every=1_000_000, seed=0, scenario=scenario,
+    )
+    return trainer, scenario
+
+
+def round_k(trainer: FLTrainer, regime: str) -> int:
+    if regime == "dense":
+        return trainer.model.dimension
+    return max(2, int(0.4 * trainer.model.dimension / NUM_CLIENTS))
+
+
+def measure(aggregator: str, regime: str, rounds: int = MEASURE_ROUNDS,
+            repeats: int = 3):
+    """Best-of-``repeats`` rounds/second plus the corruption count."""
+    trainer, scenario = build_trainer(aggregator)
+    k = round_k(trainer, regime)
+    trainer.step(k)  # warmup (round 1 always evaluates)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            trainer.step(k)
+        best = min(best, time.perf_counter() - start)
+    corrupted = sum(scenario.stats.corrupted_by_client.values())
+    return rounds / best, corrupted
+
+
+@pytest.mark.parametrize("regime", REGIMES)
+@pytest.mark.parametrize("aggregator", AGGREGATORS)
+def test_adversary_round_throughput(benchmark, aggregator, regime):
+    trainer, _ = build_trainer(aggregator)
+    k = round_k(trainer, regime)
+    trainer.step(k)  # warmup
+    benchmark(trainer.step, k)
+
+
+@pytest.mark.parametrize("aggregator", AGGREGATORS)
+def test_attack_actually_fires(aggregator):
+    """The overhead comparison is only meaningful under live corruption."""
+    trainer, scenario = build_trainer(aggregator)
+    trainer.run(3, k=round_k(trainer, "sparse"))
+    assert scenario.stats.corrupted_by_client
+
+
+def main() -> None:
+    report = {"host": host_metadata(), "results": []}
+    for regime in REGIMES:
+        rates, corrupted = {}, {}
+        for aggregator in AGGREGATORS:
+            rates[aggregator], corrupted[aggregator] = measure(
+                aggregator, regime
+            )
+        entry = {
+            "regime": regime,
+            "num_clients": NUM_CLIENTS,
+            "rounds": MEASURE_ROUNDS,
+            "adversary_fraction": 0.25,
+            "rounds_per_second": {a: round(r, 2) for a, r in rates.items()},
+            "aggregation_overhead": {
+                a: round(rates["mean"] / rates[a] - 1.0, 4)
+                for a in AGGREGATORS if a != "mean"
+            },
+            "corrupted_uploads": corrupted["mean"],
+        }
+        report["results"].append(entry)
+        premiums = " | ".join(
+            f"{a} {100 * entry['aggregation_overhead'][a]:+5.1f}%"
+            for a in AGGREGATORS if a != "mean"
+        )
+        print(
+            f"{regime:>6}: mean {rates['mean']:7.1f} r/s | {premiums}"
+        )
+    history = []
+    if BENCH_PATH.exists():
+        history = json.loads(BENCH_PATH.read_text())
+    history.append(report)
+    BENCH_PATH.write_text(json.dumps(history, indent=1))
+    print(f"appended to {BENCH_PATH}")
+
+
+if __name__ == "__main__":
+    main()

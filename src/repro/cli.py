@@ -9,6 +9,8 @@ Usage::
     python -m repro.cli sweep --scale smoke --jobs 2
     python -m repro.cli scenario --deadline 2.5 2.5 9 --over-selection 0.3
     python -m repro.cli scenario --deadline-policy adaptive
+    python -m repro.cli scenario --adversary-fraction 0.25 --aggregator median
+    python -m repro.cli adversary --adversary-kind sign_flip
     python -m repro.cli list
 
 Each figure command runs the corresponding experiment driver
@@ -31,6 +33,13 @@ scenario`.  ``--deadline-policy {fixed,cycling,adaptive}`` selects how
 the deadline evolves — ``adaptive`` learns it online (the dual of the
 learned k) — and the run also writes a fixed-vs-cycling-vs-adaptive
 comparison panel (``scenario_deadline_policies``).
+
+``adversary`` runs the Byzantine attack x defense panel
+(:mod:`repro.experiments.adversary`): the same FAB-top-k trainer per
+(adversary fraction x aggregator) cell, in the sparse and dense upload
+regimes, over an always-available population by default (add scenario
+flags to attack under churn).  ``scenario`` accepts the same
+``--adversary-*``/``--aggregator`` flags for a single attacked run.
 
 ``sweep`` runs a whole grid of figure configurations
 (``--figures × --scales × --seeds × --backends``) across a process pool
@@ -65,7 +74,9 @@ from repro.parallel.sweep import (
     run_sweep,
 )
 
-FIGURES = ("fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "scenario")
+FIGURES = (
+    "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "scenario", "adversary",
+)
 
 logger = get_logger("cli")
 
@@ -173,14 +184,55 @@ def _add_scenario_flags(p: argparse.ArgumentParser) -> None:
                         "write a scenario x alpha panel "
                         "(scenario_dirichlet_alpha); eager "
                         "federations only")
+    _add_adversary_flags(p)
 
 
-def _scenario_overrides(args, seed: int) -> dict:
-    """The ScenarioConfig dict the scenario subcommand's flags describe."""
+def _add_adversary_flags(p: argparse.ArgumentParser) -> None:
+    """Byzantine-attack + robust-aggregation knobs.
+
+    Shared by ``scenario`` (one attack x defense run under churn) and
+    ``adversary`` (the attack x defense panel, where the kind/scale set
+    the mounted attack and the fraction/aggregator of each cell are
+    swept by the driver).
+    """
+    from repro.fl.robust import AGGREGATOR_KINDS
+    from repro.scenarios import ADVERSARY_KINDS
+
+    p.add_argument("--adversary-kind", default=None, choices=ADVERSARY_KINDS,
+                   help="Byzantine attack mounted by designated clients "
+                        "(default: none for scenario, sign_flip for the "
+                        "adversary panel)")
+    p.add_argument("--adversary-fraction", type=float, default=None,
+                   help="probability each client is Byzantine (one "
+                        "seeded draw per client); a positive value "
+                        "implies --adversary-kind sign_flip")
+    p.add_argument("--adversary-scale", type=float, default=None,
+                   help="attack magnitude (sign-flip/scale multiplier, "
+                        "noise amplitude in upload-RMS units)")
+    p.add_argument("--aggregator", default=None, choices=AGGREGATOR_KINDS,
+                   help="server aggregation rule; mean is the paper's "
+                        "weighted mean, the others are "
+                        "Byzantine-tolerant")
+    p.add_argument("--trim-fraction", type=float, default=None,
+                   help="per-coordinate trim rate of the trimmed_mean "
+                        "aggregator")
+
+
+def _scenario_overrides(
+    args, seed: int, base: "ScenarioConfig | None" = None
+) -> dict:
+    """The ScenarioConfig dict the subcommand's flags describe.
+
+    ``base`` is the preset unset flags fall back to: the churn regime
+    for ``scenario``, an always-available population for ``adversary``
+    (the panel isolates the Byzantine axis).
+    """
     from repro.scenarios import ScenarioConfig
     from repro.scenarios.availability import load_trace_json
 
-    scenario = ScenarioConfig.default_churn().with_overrides(seed=seed)
+    if base is None:
+        base = ScenarioConfig.default_churn()
+    scenario = base.with_overrides(seed=seed)
     overrides = {}
     if getattr(args, "population", None) and args.participants is None:
         # Population-scale runs must name a cohort: participants=0
@@ -198,10 +250,21 @@ def _scenario_overrides(args, seed: int) -> dict:
         ("slow_factor", "slow_factor"),
         ("deadline_policy", "deadline_policy"),
         ("deadline_min", "deadline_min"), ("deadline_max", "deadline_max"),
+        ("adversary_kind", "adversary"),
+        ("adversary_fraction", "adversary_fraction"),
+        ("adversary_scale", "adversary_scale"),
+        ("aggregator", "aggregator"), ("trim_fraction", "trim_fraction"),
     ):
         value = getattr(args, flag)
         if value is not None:
             overrides[field_name] = value
+    if (
+        overrides.get("adversary_fraction", 0.0) > 0.0
+        and "adversary" not in overrides
+        and scenario.adversary == "none"
+    ):
+        # A positive fraction needs an attack; default to the headline one.
+        overrides["adversary"] = "sign_flip"
     if args.deadline is not None:
         overrides["deadline"] = (
             args.deadline[0] if len(args.deadline) == 1
@@ -245,14 +308,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available figure commands")
     for figure in FIGURES:
-        help_text = (
-            "run a deployment scenario (availability churn + deadline-"
-            "gated partial aggregation): fixed-k vs adaptive-k"
-            if figure == "scenario"
-            else f"reproduce {figure} of the paper"
-        )
-        p = sub.add_parser(figure, help=help_text)
         if figure == "scenario":
+            help_text = (
+                "run a deployment scenario (availability churn + deadline-"
+                "gated partial aggregation): fixed-k vs adaptive-k"
+            )
+        elif figure == "adversary":
+            help_text = (
+                "run the Byzantine attack x defense panel: convergence "
+                "per (adversary fraction x aggregator), sparse and dense"
+            )
+        else:
+            help_text = f"reproduce {figure} of the paper"
+        p = sub.add_parser(figure, help=help_text)
+        if figure in ("scenario", "adversary"):
             _add_scenario_flags(p)
         p.add_argument("--out", default="results", help="output directory")
         p.add_argument("--scale", default="bench", choices=SCALE_NAMES)
@@ -421,6 +490,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "scenario":
         config = config.with_overrides(
             scenario=_scenario_overrides(args, config.seed)
+        )
+    elif args.command == "adversary":
+        from repro.scenarios import ScenarioConfig
+
+        config = config.with_overrides(
+            scenario=_scenario_overrides(
+                args, config.seed,
+                base=ScenarioConfig(availability="always"),
+            )
         )
 
     out = Path(args.out)

@@ -315,6 +315,7 @@ class RoundEngine:
         spill_after: int = 0,
         telemetry=None,
         seed: int = 0,
+        aggregator=None,
     ) -> None:
         if learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
@@ -342,7 +343,9 @@ class RoundEngine:
             if getattr(federation, "is_virtual", False):
                 federation.telemetry = self.telemetry
         self._pending_trace: dict | None = None
-        self.server = Server(model.dimension)
+        #: optional RobustAggregator (Byzantine-tolerant b_j); None keeps
+        #: the paper's weighted-mean path byte-for-byte.
+        self.server = Server(model.dimension, aggregator=aggregator)
         #: clients spill dense state after this many idle rounds (0 = off)
         self.spill_after = spill_after
         self._batch_size = batch_size

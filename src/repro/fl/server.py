@@ -22,18 +22,26 @@ from repro.sparsify.base import SparseVector
 
 
 class Server:
-    """Stateless aggregator for the synchronized-GS protocol."""
+    """Aggregator for the synchronized-GS protocol.
 
-    def __init__(self, dimension: int) -> None:
+    Stateless by default (the paper's weighted mean).  An optional
+    :class:`~repro.fl.robust.RobustAggregator` replaces the mean with a
+    Byzantine-tolerant statistic; with ``aggregator=None`` the original
+    mean path runs byte-for-byte unchanged.
+    """
+
+    def __init__(self, dimension: int, aggregator=None) -> None:
         if dimension < 1:
             raise ValueError("dimension must be positive")
         self.dimension = dimension
+        self.aggregator = aggregator
 
     def aggregate(
         self,
         uploads: list[ClientUpload],
         selection: SelectionResult,
         total_weight: float | None = None,
+        commit: bool = True,
     ) -> DownlinkMessage:
         """Aggregate uploaded residuals over the selected index set.
 
@@ -51,7 +59,20 @@ class Server:
         instead pass the *sampled cohort's* total weight, so an update
         missing some uploads is scaled down rather than renormalized
         (unbiased with respect to the cohort).
+
+        ``commit`` only matters with a robust aggregator: counterfactual
+        re-aggregations (deadline probes) pass ``commit=False`` so a
+        stateful aggregator's reputation/flag state never observes a
+        round that didn't happen.
         """
+        if self.aggregator is not None:
+            return self.aggregator.aggregate(
+                uploads,
+                selection,
+                self.dimension,
+                total_weight=total_weight,
+                commit=commit,
+            )
         if not uploads:
             raise ValueError("no uploads to aggregate")
         if total_weight is None:

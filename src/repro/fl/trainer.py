@@ -111,7 +111,9 @@ class FLTrainer(EngineFacade):
         telemetry=None,
         seed: int = 0,
     ) -> None:
-        sampler, scenario_hooks = _apply_scenario(scenario, sampler)
+        sampler, scenario_hooks, aggregator = _apply_scenario(
+            scenario, sampler
+        )
         self.engine = RoundEngine(
             model=model,
             federation=federation,
@@ -131,6 +133,7 @@ class FLTrainer(EngineFacade):
             spill_after=spill_after,
             telemetry=telemetry,
             seed=seed,
+            aggregator=aggregator,
         )
 
     # ------------------------------------------------------------------
@@ -175,19 +178,22 @@ class FLTrainer(EngineFacade):
 
 
 def _apply_scenario(scenario, sampler):
-    """Resolve a deployment scenario into (sampler, scenario_hooks).
+    """Resolve a deployment scenario into (sampler, hooks, aggregator).
 
-    Duck-typed (``.sampler``/``.hooks`` attributes) so this module does
-    not import :mod:`repro.scenarios`, which imports the engine back.
+    Duck-typed (``.sampler``/``.hooks``/``.aggregator`` attributes) so
+    this module does not import :mod:`repro.scenarios`, which imports
+    the engine back.
     """
     if scenario is None:
-        return sampler, None
+        return sampler, None, None
     if sampler is not None:
         raise ValueError(
             "pass either a scenario or a sampler, not both: the scenario "
             "provides its own availability-gated sampler"
         )
-    return scenario.sampler, scenario.hooks
+    return scenario.sampler, scenario.hooks, getattr(
+        scenario, "aggregator", None
+    )
 
 
 def _as_schedule(

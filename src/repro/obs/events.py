@@ -46,6 +46,10 @@ EVENT_TYPES: dict[str, frozenset[str]] = {
         "round", "k_continuous", "probe_k", "loss_prev", "loss_now",
         "loss_probe",
     }),
+    # A robust aggregator found uploads suspicious (detector = aggregator
+    # name, scores aligned with client_ids).  Detection is deterministic
+    # arithmetic over the round's uploads — no RNG, no numeric state.
+    "flagged": frozenset({"round", "client_ids", "detector", "scores"}),
     # Learned-deadline walk (adaptive deadline schedule).
     "deadline": frozenset({
         "round", "deadline", "arrived", "dropped", "round_time",

@@ -167,7 +167,9 @@ class AdaptiveKTrainer(EngineFacade):
         telemetry=None,
         seed: int = 0,
     ) -> None:
-        sampler, scenario_hooks = _apply_scenario(scenario, sampler)
+        sampler, scenario_hooks, aggregator = _apply_scenario(
+            scenario, sampler
+        )
         self.engine = RoundEngine(
             model=model,
             federation=federation,
@@ -182,6 +184,7 @@ class AdaptiveKTrainer(EngineFacade):
             scenario_hooks=scenario_hooks,
             telemetry=telemetry,
             seed=seed,
+            aggregator=aggregator,
         )
         self.policy = policy
         self.charge_probe_communication = charge_probe_communication

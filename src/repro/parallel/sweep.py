@@ -45,7 +45,9 @@ from repro.fl.backends import BACKEND_NAMES
 from repro.parallel.pool import in_daemon_process, preferred_start_method
 from repro.parallel.store import ResultsStore, content_key
 
-SWEEP_FIGURES = ("fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "scenario")
+SWEEP_FIGURES = (
+    "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "scenario", "adversary",
+)
 
 
 @dataclass(frozen=True)
@@ -240,6 +242,19 @@ def collect_artifacts(figure: str, config: ExperimentConfig) -> dict[str, dict]:
             artifacts["scenario_deadline_traces"] = figure_to_dict(
                 adaptation.deadline_traces
             )
+        return artifacts
+    if figure == "adversary":
+        from repro.experiments.adversary import run_adversary_panel
+
+        result = run_adversary_panel(config)
+        artifacts = {
+            "adversary_final_loss": figure_to_dict(result.final_loss),
+            "adversary_loss_vs_time": figure_to_dict(result.loss_vs_time),
+        }
+        for label, history in result.histories.items():
+            # "trimmed_mean/sparse/f=0.25" -> "trimmed_mean_sparse_f0.25"
+            slug = label.replace("/", "_").replace("=", "")
+            artifacts[f"adversary_history_{slug}"] = history_to_dict(history)
         return artifacts
     if figure in ("fig7", "fig8"):
         from repro.experiments.fig7 import run_fig7, run_fig8

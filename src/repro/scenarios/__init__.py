@@ -2,12 +2,24 @@
 
 Wraps any engine-based trainer in a realistic client population — who is
 online each round (:mod:`~repro.scenarios.availability`), which uploads
-beat the server deadline (:mod:`~repro.scenarios.deadline`), and how the
-partial aggregate is reweighted — all declared by a JSON-serializable
+beat the server deadline (:mod:`~repro.scenarios.deadline`), which
+clients are Byzantine and how their poisoned uploads are aggregated
+robustly (:mod:`~repro.scenarios.adversary` + :mod:`repro.fl.robust`) —
+all declared by a JSON-serializable
 :class:`~repro.scenarios.config.ScenarioConfig` and materialized by
 :class:`~repro.scenarios.scenario.DeploymentScenario`.
 """
 
+from repro.scenarios.adversary import (
+    ADVERSARY_KINDS,
+    AdversaryModel,
+    AdversaryProcess,
+    NoiseAdversary,
+    ScaleAdversary,
+    SignFlipAdversary,
+    TopKAwareAdversary,
+    build_adversary,
+)
 from repro.scenarios.availability import (
     AlwaysAvailable,
     ClientAvailability,
@@ -46,10 +58,13 @@ from repro.scenarios.scenario import (
 )
 
 __all__ = [
+    "ADVERSARY_KINDS",
     "AVAILABILITY_KINDS",
     "DEADLINE_POLICY_KINDS",
     "REWEIGHT_MODES",
     "AdaptiveDeadlinePolicy",
+    "AdversaryModel",
+    "AdversaryProcess",
     "AlwaysAvailable",
     "ClientAvailability",
     "CyclingDeadlinePolicy",
@@ -61,12 +76,17 @@ __all__ = [
     "DiurnalAvailability",
     "FixedDeadlinePolicy",
     "MarkovAvailability",
+    "NoiseAdversary",
     "PopulationSampler",
+    "ScaleAdversary",
     "ScenarioConfig",
     "ScenarioHooks",
     "ScenarioSampler",
     "ScenarioStats",
+    "SignFlipAdversary",
+    "TopKAwareAdversary",
     "TraceAvailability",
+    "build_adversary",
     "build_availability",
     "build_deadline_schedule",
     "build_population_scenario",

@@ -15,6 +15,8 @@ from dataclasses import asdict, dataclass, replace
 
 import numpy as np
 
+from repro.fl.robust import AGGREGATOR_KINDS
+from repro.scenarios.adversary import ADVERSARY_KINDS
 from repro.simulation.heterogeneous import ClientProfile
 
 AVAILABILITY_KINDS = ("always", "markov", "diurnal", "trace")
@@ -76,6 +78,23 @@ class ScenarioConfig:
         slowdown; feeds both the deadline gate's finish times and the
         :class:`~repro.simulation.heterogeneous.HeterogeneousTimingModel`
         a scenario run charges time with.
+    adversary:
+        One of :data:`repro.scenarios.adversary.ADVERSARY_KINDS` — the
+        Byzantine attack a designated fraction of clients mounts on
+        their uploads (``"none"`` = everyone honest; the degenerate
+        config stays bit-identical to the plain trainer).
+    adversary_fraction:
+        Probability each client is designated Byzantine (one seeded
+        Bernoulli draw per client, fixed for the run).
+    adversary_scale:
+        Attack magnitude (sign-flip/scale multiplier, noise amplitude
+        in upload-RMS units).
+    aggregator:
+        One of :data:`repro.fl.robust.AGGREGATOR_KINDS` — the server's
+        aggregation rule.  ``"mean"`` is the paper's weighted mean (the
+        unmodified server path); the others are Byzantine-tolerant.
+    trim_fraction:
+        Per-coordinate trim rate of the ``"trimmed_mean"`` aggregator.
     seed:
         Seeds availability chains, straggler designation, and cohort
         sampling (all streams are derived, so one scenario seed pins the
@@ -100,6 +119,11 @@ class ScenarioConfig:
     reweight: str = "arrived"
     slow_fraction: float = 0.0
     slow_factor: float = 4.0
+    adversary: str = "none"
+    adversary_fraction: float = 0.0
+    adversary_scale: float = 10.0
+    aggregator: str = "mean"
+    trim_fraction: float = 0.25
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -147,6 +171,26 @@ class ScenarioConfig:
             raise ValueError("slow_fraction must be in [0, 1]")
         if self.slow_factor <= 0.0:
             raise ValueError("slow_factor must be positive")
+        if self.adversary not in ADVERSARY_KINDS:
+            raise ValueError(
+                f"unknown adversary {self.adversary!r}; expected one of "
+                f"{ADVERSARY_KINDS}"
+            )
+        if not 0.0 <= self.adversary_fraction <= 1.0:
+            raise ValueError("adversary_fraction must be in [0, 1]")
+        if self.adversary_fraction > 0.0 and self.adversary == "none":
+            raise ValueError(
+                "adversary_fraction > 0 needs an adversary kind"
+            )
+        if self.adversary_scale <= 0.0:
+            raise ValueError("adversary_scale must be positive")
+        if self.aggregator not in AGGREGATOR_KINDS:
+            raise ValueError(
+                f"unknown aggregator {self.aggregator!r}; expected one of "
+                f"{AGGREGATOR_KINDS}"
+            )
+        if not 0.0 <= self.trim_fraction < 0.5:
+            raise ValueError("trim_fraction must be in [0, 0.5)")
 
     def _normalize_deadline_policy(self) -> None:
         """Validate/normalize the deadline_policy family of fields.

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.fl.robust import build_aggregator
+from repro.scenarios.adversary import build_adversary
 from repro.scenarios.config import ScenarioConfig
 from repro.scenarios.deadline import DeadlineRoundPolicy
 from repro.scenarios.scenario import (
@@ -158,5 +160,13 @@ def build_population_scenario(
         target_uploads=config.participants,
         reweight=config.reweight,
         stats=stats,
+        # The adversary's designation law is per-cid, so it works at any
+        # N without enumerating the population.
+        adversary=build_adversary(config),
     )
-    return DeploymentScenario(config, sampler, hooks, stats, model.profiles)
+    aggregator = build_aggregator(
+        config.aggregator, trim_fraction=config.trim_fraction
+    )
+    return DeploymentScenario(
+        config, sampler, hooks, stats, model.profiles, aggregator
+    )

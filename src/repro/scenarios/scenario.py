@@ -34,6 +34,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.fl.engine import RoundContext, RoundHooks
+from repro.fl.robust import RobustAggregator, build_aggregator
+from repro.scenarios.adversary import AdversaryModel, build_adversary
 from repro.scenarios.availability import (
     AlwaysAvailable,
     ClientAvailability,
@@ -75,10 +77,26 @@ class ScenarioStats:
     rounds: list[RoundDelivery] = field(default_factory=list)
     #: client id -> number of rounds whose upload was deadline-dropped
     drops_by_client: dict[int, int] = field(default_factory=dict)
+    #: client id -> number of rounds whose upload was Byzantine-corrupted
+    corrupted_by_client: dict[int, int] = field(default_factory=dict)
+    #: client id -> number of rounds a robust aggregator flagged it
+    flagged_by_client: dict[int, int] = field(default_factory=dict)
     _pending_available: int | None = None
 
     def record_available(self, count: int) -> None:
         self._pending_available = count
+
+    def record_corrupted(self, client_ids: list[int]) -> None:
+        for cid in client_ids:
+            self.corrupted_by_client[cid] = (
+                self.corrupted_by_client.get(cid, 0) + 1
+            )
+
+    def record_flagged(self, client_ids: list[int]) -> None:
+        for cid in client_ids:
+            self.flagged_by_client[cid] = (
+                self.flagged_by_client.get(cid, 0) + 1
+            )
 
     def record_round(
         self,
@@ -121,6 +139,14 @@ class ScenarioStats:
             "total_dropped": self.total_dropped,
             "drops_by_client": {
                 str(cid): n for cid, n in sorted(self.drops_by_client.items())
+            },
+            "corrupted_by_client": {
+                str(cid): n
+                for cid, n in sorted(self.corrupted_by_client.items())
+            },
+            "flagged_by_client": {
+                str(cid): n
+                for cid, n in sorted(self.flagged_by_client.items())
             },
             "mean_available": (
                 float(np.mean([r.available for r in self.rounds]))
@@ -259,6 +285,7 @@ class ScenarioHooks(RoundHooks):
         target_uploads: int | None = None,
         reweight: str = "arrived",
         stats: ScenarioStats | None = None,
+        adversary: AdversaryModel | None = None,
     ) -> None:
         self.policy = policy
         self.timing = timing
@@ -266,6 +293,17 @@ class ScenarioHooks(RoundHooks):
         self.target_uploads = target_uploads
         self.reweight = reweight
         self.stats = stats if stats is not None else ScenarioStats()
+        #: Byzantine upload corruption (None = everyone honest).  The
+        #: seam mirrors the dropped-upload design: ``after_local_steps``
+        #: swaps the designated clients' *wire payloads* for poisoned
+        #: ones (same index support, pure in ``(seed, cid, round)``),
+        #: and ``after_aggregate`` restores the honest payloads before
+        #: the engine's residual reset — so client learning state
+        #: evolves exactly as if the honest upload had been sent, and
+        #: only the server-visible transport is attacked.
+        self.adversary = adversary
+        #: client id -> honest upload, while the wire carries poison
+        self._honest_uploads: dict = {}
         self._dropped_clients: list = []
         self._close_time: float | None = None
         self._worst_comm: float = 1.0
@@ -292,6 +330,23 @@ class ScenarioHooks(RoundHooks):
         self._probe_up_raw = []
         self._played_deadline = None
         self._pending_losses = None
+        self._honest_uploads = {}
+        if self.adversary is not None:
+            # Corrupt before the deadline gate so everything downstream
+            # (finish times, probes, preprocessing, aggregation) sees
+            # exactly what the server would see on the wire.  Support is
+            # unchanged — only values are poisoned — so timing and the
+            # backends' fast-path preconditions are unaffected.
+            corrupted_ids = []
+            for i, up in enumerate(ctx.uploads):
+                if self.adversary.is_adversary(up.client_id):
+                    self._honest_uploads[up.client_id] = up
+                    ctx.uploads[i] = self.adversary.corrupt_upload(
+                        up, ctx.round_index
+                    )
+                    corrupted_ids.append(up.client_id)
+            if corrupted_ids and self.stats is not None:
+                self.stats.record_corrupted(corrupted_ids)
         cohort = list(ctx.participants)
         self._worst_comm = max(
             (
@@ -434,6 +489,31 @@ class ScenarioHooks(RoundHooks):
         self._derive_probe_weights(
             ctx, self._probe_up, extra_raw=self._probe_up_raw
         )
+        if self._honest_uploads:
+            # The server has consumed the poisoned payloads; restore the
+            # honest ones before the engine's residual reset, so each
+            # adversarial client's error-feedback bookkeeping subtracts
+            # what its residual actually holds (the honest values) —
+            # mirroring how dropped uploads keep residual state honest.
+            ctx.uploads = [
+                self._honest_uploads.get(up.client_id, up)
+                for up in ctx.uploads
+            ]
+            self._honest_uploads = {}
+        aggregator = ctx.engine.server.aggregator
+        if aggregator is not None and aggregator.last_flags:
+            flagged_ids = [cid for cid, _ in aggregator.last_flags]
+            if self.stats is not None:
+                self.stats.record_flagged(flagged_ids)
+            tel = ctx.engine.telemetry
+            if tel.enabled:
+                tel.event(
+                    "flagged",
+                    round=ctx.round_index,
+                    client_ids=flagged_ids,
+                    detector=aggregator.name,
+                    scores=[score for _, score in aggregator.last_flags],
+                )
 
     @staticmethod
     def _derive_probe_weights(
@@ -463,9 +543,13 @@ class ScenarioHooks(RoundHooks):
         # is configured (a stateful optimizer has no side-effect-free
         # counterfactual step; the probe loss is an estimate either
         # way).
+        # ``commit=False``: a counterfactual aggregation must not advance
+        # a robust aggregator's reputation state or overwrite the flags
+        # the real round recorded.
         downlink = ctx.engine.server.aggregate(
             probe_uploads, ctx.selection,
             total_weight=ctx.aggregation_weight,
+            commit=False,
         )
         payload = downlink.payload
         w_probe = ctx.w_prev.copy()
@@ -618,12 +702,16 @@ class DeploymentScenario:
         hooks: ScenarioHooks,
         stats: ScenarioStats,
         profiles: list[ClientProfile],
+        aggregator: RobustAggregator | None = None,
     ) -> None:
         self.config = config
         self.sampler = sampler
         self.hooks = hooks
         self.stats = stats
         self.profiles = profiles
+        #: optional RobustAggregator the trainer threads into its engine
+        #: (None = the paper's weighted mean, the unmodified server path)
+        self.aggregator = aggregator
 
     @classmethod
     def build(
@@ -664,8 +752,12 @@ class DeploymentScenario:
             target_uploads=config.participants or None,
             reweight=config.reweight,
             stats=stats,
+            adversary=build_adversary(config),
         )
-        return cls(config, sampler, hooks, stats, profiles)
+        aggregator = build_aggregator(
+            config.aggregator, trim_fraction=config.trim_fraction
+        )
+        return cls(config, sampler, hooks, stats, profiles, aggregator)
 
 
 def build_deadline_schedule(config: ScenarioConfig) -> DeadlinePolicy:

@@ -68,6 +68,8 @@ VALID_EVENTS = {
               "loss_probe": 1.05},
     "deadline": {"type": "deadline", "round": 4, "deadline": 3.0,
                  "arrived": 5, "dropped": 1, "round_time": 3.0},
+    "flagged": {"type": "flagged", "round": 6, "client_ids": [2],
+                "detector": "trimmed_mean", "scores": [0.75]},
     "counters": {"type": "counters", "counters": {"pool.ipc_bytes_out": 10},
                  "gauges": {}},
 }
