@@ -153,6 +153,8 @@ def main() -> None:
     history.append(report)
     BENCH_PATH.write_text(json.dumps(history, indent=1))
     print(f"appended to {BENCH_PATH}")
+    from history import record_report
+    record_report(BENCH_PATH, report)
 
 
 if __name__ == "__main__":

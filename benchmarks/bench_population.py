@@ -198,6 +198,8 @@ def main() -> None:
     history.append(entry)
     BENCH_PATH.write_text(json.dumps(history, indent=1))
     print(f"appended to {BENCH_PATH}")
+    from history import record_report
+    record_report(BENCH_PATH, entry)
 
 
 if __name__ == "__main__":

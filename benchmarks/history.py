@@ -1,0 +1,52 @@
+"""Bench trajectory recorder: BENCH_*.json -> BENCH_history.jsonl.
+
+Each standalone benchmark appends its report to a ``BENCH_*.json``
+snapshot; this module folds those snapshots into the append-only
+``BENCH_history.jsonl`` trajectory that ``python -m repro.cli
+bench-diff`` gates against.  Entries are fingerprint-deduplicated, so
+both uses are idempotent:
+
+* the bench mains call :func:`record_report` right after writing their
+  snapshot, and
+* ``PYTHONPATH=src python benchmarks/history.py`` backfills every
+  report already committed in the ``BENCH_*.json`` files.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.obs.export import append_bench_history, bench_history_entry
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+HISTORY_PATH = REPO_ROOT / "BENCH_history.jsonl"
+
+
+def record_report(bench_path: pathlib.Path, report: dict,
+                  history_path: pathlib.Path = HISTORY_PATH) -> int:
+    """Append one just-measured report to the history; returns 0/1."""
+    entry = bench_history_entry(bench_path.stem, report)
+    return append_bench_history(history_path, [entry])
+
+
+def backfill(root: pathlib.Path = REPO_ROOT,
+             history_path: pathlib.Path = HISTORY_PATH) -> int:
+    """Fold every committed ``BENCH_*.json`` report into the history."""
+    entries = []
+    for bench_path in sorted(root.glob("BENCH_*.json")):
+        reports = json.loads(bench_path.read_text())
+        for report in reports:
+            entries.append(bench_history_entry(bench_path.stem, report))
+    return append_bench_history(history_path, entries)
+
+
+def main() -> None:
+    added = backfill()
+    total = sum(1 for _ in open(HISTORY_PATH, encoding="utf-8")) \
+        if HISTORY_PATH.exists() else 0
+    print(f"BENCH_history.jsonl: {added} entries added ({total} total)")
+
+
+if __name__ == "__main__":
+    main()

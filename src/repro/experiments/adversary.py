@@ -220,8 +220,12 @@ def run_adversary_panel(
                     finals,
                 )
     finally:
-        backend.close()
-        telemetry.close()
+        # Nested so a backend teardown failure still flushes and closes
+        # the telemetry sink (buffered events must survive mid-run raises).
+        try:
+            backend.close()
+        finally:
+            telemetry.close()
 
     final_fig.notes.append(
         json.dumps(

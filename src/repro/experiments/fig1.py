@@ -122,8 +122,12 @@ def run_fig1(
                 y=post_losses,
             )
     finally:
-        backend.close()
-        telemetry.close()
+        # Nested so a backend teardown failure still flushes and closes
+        # the telemetry sink (buffered events must survive mid-run raises).
+        try:
+            backend.close()
+        finally:
+            telemetry.close()
     figure.notes.append(
         f"psi={result.psi:.4f}, common k={k_common}, dimension={dimension}"
     )

@@ -124,8 +124,12 @@ def run_fig4(
                     values, cdf = contribution_cdf(totals)
                     cdf_fig.add(method, values.tolist(), cdf.tolist())
     finally:
-        backend.close()
-        telemetry.close()
+        # Nested so a backend teardown failure still flushes and closes
+        # the telemetry sink (buffered events must survive mid-run raises).
+        try:
+            backend.close()
+        finally:
+            telemetry.close()
     return result
 
 

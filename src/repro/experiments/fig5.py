@@ -128,6 +128,10 @@ def run_fig5(
                 trainer.history.ks(),
             )
     finally:
-        backend.close()
-        telemetry.close()
+        # Nested so a backend teardown failure still flushes and closes
+        # the telemetry sink (buffered events must survive mid-run raises).
+        try:
+            backend.close()
+        finally:
+            telemetry.close()
     return result

@@ -144,8 +144,12 @@ def run_cross_application(
                     ys[-1] if ys else float("inf")
                 )
     finally:
-        backend.close()
-        telemetry.close()
+        # Nested so a backend teardown failure still flushes and closes
+        # the telemetry sink (buffered events must survive mid-run raises).
+        try:
+            backend.close()
+        finally:
+            telemetry.close()
     return result
 
 

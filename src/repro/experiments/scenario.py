@@ -239,8 +239,12 @@ def run_scenario(
                 f"{method}: {json.dumps(result.stats[method], sort_keys=True)}"
             )
     finally:
-        backend.close()
-        telemetry.close()
+        # Nested so a backend teardown failure still flushes and closes
+        # the telemetry sink (buffered events must survive mid-run raises).
+        try:
+            backend.close()
+        finally:
+            telemetry.close()
     loss_fig.notes.append(f"scenario: {json.dumps(result.scenario, sort_keys=True)}")
     return result
 
@@ -457,8 +461,12 @@ def run_deadline_adaptation(
                 ],
             )
     finally:
-        backend.close()
-        telemetry.close()
+        # Nested so a backend teardown failure still flushes and closes
+        # the telemetry sink (buffered events must survive mid-run raises).
+        try:
+            backend.close()
+        finally:
+            telemetry.close()
     targets = result.final_losses()
     reachable = max(targets.values())
     loss_fig.notes.append(

@@ -626,6 +626,10 @@ class RoundEngine:
     def begin_round(self) -> int:
         """Advance and return the 1-based round counter."""
         self._round += 1
+        if self.telemetry.enabled:
+            # Lets the worker-event merge (repro.parallel.pool) stamp
+            # buffered spans with the round they belong to.
+            self.telemetry.current_round = self._round
         return self._round
 
     def finish_round(

@@ -12,6 +12,7 @@ state — enabled and disabled runs are bit-identical on every backend.
 """
 
 from .events import ENGINE_PHASES, EVENT_TYPES, validate_event
+from .health import HealthConfig, HealthMonitor, robust_zscore, scan_trace
 from .log import configure_cli_logging, get_logger
 from .report import format_trace_report, summarize_trace
 from .sinks import JsonlSink, MemoryAggregator, encode_event
@@ -20,23 +21,29 @@ from .telemetry import (
     SPARSE_ELEMENT_BYTES,
     NullTelemetry,
     Telemetry,
+    WorkerTelemetry,
     open_telemetry,
 )
 
 __all__ = [
     "ENGINE_PHASES",
     "EVENT_TYPES",
+    "HealthConfig",
+    "HealthMonitor",
     "JsonlSink",
     "MemoryAggregator",
     "NULL_TELEMETRY",
     "NullTelemetry",
     "SPARSE_ELEMENT_BYTES",
     "Telemetry",
+    "WorkerTelemetry",
     "configure_cli_logging",
     "encode_event",
     "format_trace_report",
     "get_logger",
     "open_telemetry",
+    "robust_zscore",
+    "scan_trace",
     "summarize_trace",
     "validate_event",
 ]

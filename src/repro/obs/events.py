@@ -35,8 +35,12 @@ EVENT_TYPES: dict[str, frozenset[str]] = {
         "uplink_elements", "downlink_elements", "uplink_bytes",
         "downlink_bytes", "wall_seconds", "phases",
     }),
-    # A named wall-clock interval (e.g. a whole figure build).
-    "span": frozenset({"name", "seconds"}),
+    # A named wall-clock interval (e.g. a whole figure build).  ``process``
+    # attributes the span to its emitter: ``"parent"`` for the driver
+    # process, ``"worker-<i>"`` for pool workers (whose buffered spans
+    # carry a worker-lifetime ``seq`` and are merged parent-side in
+    # deterministic ``(round, worker_id, seq)`` order).
+    "span": frozenset({"name", "seconds", "process"}),
     # The deadline gate rejected uploads this round.
     "drop": frozenset({"round", "client_ids", "deadline", "close_time"}),
     # Previously-dropped clients delivered an accepted upload again.
@@ -56,6 +60,10 @@ EVENT_TYPES: dict[str, frozenset[str]] = {
     }),
     # Snapshot of accumulated counters/gauges (emitted on flush/close).
     "counters": frozenset({"counters", "gauges"}),
+    # A run-health detector fired (:mod:`repro.obs.health`): divergence,
+    # drop-rate, flagged-client accumulation, or wall-clock stall.
+    # ``severity`` is ``"warning"`` or ``"critical"``.
+    "alert": frozenset({"round", "detector", "severity", "message"}),
 }
 
 

@@ -1,0 +1,277 @@
+"""Bench trajectory and regression gate: history, baselines, diffs.
+
+The standalone benchmarks write point-in-time snapshots
+(``BENCH_engine.json`` etc. — JSON lists of per-run reports, each with a
+``host`` stanza from :mod:`benchmarks._hostmeta`).  This module turns
+those snapshots into a trajectory:
+
+* :func:`bench_history_entry` flattens one report into dotted numeric
+  metrics plus a content fingerprint;
+* :func:`append_bench_history` appends entries to ``BENCH_history.jsonl``
+  (append-only JSONL, fingerprint-deduplicated, so re-running the
+  backfill is idempotent);
+* :func:`diff_metrics` compares a current report against the recorded
+  baseline with direction-aware tolerances, and
+  ``python -m repro.cli bench-diff`` exits nonzero on regression.
+
+Host awareness: benchmark numbers only compare across runs of the same
+machine shape.  A baseline from a different host signature downgrades
+every finding to informational — the CI soft gate stays green on fresh
+runners while still printing the deltas.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+#: Relative slowdown tolerated before a metric counts as regressed.
+#: Generous by default: the committed baselines come from small, noisy
+#: runs (often single-CPU CI hosts).
+DEFAULT_TOLERANCE = 0.30
+
+#: Substrings classifying a metric's good direction.  First match wins;
+#: metrics matching neither list are informational (never gate).
+_HIGHER_BETTER = ("per_second", "rps", "speedup")
+_LOWER_BETTER = ("seconds", "overhead", "fraction", "bytes", "rss")
+
+
+def flatten_bench_report(report: dict) -> dict[str, float]:
+    """Numeric leaves of ``report['results']`` as dotted-key metrics.
+
+    Handles both report shapes in the repo: ``results`` as a dict of
+    nested dicts (bench_parallel) and as a list of per-scenario dicts
+    (bench_engine — list entries are keyed by their identifying fields,
+    e.g. ``mlp.n24``).
+    """
+    metrics: dict[str, float] = {}
+
+    def walk(prefix: str, node) -> None:
+        if isinstance(node, bool):
+            return
+        if isinstance(node, (int, float)):
+            metrics[prefix] = float(node)
+        elif isinstance(node, dict):
+            for key, value in node.items():
+                walk(f"{prefix}.{key}" if prefix else str(key), value)
+        elif isinstance(node, list):
+            for index, value in enumerate(node):
+                label = _entry_label(value, index)
+                walk(f"{prefix}.{label}" if prefix else label, value)
+
+    walk("", report.get("results", {}))
+    return metrics
+
+
+def _entry_label(entry, index: int) -> str:
+    """A stable label for a list entry: identifying fields if present."""
+    if isinstance(entry, dict):
+        parts = []
+        for key in ("model", "backend", "name"):
+            if isinstance(entry.get(key), str):
+                parts.append(entry[key])
+        for key in ("num_clients", "population", "rounds_key"):
+            if isinstance(entry.get(key), int):
+                parts.append(f"n{entry[key]}")
+        if parts:
+            return ".".join(parts)
+    return str(index)
+
+
+def host_signature(host: dict) -> str:
+    """The machine shape a benchmark number is comparable within."""
+    return "/".join(str(host.get(key, "?")) for key in
+                    ("machine", "cpu_count", "usable_cpus"))
+
+
+def fingerprint(report: dict) -> str:
+    """Content hash of a report (stable across key order)."""
+    canonical = json.dumps(report, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def bench_history_entry(bench: str, report: dict) -> dict:
+    """One ``BENCH_history.jsonl`` line for a bench report."""
+    host = report.get("host", {})
+    return {
+        "bench": bench,
+        "timestamp_utc": host.get("timestamp_utc"),
+        "host": host,
+        "host_signature": host_signature(host),
+        "fingerprint": fingerprint(report),
+        "metrics": flatten_bench_report(report),
+    }
+
+
+def load_bench_history(path: str | pathlib.Path) -> list[dict]:
+    path = pathlib.Path(path)
+    if not path.exists():
+        return []
+    entries = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries
+
+
+def append_bench_history(path: str | pathlib.Path,
+                         entries: list[dict]) -> int:
+    """Append new entries (fingerprint-deduplicated); return count added."""
+    path = pathlib.Path(path)
+    seen = {(e.get("bench"), e.get("fingerprint"))
+            for e in load_bench_history(path)}
+    added = 0
+    with open(path, "a", encoding="utf-8") as fh:
+        for entry in entries:
+            key = (entry.get("bench"), entry.get("fingerprint"))
+            if key in seen:
+                continue
+            seen.add(key)
+            fh.write(json.dumps(entry, sort_keys=True,
+                                separators=(",", ":")) + "\n")
+            added += 1
+    return added
+
+
+def select_baseline(history: list[dict], bench: str, host_sig: str,
+                    exclude_fingerprint: str | None = None) -> dict | None:
+    """Most recent history entry to diff against.
+
+    Prefers the latest same-host entry; falls back to the latest entry
+    from any host (the caller downgrades that comparison to
+    informational).  ``exclude_fingerprint`` skips the entry recorded
+    from the report under comparison itself.
+    """
+    candidates = [
+        e for e in history
+        if e.get("bench") == bench
+        and e.get("fingerprint") != exclude_fingerprint
+    ]
+    same_host = [e for e in candidates
+                 if e.get("host_signature") == host_sig]
+    pool = same_host or candidates
+    return pool[-1] if pool else None
+
+
+def metric_direction(name: str) -> str:
+    """``"higher"``, ``"lower"``, or ``"info"`` for a dotted metric."""
+    lowered = name.lower()
+    for token in _HIGHER_BETTER:
+        if token in lowered:
+            return "higher"
+    for token in _LOWER_BETTER:
+        if token in lowered:
+            return "lower"
+    return "info"
+
+
+def diff_metrics(baseline: dict[str, float], current: dict[str, float],
+                 tolerance: float = DEFAULT_TOLERANCE) -> list[dict]:
+    """Per-metric comparison rows, worst regressions first.
+
+    A row regresses when the change in the metric's bad direction
+    exceeds ``tolerance`` (relative).  Metrics present on only one side
+    are reported as ``added``/``removed`` and never gate.
+    """
+    rows = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            rows.append({"metric": name, "status": "removed",
+                         "baseline": baseline[name]})
+            continue
+        if name not in baseline:
+            rows.append({"metric": name, "status": "added",
+                         "current": current[name]})
+            continue
+        base, now = baseline[name], current[name]
+        direction = metric_direction(name)
+        if base == 0:
+            change = 0.0 if now == 0 else float("inf")
+        else:
+            change = (now - base) / abs(base)
+        if direction == "higher":
+            regressed = change < -tolerance
+        elif direction == "lower":
+            regressed = change > tolerance
+        else:
+            regressed = False
+        rows.append({
+            "metric": name,
+            "status": "regressed" if regressed else "ok",
+            "direction": direction,
+            "baseline": base,
+            "current": now,
+            "change_pct": round(100.0 * change, 1),
+        })
+    rows.sort(key=lambda r: (r["status"] != "regressed",
+                             -abs(r.get("change_pct", 0.0)), r["metric"]))
+    return rows
+
+
+def diff_bench_report(bench: str, report: dict, history: list[dict],
+                      tolerance: float = DEFAULT_TOLERANCE) -> dict:
+    """Diff one current report against its recorded baseline."""
+    current_entry = bench_history_entry(bench, report)
+    baseline = select_baseline(
+        history, bench, current_entry["host_signature"],
+        exclude_fingerprint=current_entry["fingerprint"],
+    )
+    if baseline is None:
+        return {"bench": bench, "status": "no_baseline",
+                "host_match": False, "rows": []}
+    host_match = (baseline.get("host_signature")
+                  == current_entry["host_signature"])
+    rows = diff_metrics(baseline.get("metrics", {}),
+                        current_entry["metrics"], tolerance)
+    regressions = [r for r in rows if r["status"] == "regressed"]
+    if not host_match:
+        # Cross-host numbers are not comparable; report, never gate.
+        status = "informational"
+    elif regressions:
+        status = "regressed"
+    else:
+        status = "ok"
+    return {
+        "bench": bench,
+        "status": status,
+        "host_match": host_match,
+        "baseline_timestamp": baseline.get("timestamp_utc"),
+        "baseline_host": baseline.get("host_signature"),
+        "regressions": len(regressions),
+        "rows": rows,
+    }
+
+
+def format_bench_diff(diffs: list[dict], tolerance: float) -> str:
+    """Human-readable multi-bench diff."""
+    lines = [f"bench-diff (tolerance ±{100 * tolerance:.0f}%)",
+             "=" * 34]
+    for diff in diffs:
+        bench = diff["bench"]
+        if diff["status"] == "no_baseline":
+            lines.append(f"{bench}: no baseline recorded — skipped")
+            continue
+        note = "" if diff["host_match"] else \
+            f"  [host mismatch vs {diff['baseline_host']} — informational]"
+        lines.append(
+            f"{bench}: {diff['status']} "
+            f"({diff['regressions']} regression(s), baseline "
+            f"{diff['baseline_timestamp'] or 'unknown'}){note}"
+        )
+        for row in diff["rows"]:
+            if row["status"] in ("added", "removed"):
+                continue
+            if row["status"] != "regressed" and abs(
+                    row.get("change_pct", 0.0)) < 100 * tolerance / 2:
+                continue
+            marker = "!!" if row["status"] == "regressed" else "  "
+            lines.append(
+                f"  {marker} {row['metric']:<48} "
+                f"{row['baseline']:>10.4g} -> {row['current']:>10.4g} "
+                f"({row['change_pct']:+.1f}%)"
+            )
+    return "\n".join(lines)

@@ -10,12 +10,20 @@ import json
 import pathlib
 
 from .events import ENGINE_PHASES, validate_event
+from .health import HealthConfig, HealthMonitor
 from .sinks import MemoryAggregator
 
 
-def summarize_trace(path: str | pathlib.Path) -> dict:
-    """Validate every event in ``path`` and return the aggregate summary."""
+def summarize_trace(path: str | pathlib.Path,
+                    health_config: HealthConfig | None = None) -> dict:
+    """Validate every event in ``path`` and return the aggregate summary.
+
+    The stream is also replayed through a :class:`HealthMonitor`, so the
+    summary's ``health`` section reports post-hoc what a live monitor
+    would have raised.
+    """
     aggregator = MemoryAggregator()
+    monitor = HealthMonitor(health_config or HealthConfig())
     with open(path, encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
@@ -30,7 +38,10 @@ def summarize_trace(path: str | pathlib.Path) -> dict:
             except ValueError as exc:
                 raise ValueError(f"{path}:{lineno}: {exc}")
             aggregator.add(record)
-    return aggregator.summary()
+            monitor.observe(record)
+    summary = aggregator.summary()
+    summary["health"] = monitor.summary()
+    return summary
 
 
 def _fmt_bytes(n: float) -> str:
@@ -80,6 +91,44 @@ def format_trace_report(summary: dict) -> str:
         lines.append("spans")
         for name, seconds in summary["span_seconds"].items():
             lines.append(f"  {name:<24} {seconds:9.3f}s")
+
+    by_process = summary.get("span_seconds_by_process", {})
+    if len(by_process) > 1 or any(p != "parent" for p in by_process):
+        lines.append("")
+        lines.append("spans by process")
+        for process, per in by_process.items():
+            total_seconds = sum(per.values())
+            lines.append(f"  {process:<14} {total_seconds:9.3f}s")
+            for name, seconds in per.items():
+                lines.append(f"    {name:<22} {seconds:9.3f}s")
+
+    flagged = summary.get("flagged", {})
+    if flagged.get("events"):
+        lines.append("")
+        lines.append(f"flagged clients ({flagged['events']} events)")
+        for detector, count in flagged["by_detector"].items():
+            lines.append(f"  {detector:<24} {count} events")
+        if flagged["top_clients"]:
+            offenders = ", ".join(
+                f"{cid}×{count}" for cid, count in flagged["top_clients"]
+            )
+            lines.append(f"  top offenders: {offenders}")
+
+    health = summary.get("health")
+    if health is not None:
+        lines.append("")
+        if health["healthy"]:
+            lines.append(
+                f"health:   OK ({health['rounds_observed']} rounds,"
+                " no alerts)"
+            )
+        else:
+            lines.append(f"health:   {len(health['alerts'])} alert(s)")
+            for alert in health["alerts"]:
+                lines.append(
+                    f"  [{alert['severity']}] {alert['detector']}"
+                    f" @ round {alert['round']}: {alert['message']}"
+                )
 
     if summary["counters"]:
         lines.append("")

@@ -46,6 +46,13 @@ class JsonlSink:
         if not self._file.closed:
             self._file.close()
 
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
 
 class MemoryAggregator:
     """Running rollup of the event stream (no per-event storage).
@@ -68,6 +75,15 @@ class MemoryAggregator:
         self.dropped_uploads = 0
         self.recovered_clients = 0
         self.counters: dict[str, float] = {}
+        # flagged rollup: detector -> events seen, client -> times flagged.
+        self.flagged_by_detector: dict[str, int] = {}
+        self.flags_by_client: dict[int, int] = {}
+        # per-process span rollup (parent vs worker-N attribution).
+        self.process_spans: dict[str, dict[str, float]] = {}
+        # alert rollup: detector -> count, plus the first few records so
+        # the report can show *what* fired without per-event storage.
+        self.alerts_by_detector: dict[str, int] = {}
+        self.first_alerts: list[dict] = []
 
     def add(self, record: dict) -> None:
         kind = record["type"]
@@ -88,6 +104,29 @@ class MemoryAggregator:
             self.span_seconds[name] = (
                 self.span_seconds.get(name, 0.0) + record["seconds"]
             )
+            process = record.get("process", "parent")
+            per = self.process_spans.setdefault(process, {})
+            per[name] = per.get(name, 0.0) + record["seconds"]
+        elif kind == "flagged":
+            detector = record["detector"]
+            self.flagged_by_detector[detector] = (
+                self.flagged_by_detector.get(detector, 0) + 1
+            )
+            for cid in record["client_ids"]:
+                cid = int(cid)
+                self.flags_by_client[cid] = self.flags_by_client.get(cid, 0) + 1
+        elif kind == "alert":
+            detector = record["detector"]
+            self.alerts_by_detector[detector] = (
+                self.alerts_by_detector.get(detector, 0) + 1
+            )
+            if len(self.first_alerts) < 20:
+                self.first_alerts.append({
+                    "round": record["round"],
+                    "detector": detector,
+                    "severity": record["severity"],
+                    "message": record["message"],
+                })
         elif kind == "drop":
             self.dropped_uploads += len(record["client_ids"])
         elif kind == "recovery":
@@ -112,5 +151,25 @@ class MemoryAggregator:
             "recovered_clients": self.recovered_clients,
             "span_seconds": {k: self.span_seconds[k]
                              for k in sorted(self.span_seconds)},
+            "span_seconds_by_process": {
+                process: {name: per[name] for name in sorted(per)}
+                for process, per in sorted(self.process_spans.items())
+            },
+            "flagged": {
+                "events": sum(self.flagged_by_detector.values()),
+                "by_detector": dict(sorted(self.flagged_by_detector.items())),
+                "top_clients": self.top_flagged_clients(),
+            },
+            "alerts": {
+                "total": sum(self.alerts_by_detector.values()),
+                "by_detector": dict(sorted(self.alerts_by_detector.items())),
+                "first": list(self.first_alerts),
+            },
             "counters": dict(sorted(self.counters.items())),
         }
+
+    def top_flagged_clients(self, limit: int = 10) -> list[list[int]]:
+        """``[client_id, times_flagged]`` pairs, worst offenders first."""
+        ranked = sorted(self.flags_by_client.items(),
+                        key=lambda item: (-item[1], item[0]))
+        return [[cid, count] for cid, count in ranked[:limit]]

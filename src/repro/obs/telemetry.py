@@ -37,6 +37,7 @@ class NullTelemetry:
     """
 
     enabled = False
+    current_round = 0
 
     def count(self, name: str, value: float = 1) -> None:
         pass
@@ -60,6 +61,13 @@ class NullTelemetry:
     def close(self) -> None:
         pass
 
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
 
 #: Shared default instance — safe because NullTelemetry is stateless.
 NULL_TELEMETRY = NullTelemetry()
@@ -70,11 +78,23 @@ class Telemetry:
 
     enabled = True
 
+    #: Identifies the emitting process on ``span`` events; pool workers
+    #: override it via :class:`WorkerTelemetry`.
+    process = "parent"
+
     def __init__(self, sink: JsonlSink | None = None,
-                 aggregator: MemoryAggregator | None = None):
+                 aggregator: MemoryAggregator | None = None,
+                 health=None):
         self.sink = sink
         self.aggregator = MemoryAggregator() if aggregator is None \
             else aggregator
+        #: Optional live :class:`repro.obs.health.HealthMonitor`; every
+        #: non-alert event streams through it and any alerts it raises
+        #: are re-emitted as schema-registered ``alert`` events.
+        self.health = health
+        #: Engine-maintained current round index, used to stamp merged
+        #: worker events (set by ``RoundEngine.begin_round`` when tracing).
+        self.current_round = 0
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
         self.annotations: dict[str, object] = {}
@@ -94,10 +114,15 @@ class Telemetry:
     def event(self, kind: str, **fields) -> None:
         """Emit one schema-validated event to the aggregator and sink."""
         record = {"type": kind, **self.annotations, **fields}
+        if kind == "span":
+            record.setdefault("process", self.process)
         validate_event(record)
         self.aggregator.add(record)
         if self.sink is not None:
             self.sink.write(record)
+        if self.health is not None and kind != "alert":
+            for alert in self.health.observe(record):
+                self.event("alert", **alert)
 
     @contextmanager
     def span(self, name: str, **fields):
@@ -127,6 +152,60 @@ class Telemetry:
         self.flush()
         if self.sink is not None:
             self.sink.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class WorkerTelemetry(Telemetry):
+    """Buffered telemetry for one pool worker process.
+
+    Events never touch a sink or aggregator in the worker; they append to
+    an in-memory buffer stamped with the worker's ``process`` label and a
+    worker-lifetime monotonic ``seq``.  The parent drains the buffer over
+    the existing result pipe and re-emits every record through its own
+    :class:`Telemetry` (where validation, annotations, aggregation and
+    the JSONL sink happen), merging streams in deterministic
+    ``(round, worker_id, seq)`` order.
+
+    Same hard invariant as the parent facade: no RNG, no numeric state —
+    only values the gradient request already computed, plus the clock.
+    """
+
+    def __init__(self, process: str):
+        super().__init__(sink=None, aggregator=_NULL_AGGREGATOR)
+        self.process = process
+        self._seq = 0
+        self._buffer: list[dict] = []
+
+    def event(self, kind: str, **fields) -> None:
+        record = {"type": kind, **self.annotations, **fields}
+        if kind == "span":
+            record.setdefault("process", self.process)
+        record["seq"] = self._seq
+        self._seq += 1
+        self._buffer.append(record)
+
+    def drain(self) -> list[dict]:
+        """Return and clear the buffered events (in emission order)."""
+        out = self._buffer
+        self._buffer = []
+        return out
+
+
+class _NullAggregator:
+    """Aggregator stand-in for worker-side telemetry (events buffer
+    instead of rolling up; the parent aggregates after the merge)."""
+
+    def add(self, record: dict) -> None:  # pragma: no cover - never called
+        pass
+
+
+_NULL_AGGREGATOR = _NullAggregator()
 
 
 def open_telemetry(path: str | None) -> NullTelemetry | Telemetry:

@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.data.virtual import VirtualFederation, VirtualSpec
 from repro.obs import NULL_TELEMETRY
+from repro.obs.telemetry import WorkerTelemetry
 
 
 def preferred_start_method() -> str:
@@ -63,14 +64,21 @@ def in_daemon_process() -> bool:
     return mp.current_process().daemon
 
 
-def _worker_main(conn, weights_buf, dimension: int) -> None:
+def _worker_main(conn, weights_buf, dimension: int, worker_id: int) -> None:
     """Worker loop: serve gradient requests against per-session state.
 
     ``weights_buf`` is the shared flat-weight buffer; it is re-read at
     every ``grads`` request, so the parent's single write per round
     broadcasts to all workers.
+
+    When a ``grads`` request arrives with its trace flag set, the worker
+    times the request on a lazily built buffered
+    :class:`~repro.obs.telemetry.WorkerTelemetry` and ships the drained
+    events back alongside the gradients; untraced requests do no
+    telemetry work at all and ship ``None`` in the events slot.
     """
     weights = np.frombuffer(weights_buf, dtype=np.float64, count=dimension)
+    wtel: WorkerTelemetry | None = None
     models: dict[int, object] = {}
     # session token -> {client_id: (ClientDataset | VirtualSpec, batch_size)}
     shards: dict[int, dict[int, tuple]] = {}
@@ -103,10 +111,15 @@ def _worker_main(conn, weights_buf, dimension: int) -> None:
                 shards.setdefault(token, {}).update(clients)
                 conn.send(("ok", None))
             elif cmd == "grads":
-                _, token, client_ids, want_batches = msg
+                _, token, client_ids, want_batches, trace = msg
+                if trace:
+                    if wtel is None:
+                        wtel = WorkerTelemetry(f"worker-{worker_id}")
+                    request_start = time.perf_counter()
                 model = models[token]
                 model.set_weights(weights.copy())
                 out = []
+                regenerated = 0
                 for cid in client_ids:
                     dataset, batch_size = shards[token][cid]
                     if isinstance(dataset, VirtualSpec):
@@ -121,10 +134,21 @@ def _worker_main(conn, weights_buf, dimension: int) -> None:
                             federations[(token, dataset)] = fed
                         dataset = fed.client_dataset(cid)
                         shards[token][cid] = (dataset, batch_size)
+                        regenerated += 1
                     x, y = dataset.minibatch(batch_size)
                     grad, _ = model.gradient(x, y)
                     out.append((cid, grad, (x, y) if want_batches else None))
-                conn.send(("ok", out))
+                if trace:
+                    wtel.event(
+                        "span",
+                        name="worker.gradients",
+                        seconds=time.perf_counter() - request_start,
+                        clients=len(client_ids),
+                        regenerated=regenerated,
+                    )
+                    conn.send(("ok", (out, wtel.drain())))
+                else:
+                    conn.send(("ok", (out, None)))
             else:
                 conn.send(("error", f"unknown command {cmd!r}"))
         except Exception:
@@ -160,11 +184,11 @@ class WorkerPool:
         self._weights_view = np.frombuffer(self._weights, dtype=np.float64)
         self._conns = []
         self._procs = []
-        for _ in range(num_workers):
+        for worker_id in range(num_workers):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
                 target=_worker_main,
-                args=(child_conn, self._weights, dimension),
+                args=(child_conn, self._weights, dimension, worker_id),
                 daemon=True,
             )
             proc.start()
@@ -235,37 +259,61 @@ class WorkerPool:
         and — only with ``want_batches`` (probe rounds) — the minibatch
         it was computed on; shipping batches every round would roughly
         double the steady-state IPC for nothing.
+
+        With telemetry enabled the trace flag rides the request, and
+        each worker's buffered events come back in its reply; they are
+        re-emitted here through the parent telemetry in deterministic
+        ``(round, worker_id, seq)`` order (round = stream position, the
+        reply loop below walks workers in ascending id, each buffer is
+        already seq-ordered), so two identical traced runs merge to the
+        same stream.
         """
         tel = self.telemetry
-        if tel.enabled:
+        trace = tel.enabled
+        if trace:
             start = time.perf_counter()
         self._weights_view[:] = weights
-        if tel.enabled:
+        if trace:
             tel.count("pool.weights_broadcast_seconds",
                       time.perf_counter() - start)
         by_worker: dict[int, list[int]] = {}
         for cid in client_ids:
             by_worker.setdefault(self.worker_of(cid), []).append(cid)
         for worker, cids in by_worker.items():
-            if tel.enabled:
+            if trace:
                 tel.count(
                     "pool.ipc_bytes_out",
-                    len(pickle.dumps(("grads", token, cids, want_batches))),
+                    len(pickle.dumps(
+                        ("grads", token, cids, want_batches, trace)
+                    )),
                 )
                 tel.count(f"pool.worker{worker}.requests")
                 tel.count(f"pool.worker{worker}.clients_stepped", len(cids))
-            self._conns[worker].send(("grads", token, cids, want_batches))
+            self._conns[worker].send(
+                ("grads", token, cids, want_batches, trace)
+            )
         results = {}
+        events_by_worker: dict[int, list[dict]] = {}
         for worker in by_worker:
-            payload = self._receive(worker)
-            if tel.enabled:
+            payload, events = self._receive(worker)
+            if trace:
                 tel.count("pool.ipc_bytes_back", sum(
                     grad.nbytes
                     + (batch[0].nbytes + batch[1].nbytes if batch else 0)
                     for _, grad, batch in payload
                 ))
+                if events:
+                    events_by_worker[worker] = events
             for cid, grad, batch in payload:
                 results[cid] = (grad, batch)
+        if trace and events_by_worker:
+            round_index = tel.current_round
+            for worker in sorted(events_by_worker):
+                for event in events_by_worker[worker]:
+                    fields = dict(event)
+                    kind = fields.pop("type")
+                    fields.setdefault("round", round_index)
+                    tel.event(kind, **fields)
         return [results[cid] for cid in client_ids]
 
     def _receive(self, worker: int):

@@ -646,6 +646,17 @@ class TestTelemetryBitIdentity:
         summary = summarize_trace(tmp_path / "trace.jsonl")
         assert summary["rounds"] == 8
         assert summary["phases"] == sorted(ENGINE_PHASES)
+        # A clean traced run raises no health alerts.
+        assert summary["health"]["healthy"]
+        if backend_name == "sharded":
+            # Worker-side tracing rode the result pipe: merged spans are
+            # attributed to worker processes, one per request per worker.
+            workers = [p for p in summary["span_seconds_by_process"]
+                       if p.startswith("worker-")]
+            assert sorted(workers) == ["worker-0", "worker-1"]
+            for worker in workers:
+                spans = summary["span_seconds_by_process"][worker]
+                assert set(spans) == {"worker.gradients"}
 
     @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
     def test_scenario_adaptive_deadline_identical_with_tracing(

@@ -59,7 +59,8 @@ VALID_EVENTS = {
         "downlink_elements": 9, "uplink_bytes": 864, "downlink_bytes": 144,
         "wall_seconds": 0.01, "phases": {"sample": 0.001, "eval": 0.002},
     },
-    "span": {"type": "span", "name": "collect", "seconds": 0.5},
+    "span": {"type": "span", "name": "collect", "seconds": 0.5,
+             "process": "parent"},
     "drop": {"type": "drop", "round": 3, "client_ids": [1, 4],
              "deadline": 2.5, "close_time": 2.5},
     "recovery": {"type": "recovery", "round": 5, "client_ids": [4]},
@@ -72,6 +73,8 @@ VALID_EVENTS = {
                 "detector": "trimmed_mean", "scores": [0.75]},
     "counters": {"type": "counters", "counters": {"pool.ipc_bytes_out": 10},
                  "gauges": {}},
+    "alert": {"type": "alert", "round": 7, "detector": "divergence",
+              "severity": "critical", "message": "non-finite loss"},
 }
 
 
@@ -165,6 +168,53 @@ class TestSinks:
         assert summary["recovered_clients"] == 1
         assert summary["span_seconds"] == {"collect": 0.5}
         assert summary["counters"] == {"pool.ipc_bytes_out": 10}
+        assert summary["span_seconds_by_process"] == {
+            "parent": {"collect": 0.5}
+        }
+        assert summary["flagged"] == {
+            "events": 1,
+            "by_detector": {"trimmed_mean": 1},
+            "top_clients": [[2, 1]],
+        }
+        assert summary["alerts"]["total"] == 1
+        assert summary["alerts"]["by_detector"] == {"divergence": 1}
+        assert summary["alerts"]["first"][0]["detector"] == "divergence"
+
+    def test_aggregator_ranks_flagged_offenders(self):
+        agg = MemoryAggregator()
+        for round_index, cids in enumerate(([3], [3, 5], [3, 5], [9])):
+            agg.add({"type": "flagged", "round": round_index,
+                     "client_ids": cids, "detector": "krum",
+                     "scores": [0.5] * len(cids)})
+        flagged = agg.summary()["flagged"]
+        assert flagged["events"] == 4
+        assert flagged["by_detector"] == {"krum": 4}
+        # Worst offender first; count ties break by client id.
+        assert flagged["top_clients"] == [[3, 3], [5, 2], [9, 1]]
+
+    def test_worker_spans_roll_up_by_process(self):
+        agg = MemoryAggregator()
+        for process, seconds in (("worker-0", 0.25), ("worker-1", 0.5),
+                                 ("worker-0", 0.25), ("parent", 1.0)):
+            agg.add({"type": "span", "name": "worker.gradients",
+                     "seconds": seconds, "process": process})
+        summary = agg.summary()
+        assert summary["span_seconds_by_process"] == {
+            "parent": {"worker.gradients": 1.0},
+            "worker-0": {"worker.gradients": 0.5},
+            "worker-1": {"worker.gradients": 0.5},
+        }
+        assert summary["span_seconds"] == {"worker.gradients": 2.0}
+
+    def test_jsonl_sink_is_a_context_manager(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write(VALID_EVENTS["span"])
+        assert len(path.read_text().splitlines()) == 1
+        with pytest.raises(RuntimeError):
+            with JsonlSink(path) as sink:
+                raise RuntimeError("mid-run failure")
+        assert sink._file.closed
 
 
 class TestTelemetryFacade:
@@ -296,7 +346,8 @@ def _deterministic_subset(summary):
     """The summary minus its wall-clock fields (which vary run to run)."""
     return {
         key: value for key, value in summary.items()
-        if key not in ("phase_seconds", "wall_seconds", "span_seconds")
+        if key not in ("phase_seconds", "wall_seconds", "span_seconds",
+                       "span_seconds_by_process")
     }
 
 
@@ -333,7 +384,8 @@ class TestTraceReport:
 
     def test_summarize_rejects_corrupt_lines(self, tmp_path):
         bad = tmp_path / "bad.jsonl"
-        bad.write_text('{"type": "span", "name": "x", "seconds": 0.1}\n'
+        bad.write_text('{"type": "span", "name": "x", "seconds": 0.1,'
+                       ' "process": "parent"}\n'
                        "not json\n")
         with pytest.raises(ValueError, match="bad.jsonl:2"):
             summarize_trace(bad)
@@ -437,6 +489,354 @@ class TestLogging:
         assert root.level == logging.DEBUG
         configure_cli_logging(verbose=False)
         assert root.level == logging.INFO
+
+
+class TestHealthMonitor:
+    def _round(self, i, loss, participants=6, dropped=0, phases=None):
+        return {
+            "type": "round", "round": i, "k": 9.0, "round_time": 2.0,
+            "cumulative_time": 2.0 * i, "loss": loss, "participants":
+            participants, "dropped": dropped, "uplink_elements": 9,
+            "downlink_elements": 9, "uplink_bytes": 144,
+            "downlink_bytes": 144, "wall_seconds": 0.01,
+            "phases": phases or {"local_steps": 0.001},
+        }
+
+    def test_clean_run_raises_nothing(self):
+        from repro.obs import HealthMonitor
+
+        monitor = HealthMonitor()
+        for i in range(1, 20):
+            assert monitor.observe(self._round(i, 1.0 / i)) == []
+        summary = monitor.summary()
+        assert summary["healthy"] and summary["alerts"] == []
+        assert summary["rounds_observed"] == 19
+
+    def test_nan_loss_raises_divergence(self):
+        from repro.obs import HealthMonitor
+
+        monitor = HealthMonitor()
+        monitor.observe(self._round(1, 0.9))
+        alerts = monitor.observe(self._round(2, float("nan")))
+        assert len(alerts) == 1
+        assert alerts[0]["detector"] == "divergence"
+        assert alerts[0]["severity"] == "critical"
+        assert alerts[0]["round"] == 2
+        validate_event({"type": "alert", **alerts[0]})
+        # Latched: a second NaN round does not re-alert.
+        assert monitor.observe(self._round(3, float("nan"))) == []
+
+    def test_loss_explosion_raises_divergence(self):
+        from repro.obs import HealthMonitor
+
+        monitor = HealthMonitor()
+        for i in range(1, 5):
+            assert monitor.observe(self._round(i, 1.0)) == []
+        alerts = monitor.observe(self._round(5, 1.0e4))
+        assert [a["detector"] for a in alerts] == ["divergence"]
+
+    def test_none_loss_rounds_are_ignored(self):
+        # The engine serializes NaN (non-evaluated) losses as null.
+        from repro.obs import HealthMonitor
+
+        monitor = HealthMonitor()
+        for i in range(1, 10):
+            assert monitor.observe(self._round(i, None)) == []
+        assert monitor.summary()["healthy"]
+
+    def test_drop_rate_accumulation_alarm(self):
+        from repro.obs import HealthMonitor
+
+        monitor = HealthMonitor()
+        alerts = []
+        for i in range(1, 8):
+            alerts += monitor.observe(
+                self._round(i, 0.5, participants=4, dropped=3)
+            )
+        assert [a["detector"] for a in alerts] == ["drop_rate"]
+        assert alerts[0]["severity"] == "warning"
+
+    def test_flagged_accumulation_alarm(self):
+        from repro.obs import HealthMonitor
+
+        monitor = HealthMonitor()
+        alerts = []
+        for i in range(1, 5):
+            alerts += monitor.observe({
+                "type": "flagged", "round": i, "client_ids": [7, i],
+                "detector": "trimmed_mean", "scores": [0.9, 0.1],
+            })
+        assert [a["detector"] for a in alerts] == ["flagged_accumulation"]
+        assert alerts[0]["client_id"] == 7
+        assert alerts[0]["times_flagged"] == 3
+
+    def test_stall_detection_robust_zscore(self):
+        from repro.obs import HealthConfig, HealthMonitor, robust_zscore
+
+        assert robust_zscore(1.0, []) == 0.0
+        assert robust_zscore(5.0, [1.0, 1.0, 1.0]) == 0.0  # MAD degenerate
+        history = [1.0, 1.1, 0.9, 1.05, 0.95, 1.0, 1.02, 0.98]
+        assert robust_zscore(10.0, history) > 8.0
+
+        monitor = HealthMonitor(HealthConfig(stall_min_seconds=0.05))
+        alerts = []
+        for i in range(1, 12):
+            seconds = 2.0 if i == 11 else 0.1 + 0.001 * (i % 3)
+            alerts += monitor.observe(
+                self._round(i, 0.5, phases={"local_steps": seconds})
+            )
+        assert [a["detector"] for a in alerts] == ["stall"]
+        assert alerts[0]["phase"] == "local_steps"
+
+    def test_eval_phase_excluded_from_stall(self):
+        from repro.obs import HealthConfig, HealthMonitor
+
+        monitor = HealthMonitor(HealthConfig(stall_min_seconds=0.0))
+        alerts = []
+        for i in range(1, 15):
+            # eval is bimodal by design: cadence rounds vs skipped rounds.
+            seconds = 3.0 if i % 3 == 0 else 0.001
+            alerts += monitor.observe(
+                self._round(i, 0.5, phases={"eval": seconds})
+            )
+        assert alerts == []
+
+    def test_scan_trace_flags_injected_nan_loss(self, tmp_path):
+        from repro.obs import scan_trace
+
+        trace = tmp_path / "nan.jsonl"
+        rows = [self._round(i, 1.0) for i in range(1, 4)]
+        rows.append(self._round(4, float("nan")))
+        # json.dumps writes bare NaN tokens — exactly the third-party
+        # trace shape the scanner must survive (our sink never does).
+        trace.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        monitor = scan_trace(trace)
+        summary = monitor.summary()
+        assert not summary["healthy"]
+        assert summary["by_detector"] == {"divergence": 1}
+
+    def test_live_health_emits_alert_events(self, tmp_path):
+        from repro.obs import HealthMonitor
+
+        def emit(tel, row):
+            row = dict(row)
+            tel.event(row.pop("type"), **row)
+
+        path = tmp_path / "trace.jsonl"
+        tel = Telemetry(sink=JsonlSink(path), health=HealthMonitor())
+        emit(tel, self._round(1, 0.9))
+        emit(tel, self._round(2, 1e6))  # lacks warmup: no alert yet
+        for i in range(3, 6):
+            emit(tel, self._round(i, 0.5))
+        emit(tel, self._round(6, float("inf")))
+        tel.close()
+        events = [json.loads(l) for l in path.read_text().splitlines()]
+        alerts = [e for e in events if e["type"] == "alert"]
+        assert len(alerts) == 1 and alerts[0]["detector"] == "divergence"
+        # Alert events are schema-valid in the stream.
+        for event in events:
+            validate_event(event)
+
+    def test_trace_report_health_section(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        _golden_traced_run(trace)
+        summary = summarize_trace(trace)
+        assert summary["health"]["healthy"]
+        assert summary["health"]["alerts"] == []
+        report = format_trace_report(summary)
+        assert "health:   OK" in report
+
+        bad = tmp_path / "bad.jsonl"
+        rows = [self._round(i, 1.0) for i in range(1, 4)]
+        rows.append(self._round(4, float("nan")))
+        bad.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        summary = summarize_trace(bad)
+        assert not summary["health"]["healthy"]
+        report = format_trace_report(summary)
+        assert "divergence" in report and "[critical]" in report
+
+
+class TestExceptionSafety:
+    def test_mid_run_raise_still_flushes_buffered_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tel = open_telemetry(str(path))
+        trainer = _trainer("serial", telemetry=tel)
+        with pytest.raises(RuntimeError, match="mid-run"):
+            try:
+                with tel:
+                    trainer.run(2, k=10)
+                    tel.count("driver.units", 1)
+                    raise RuntimeError("mid-run failure")
+            finally:
+                trainer.close()
+        assert tel.sink._file.closed
+        events = [json.loads(l) for l in path.read_text().splitlines()]
+        kinds = [e["type"] for e in events]
+        assert "round" in kinds
+        # close() on the exception path flushed the pending counters.
+        assert kinds[-1] == "counters"
+        assert events[-1]["counters"]["driver.units"] == 1
+
+    def test_driver_closes_telemetry_when_backend_teardown_fails(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.experiments import scenario as scenario_mod
+        from repro.experiments.config import ExperimentConfig
+
+        real_build = scenario_mod.build_backend
+
+        def exploding_build(config):
+            backend = real_build(config)
+            original_close = backend.close
+
+            def close():
+                original_close()
+                raise RuntimeError("backend teardown failed")
+
+            backend.close = close
+            return backend
+
+        monkeypatch.setattr(scenario_mod, "build_backend", exploding_build)
+        path = tmp_path / "trace.jsonl"
+        config = ExperimentConfig.smoke().with_overrides(
+            telemetry=str(path), num_rounds=2,
+        )
+        with pytest.raises(RuntimeError, match="teardown failed"):
+            scenario_mod.run_scenario(config)
+        events = [json.loads(l) for l in path.read_text().splitlines()]
+        # The sink was flushed and closed despite the backend failure.
+        assert any(e["type"] == "round" for e in events)
+
+
+class TestBenchDiff:
+    def _report(self, rps, host=None):
+        return {
+            "host": host or {
+                "timestamp_utc": "2026-08-08T00:00:00+00:00",
+                "machine": "x86_64", "cpu_count": 4, "usable_cpus": 4,
+            },
+            "results": [{
+                "model": "mlp", "num_clients": 24, "rounds": 60,
+                "rounds_per_second": {"serial": rps, "vectorized": 2 * rps},
+                "vectorized_speedup": 2.0,
+            }],
+        }
+
+    def test_flatten_and_entry(self):
+        from repro.obs.export import bench_history_entry
+
+        entry = bench_history_entry("BENCH_engine", self._report(100.0))
+        assert entry["bench"] == "BENCH_engine"
+        assert entry["host_signature"] == "x86_64/4/4"
+        assert entry["metrics"]["mlp.n24.rounds_per_second.serial"] == 100.0
+        assert entry["metrics"]["mlp.n24.vectorized_speedup"] == 2.0
+        assert len(entry["fingerprint"]) == 16
+
+    def test_history_append_is_idempotent(self, tmp_path):
+        from repro.obs.export import (
+            append_bench_history,
+            bench_history_entry,
+            load_bench_history,
+        )
+
+        path = tmp_path / "BENCH_history.jsonl"
+        entry = bench_history_entry("BENCH_engine", self._report(100.0))
+        assert append_bench_history(path, [entry]) == 1
+        assert append_bench_history(path, [entry]) == 0
+        other = bench_history_entry("BENCH_engine", self._report(90.0))
+        assert append_bench_history(path, [other]) == 1
+        assert len(load_bench_history(path)) == 2
+
+    def test_metric_directions(self):
+        from repro.obs.export import metric_direction
+
+        assert metric_direction("mlp.rounds_per_second.serial") == "higher"
+        assert metric_direction("vectorized_speedup") == "higher"
+        assert metric_direction("sweep.cold_seconds") == "lower"
+        assert metric_direction("telemetry.enabled_overhead_pct") == "lower"
+        assert metric_direction("num_clients") == "info"
+
+    def test_two_x_slowdown_detected(self):
+        from repro.obs.export import bench_history_entry, diff_bench_report
+
+        baseline = bench_history_entry("BENCH_engine", self._report(100.0))
+        slow = self._report(50.0)  # synthetic 2x slowdown
+        diff = diff_bench_report("BENCH_engine", slow, [baseline])
+        assert diff["status"] == "regressed"
+        regressed = {r["metric"] for r in diff["rows"]
+                     if r["status"] == "regressed"}
+        assert "mlp.n24.rounds_per_second.serial" in regressed
+        # Informational metrics (client counts) never gate.
+        assert "mlp.n24.num_clients" not in regressed
+
+    def test_host_mismatch_is_informational(self):
+        from repro.obs.export import bench_history_entry, diff_bench_report
+
+        other_host = {"timestamp_utc": "2026-08-01T00:00:00+00:00",
+                      "machine": "arm64", "cpu_count": 10, "usable_cpus": 10}
+        baseline = bench_history_entry(
+            "BENCH_engine", self._report(100.0, host=other_host)
+        )
+        diff = diff_bench_report(
+            "BENCH_engine", self._report(50.0), [baseline]
+        )
+        assert diff["status"] == "informational"
+        assert not diff["host_match"]
+
+    def test_no_baseline_skips(self):
+        from repro.obs.export import diff_bench_report
+
+        diff = diff_bench_report("BENCH_engine", self._report(100.0), [])
+        assert diff["status"] == "no_baseline"
+
+    def test_bench_diff_cli_exits_nonzero_on_regression(
+        self, tmp_path, capsys
+    ):
+        from repro import cli
+        from repro.obs.export import append_bench_history, bench_history_entry
+
+        (tmp_path / "BENCH_engine.json").write_text(
+            json.dumps([self._report(50.0)])
+        )
+        history = tmp_path / "BENCH_history.jsonl"
+        append_bench_history(history, [
+            bench_history_entry("BENCH_engine", self._report(100.0)),
+        ])
+        assert cli.main(["bench-diff", "--dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "regressed" in out and "rounds_per_second" in out
+
+        assert cli.main(
+            ["bench-diff", "--dir", str(tmp_path), "--json"]
+        ) == 1
+        diffs = json.loads(capsys.readouterr().out)
+        assert diffs[0]["status"] == "regressed"
+
+        # Within tolerance: a matching snapshot passes.
+        (tmp_path / "BENCH_engine.json").write_text(
+            json.dumps([self._report(95.0)])
+        )
+        assert cli.main(["bench-diff", "--dir", str(tmp_path)]) == 0
+
+    def test_backfill_records_committed_reports(self, tmp_path):
+        import sys
+
+        sys.path.insert(0, str(
+            pathlib.Path(__file__).parent.parent / "benchmarks"
+        ))
+        try:
+            import history as bench_history
+        finally:
+            sys.path.pop(0)
+        (tmp_path / "BENCH_engine.json").write_text(
+            json.dumps([self._report(100.0), self._report(90.0)])
+        )
+        out = tmp_path / "BENCH_history.jsonl"
+        assert bench_history.backfill(tmp_path, out) == 2
+        assert bench_history.backfill(tmp_path, out) == 0  # idempotent
+        assert bench_history.record_report(
+            tmp_path / "BENCH_engine.json", self._report(80.0), out
+        ) == 1
 
 
 class TestConfigThreading:

@@ -165,6 +165,110 @@ class TestWorkerPool:
 
 
 # ----------------------------------------------------------------------
+# Worker-side tracing over the pool protocol
+# ----------------------------------------------------------------------
+class TestWorkerTracing:
+    def _registered_pool(self):
+        fed = _federation()
+        model = make_logistic(36, 8, seed=1)
+        pool = WorkerPool(num_workers=2, dimension=model.dimension)
+        pool.broadcast_model(0, model)
+        for shard in fed.clients:
+            pool.register_clients(
+                pool.worker_of(shard.client_id), 0,
+                {shard.client_id: (shard, 8)},
+            )
+        return pool, model, [c.client_id for c in fed.clients]
+
+    def test_untraced_request_ships_no_events(self):
+        # The raising-Null proof extends across the pipe: with telemetry
+        # disabled the trace flag is False and the worker does zero
+        # telemetry work — the reply's event slot is None, not [].
+        pool, model, ids = self._registered_pool()
+        try:
+            pool._conns[0].send(("grads", 0, [ids[0]], False, False))
+            status, (out, events) = pool._conns[0].recv()
+            assert status == "ok"
+            assert len(out) == 1
+            assert events is None
+        finally:
+            pool.close()
+
+    def test_traced_request_ships_buffered_spans(self):
+        pool, model, ids = self._registered_pool()
+        try:
+            worker_ids = [cid for cid in ids if pool.worker_of(cid) == 1]
+            for request in range(2):
+                pool._conns[1].send(("grads", 0, worker_ids, False, True))
+                status, (out, events) = pool._conns[1].recv()
+                assert status == "ok"
+                (span,) = events
+                assert span["type"] == "span"
+                assert span["name"] == "worker.gradients"
+                assert span["process"] == "worker-1"
+                assert span["clients"] == len(worker_ids)
+                assert span["regenerated"] == 0  # real arrays, no specs
+                assert span["seconds"] >= 0.0
+                # seq is worker-lifetime monotonic, so multiple requests
+                # within one round still merge deterministically.
+                assert span["seq"] == request
+        finally:
+            pool.close()
+
+    def test_merged_stream_is_deterministic(self, tmp_path):
+        # Two identical traced sharded runs must produce byte-identical
+        # merged JSONL once wall-clock fields are stripped.
+        def traced_run(path):
+            from repro.obs import JsonlSink, Telemetry
+
+            telemetry = Telemetry(sink=JsonlSink(path))
+            backend = ShardedBackend(jobs=2)
+            trainer = _trainer(backend)
+            trainer.engine.telemetry = telemetry
+            backend.telemetry = telemetry
+            try:
+                trainer.run(4, k=8)
+            finally:
+                trainer.close()
+                telemetry.close()
+
+        def normalize(line):
+            event = json.loads(line)
+            event.pop("seconds", None)
+            event.pop("wall_seconds", None)
+            if "phases" in event:
+                event["phases"] = sorted(event["phases"])
+            if event.get("type") == "counters":
+                event["counters"] = {
+                    name: value
+                    for name, value in event["counters"].items()
+                    if not name.endswith("_seconds")
+                }
+            return json.dumps(event, sort_keys=True)
+
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            traced_run(path)
+        streams = [
+            [normalize(line) for line in path.read_text().splitlines()]
+            for path in paths
+        ]
+        assert streams[0] == streams[1]
+
+        events = [json.loads(line)
+                  for line in paths[0].read_text().splitlines()]
+        worker_spans = [e for e in events
+                        if e.get("process", "").startswith("worker-")]
+        assert worker_spans, "worker events must reach the merged stream"
+        # Deterministic (round, worker_id, seq) merge order.
+        keys = [(e["round"], e["process"], e["seq"]) for e in worker_spans]
+        assert keys == sorted(keys)
+        for span in worker_spans:
+            assert span["name"] == "worker.gradients"
+            assert span["round"] >= 1
+
+
+# ----------------------------------------------------------------------
 # ShardedBackend bookkeeping (equivalence is in test_engine.py)
 # ----------------------------------------------------------------------
 class TestShardedBackend:
