@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli sweep --scale smoke --jobs 2
     python -m repro.cli scenario --deadline 2.5 2.5 9 --over-selection 0.3
     python -m repro.cli scenario --deadline-policy adaptive
+    python -m repro.cli scenario --async --staleness adaptive
     python -m repro.cli scenario --adversary-fraction 0.25 --aggregator median
     python -m repro.cli adversary --adversary-kind sign_flip
     python -m repro.cli list
@@ -32,7 +33,12 @@ accumulation); see :mod:`repro.scenarios` and :mod:`repro.experiments.
 scenario`.  ``--deadline-policy {fixed,cycling,adaptive}`` selects how
 the deadline evolves — ``adaptive`` learns it online (the dual of the
 learned k) — and the run also writes a fixed-vs-cycling-vs-adaptive
-comparison panel (``scenario_deadline_policies``).
+comparison panel (``scenario_deadline_policies``).  ``--async`` (or any
+of ``--staleness``/``--commit-count``) additionally runs the
+asynchronous staleness-weighted commit comparison
+(:mod:`repro.fl.async_engine`): the synchronous full-barrier baseline
+vs async commits under each staleness discount on the same
+heterogeneous timing, written as ``scenario_async_*`` artifacts.
 
 ``adversary`` runs the Byzantine attack x defense panel
 (:mod:`repro.experiments.adversary`): the same FAB-top-k trainer per
@@ -169,6 +175,21 @@ def _add_scenario_flags(p: argparse.ArgumentParser) -> None:
                    help="fraction of clients that are stragglers")
     p.add_argument("--slow-factor", type=float, default=None,
                    help="compute+comm slowdown of a straggler")
+    p.add_argument("--async", dest="async_mode", action="store_const",
+                   const=True, default=None,
+                   help="additionally run the asynchronous staleness-"
+                        "weighted commit comparison (sync barrier vs "
+                        "async commits per staleness discount, equal "
+                        "simulated time; writes scenario_async_*)")
+    p.add_argument("--staleness", default=None,
+                   choices=("constant", "poly", "polynomial", "adaptive"),
+                   help="staleness discount of async commits: constant "
+                        "(no correction), poly[nomial] (1+s)^-a, or "
+                        "adaptive (the exponent a learned online, a "
+                        "third dual of the learned k); implies --async")
+    p.add_argument("--commit-count", type=int, default=None,
+                   help="arrivals the async server buffers per commit "
+                        "(0 = half the target cohort); implies --async")
     p.add_argument("--population", type=int, default=None, metavar="N",
                    help="run over a virtual population of N clients "
                         "(e.g. 1000000): per-client data, availability "
@@ -248,6 +269,8 @@ def _scenario_overrides(
         ("over_selection", "over_selection"), ("min_uploads", "min_uploads"),
         ("reweight", "reweight"), ("slow_fraction", "slow_fraction"),
         ("slow_factor", "slow_factor"),
+        ("async_mode", "async_mode"), ("staleness", "staleness_discount"),
+        ("commit_count", "commit_count"),
         ("deadline_policy", "deadline_policy"),
         ("deadline_min", "deadline_min"), ("deadline_max", "deadline_max"),
         ("adversary_kind", "adversary"),
@@ -265,6 +288,11 @@ def _scenario_overrides(
     ):
         # A positive fraction needs an attack; default to the headline one.
         overrides["adversary"] = "sign_flip"
+    if "async_mode" not in overrides and (
+        "staleness_discount" in overrides or "commit_count" in overrides
+    ):
+        # Async-only knobs are a request for the async comparison.
+        overrides["async_mode"] = True
     if args.deadline is not None:
         overrides["deadline"] = (
             args.deadline[0] if len(args.deadline) == 1

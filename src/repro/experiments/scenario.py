@@ -28,6 +28,14 @@ schedule, and the online-learned adaptive deadline (the dual of the
 learned k; :class:`repro.scenarios.deadline.AdaptiveDeadlinePolicy`) —
 loss vs simulated time plus the per-round deadline each policy had in
 force.
+
+A third driver, :func:`run_async_comparison`, drops the deadline answer
+to stragglers entirely and compares commit *disciplines*: the
+synchronous full-barrier baseline against asynchronous staleness-
+weighted commits (:class:`repro.fl.async_engine.AsyncFLTrainer`) under
+each staleness discount, on the same heterogeneous timing — loss vs
+simulated time plus per-commit staleness (and the adaptive discount's
+learned exponent trace).
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ from repro.experiments.runner import (
     build_scenario,
     build_telemetry,
 )
+from repro.fl.async_engine import AsyncFLTrainer
 from repro.fl.metrics import TrainingHistory
 from repro.fl.trainer import FLTrainer
 from repro.online.adaptive_trainer import AdaptiveKTrainer
@@ -53,6 +62,11 @@ from repro.simulation.timing import TimingModel
 from repro.sparsify.fab_topk import FABTopK
 
 METHODS = ("fixed-k", "adaptive-k")
+
+#: async comparison variants: the wait-for-everyone synchronous baseline
+#: plus one async trainer per staleness-discount kind
+ASYNC_VARIANTS = ("sync", "async-constant", "async-polynomial",
+                  "async-adaptive")
 
 #: cohort target a population-scale run falls back to when its scenario
 #: does not name one — ``participants=0`` means "all available", which
@@ -291,6 +305,33 @@ def run_dirichlet_sweep(
     return fig
 
 
+def _times_to_loss(
+    histories: dict[str, TrainingHistory], target: float
+) -> dict[str, float]:
+    """Per-label simulated time to first recorded loss <= target.
+
+    ``inf`` for labels that never reach it — the comparison both the
+    adaptive-vs-best-fixed and the async-vs-sync acceptance rest on.
+    """
+    times: dict[str, float] = {}
+    for label, history in histories.items():
+        times[label] = float("inf")
+        for record in history:
+            if record.loss == record.loss and record.loss <= target:
+                times[label] = record.cumulative_time
+                break
+    return times
+
+
+def _last_losses(histories: dict[str, TrainingHistory]) -> dict[str, float]:
+    """Last evaluated loss per label (the reachable-target anchor)."""
+    losses: dict[str, float] = {}
+    for label, history in histories.items():
+        evaluated = [r.loss for r in history if r.loss == r.loss]
+        losses[label] = evaluated[-1] if evaluated else float("inf")
+    return losses
+
+
 # ----------------------------------------------------------------------
 # Deadline-policy comparison (fixed vs cycling vs adaptive)
 # ----------------------------------------------------------------------
@@ -306,27 +347,12 @@ class DeadlineAdaptationResult:
     stats: dict[str, dict] = field(default_factory=dict)
 
     def time_to_loss(self, target: float) -> dict[str, float]:
-        """Per-policy simulated time to first recorded loss <= target.
-
-        ``inf`` for policies that never reach it — the comparison the
-        adaptive-vs-best-fixed acceptance rests on.
-        """
-        times: dict[str, float] = {}
-        for label, history in self.histories.items():
-            times[label] = float("inf")
-            for record in history:
-                if record.loss == record.loss and record.loss <= target:
-                    times[label] = record.cumulative_time
-                    break
-        return times
+        """Per-policy simulated time to first recorded loss <= target."""
+        return _times_to_loss(self.histories, target)
 
     def final_losses(self) -> dict[str, float]:
         """Last evaluated loss per policy (the reachable-target anchor)."""
-        losses: dict[str, float] = {}
-        for label, history in self.histories.items():
-            evaluated = [r.loss for r in history if r.loss == r.loss]
-            losses[label] = evaluated[-1] if evaluated else float("inf")
-        return losses
+        return _last_losses(self.histories)
 
 
 def supports_deadline_comparison(scenario: ScenarioConfig) -> bool:
@@ -473,6 +499,159 @@ def run_deadline_adaptation(
         "time to shared target loss "
         f"{reachable:.6g}: {json.dumps(result.time_to_loss(reachable), sort_keys=True)}"
     )
+    loss_fig.notes.append(
+        f"scenario: {json.dumps(result.scenario, sort_keys=True)}"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Asynchronous staleness-weighted commits vs the synchronous barrier
+# ----------------------------------------------------------------------
+@dataclass
+class AsyncComparisonResult:
+    """Per-variant loss curves + staleness traces of one comparison."""
+
+    k: int
+    commit_count: int
+    scenario: dict
+    loss_vs_time: FigureData
+    staleness: FigureData
+    histories: dict[str, TrainingHistory] = field(default_factory=dict)
+
+    def time_to_loss(self, target: float) -> dict[str, float]:
+        """Per-variant simulated time to first recorded loss <= target."""
+        return _times_to_loss(self.histories, target)
+
+    def final_losses(self) -> dict[str, float]:
+        """Last evaluated loss per variant (the reachable-target anchor)."""
+        return _last_losses(self.histories)
+
+
+def resolve_commit_count(scenario: ScenarioConfig, num_clients: int) -> int:
+    """The async commit batch size a scenario config implies.
+
+    An explicit ``commit_count`` wins; 0 derives half the target cohort
+    (the scenario's ``participants``, else the whole population) — the
+    server commits once the fast half lands, so stragglers arrive stale
+    instead of stalling the round.
+    """
+    if scenario.commit_count:
+        return scenario.commit_count
+    cohort = scenario.participants or num_clients
+    return max(1, cohort // 2)
+
+
+def run_async_comparison(
+    config: ExperimentConfig,
+    k: int | None = None,
+    time_budget: float | None = None,
+) -> AsyncComparisonResult:
+    """Sync barrier vs async staleness-weighted commits, equal sim time.
+
+    All variants share the availability realization, straggler profiles
+    and cohort sampling (same scenario seed) with the deadline cleared —
+    the synchronous baseline pays the full barrier (every round waits
+    for its slowest participant under the heterogeneous timing model),
+    while the async variants commit after ``commit_count`` arrivals and
+    differ only in their staleness discount
+    (:data:`repro.fl.async_engine.STALENESS_DISCOUNT_KINDS`).  The panel
+    answers the question the async engine exists for: does decoupling
+    commits from stragglers buy convergence per simulated second, and
+    does discounting staleness keep the late uploads from hurting?
+    """
+    config = resolve_scenario_config(config)
+    if config.population:
+        raise ValueError(
+            "the async comparison enumerates straggler profiles; virtual "
+            "populations (population > 0) are not supported"
+        )
+    dimension, k, time_budget, max_rounds = _scenario_budget(
+        config, k, time_budget
+    )
+    assert config.scenario is not None
+    scenario_config = ScenarioConfig.from_dict(config.scenario)
+    commit_count = resolve_commit_count(scenario_config, config.num_clients)
+    # The deadline family is the synchronous answer to stragglers; both
+    # sides run without it so the comparison isolates the commit
+    # discipline (the async engine ignores deadline hooks by design).
+    base = scenario_config.with_overrides(
+        deadline=None, deadline_policy="fixed",
+        deadline_min=None, deadline_max=None,
+    )
+
+    loss_fig = FigureData(title="Async commits: loss vs simulated time")
+    stale_fig = FigureData(title="Async commits: per-commit staleness")
+    result = AsyncComparisonResult(
+        k=k, commit_count=commit_count, scenario=dict(config.scenario),
+        loss_vs_time=loss_fig, staleness=stale_fig,
+    )
+
+    backend = build_backend(config)
+    telemetry = build_telemetry(config)
+    try:
+        for label in ASYNC_VARIANTS:
+            telemetry.annotate(figure="scenario-async", method=label)
+            model = build_model(config)
+            federation = build_federation(config)
+            client_ids = [c.client_id for c in federation.clients]
+            timing, scenario = build_scenario(
+                config.with_overrides(scenario=base.to_dict()),
+                client_ids, dimension,
+            )
+            assert scenario is not None
+            common = dict(
+                learning_rate=config.learning_rate,
+                batch_size=config.batch_size,
+                eval_every=config.eval_every,
+                eval_max_samples=config.eval_max_samples,
+                backend=backend,
+                scenario=scenario,
+                telemetry=(telemetry if telemetry.enabled else None),
+                seed=config.seed,
+            )
+            if label == "sync":
+                trainer = FLTrainer(
+                    model, federation, FABTopK(), timing=timing, **common
+                )
+            else:
+                trainer = AsyncFLTrainer(
+                    model, federation, FABTopK(), timing=timing,
+                    discount=label.removeprefix("async-"),
+                    commit_count=commit_count, **common,
+                )
+            _step_for_budget(trainer, k, time_budget, max_rounds)
+            result.histories[label] = trainer.history
+            xs, losses, _, _ = _evaluated_curves(trainer.history)
+            loss_fig.add(label, xs, losses)
+            if isinstance(trainer, AsyncFLTrainer):
+                trace = trainer.staleness_history
+                stale_fig.add(
+                    label,
+                    [float(i + 1) for i in range(len(trace))],
+                    trace,
+                )
+                if trainer.discount.adaptive:
+                    exponents = trainer.discount.exponent_history
+                    stale_fig.add(
+                        f"{label} exponent",
+                        [float(i + 1) for i in range(len(exponents))],
+                        [float(a) for a in exponents],
+                    )
+    finally:
+        # Nested so a backend teardown failure still flushes and closes
+        # the telemetry sink (buffered events must survive mid-run raises).
+        try:
+            backend.close()
+        finally:
+            telemetry.close()
+    reachable = max(result.final_losses().values())
+    loss_fig.notes.append(
+        "time to shared target loss "
+        f"{reachable:.6g}: "
+        f"{json.dumps(result.time_to_loss(reachable), sort_keys=True)}"
+    )
+    loss_fig.notes.append(f"commit_count: {commit_count}")
     loss_fig.notes.append(
         f"scenario: {json.dumps(result.scenario, sort_keys=True)}"
     )

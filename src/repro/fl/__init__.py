@@ -27,23 +27,41 @@ from repro.fl.backends import (
 )
 from repro.fl.client import Client
 from repro.fl.engine import RoundEngine, RoundHooks
+from repro.fl.async_engine import (
+    STALENESS_DISCOUNT_KINDS,
+    AdaptiveStalenessDiscount,
+    AsyncFLTrainer,
+    AsyncRoundEngine,
+    ConstantDiscount,
+    PolynomialDiscount,
+    StalenessDiscount,
+    build_staleness_discount,
+)
 from repro.fl.fedavg import AlwaysSendAllTrainer, FedAvgTrainer
 from repro.fl.metrics import RoundRecord, TrainingHistory
 from repro.fl.server import Server
 from repro.fl.trainer import FLTrainer
 
 __all__ = [
+    "STALENESS_DISCOUNT_KINDS",
+    "AdaptiveStalenessDiscount",
     "AlwaysSendAllTrainer",
+    "AsyncFLTrainer",
+    "AsyncRoundEngine",
     "Client",
+    "ConstantDiscount",
     "ExecutionBackend",
     "FedAvgTrainer",
     "FLTrainer",
+    "PolynomialDiscount",
     "RoundEngine",
     "RoundHooks",
     "RoundRecord",
     "SerialBackend",
     "Server",
+    "StalenessDiscount",
     "TrainingHistory",
     "VectorizedBackend",
+    "build_staleness_discount",
     "resolve_backend",
 ]

@@ -1,0 +1,817 @@
+"""Asynchronous staleness-weighted aggregation: commit-point rounds.
+
+The paper's protocol is synchronous: every round waits for its slowest
+participant before the server aggregates.  This module adds the
+asynchronous variant as an *event-queue re-interpretation* of the same
+Algorithm-1 machinery: clients compute continuously, their uploads
+arrive at the server in virtual time, and "round m" becomes the server's
+m-th **commit point** — the moment it folds the next batch of arrivals
+into the synchronized weights.
+
+Mechanics (one :meth:`AsyncRoundEngine.run_commit`):
+
+1. **Dispatch** — every idle client starts a local step at the current
+   weights ``w(v)``; the upload it will produce is computed eagerly (one
+   ``backend.local_steps`` call per wave, so the serial / vectorized /
+   sharded backends stay interchangeable) and scheduled to *arrive* at
+   ``now + finish_time``, where the finish time is the canonical
+   compute+uplink arrival model every deadline policy already shares
+   (:func:`repro.scenarios.deadline.upload_finish_times`).  Each
+   in-flight upload carries the model version it was computed at.
+2. **Commit** — the server pops arrivals in ``(arrival_time,
+   client_id)`` order until ``commit_count`` uploads are buffered
+   (``0`` = wait for every in-flight upload, the full-cohort barrier),
+   orders the batch by dispatch sequence (so the synchronous special
+   case sums floats in exactly the plain trainer's client order),
+   applies the pluggable **staleness discount** ``d(s)`` to each
+   upload's wire values — ``s`` being the number of commits since the
+   upload's dispatch version — and runs the standard
+   preprocess → select → aggregate → update → residual-reset pipeline.
+   Residuals reset against the *undiscounted* preprocessed uploads: the
+   client's error-feedback bookkeeping reflects what it actually sent,
+   mirroring how the adversary seam restores honest payloads.
+3. **Re-dispatch** — committed clients become idle and start their next
+   local step at the new weights when the next commit begins; stragglers
+   stay in flight with their original arrival times.
+
+Synchronous-equivalence mode (``synchronous=True``) drives the identical
+event queue with a full-cohort barrier, an identity discount, and the
+engine's default timing charge — and reproduces the plain
+:class:`~repro.fl.trainer.FLTrainer` history *bit for bit* on every
+backend (enforced by ``tests/test_async.py``).  Asynchronous mode
+instead charges virtual time: each commit's ``round_time`` is the
+virtual-clock delta from the previous commit's completion to this one's
+(arrival close plus the downlink broadcast), so
+``history.cumulative_time`` is simulated elapsed time and
+convergence-vs-time comparisons against the synchronous baseline are
+direct.
+
+Staleness discounts (:func:`build_staleness_discount`):
+
+- ``constant`` — ``d(s) = c`` (default 1: pure FedAsync-style buffered
+  aggregation, no staleness correction);
+- ``polynomial`` — ``d(s) = (1 + s)^{-a}``, the standard polynomial
+  staleness attenuation;
+- ``adaptive`` — the polynomial form with the exponent ``a`` *learned
+  online*, a third dual of the paper's learned k: a
+  :class:`~repro.online.algorithm2.SignOGD` walk over an exponent
+  interval, fed by the Section IV-E sign estimator applied to a free
+  counterfactual probe.  Each commit with stale arrivals re-aggregates
+  the same batch under the probe exponent ``a' = max(a − δ/2, a/2)``
+  (``commit=False`` — pure server-side arithmetic, no extra
+  communication, no robust-aggregator state advanced), derives the
+  counterfactual weights, and compares loss progress; the commit cadence
+  does not depend on ``a``, so both "round times" in eq. (10)/(11) are
+  equal and the estimated sign reduces to the loss-progress comparison.
+
+Telemetry rides the existing registry — per-arrival ``span`` events
+named ``async.arrival`` (``seconds`` is the upload's *virtual* flight
+time) and ``staleness`` / ``staleness_max`` fields on the ordinary
+``round`` event — no new stream, so ``trace-report``, the health
+monitor, and the JSONL tooling consume async runs unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+
+import numpy as np
+
+from repro.fl.engine import EngineFacade, RoundEngine
+from repro.fl.metrics import RoundRecord, TrainingHistory
+from repro.obs import SPARSE_ELEMENT_BYTES
+from repro.online.algorithm2 import SignOGD
+from repro.online.estimator import estimate_sign
+from repro.online.interval import SearchInterval
+from repro.simulation.timing import TimingModel
+from repro.sparsify.base import ClientUpload, SparseVector, Sparsifier
+
+STALENESS_DISCOUNT_KINDS = ("constant", "polynomial", "adaptive")
+
+#: Exponent search interval of the adaptive discount.  The lower edge is
+#: strictly positive (SignOGD's interval invariant, and it keeps the
+#: probe point ``max(a − δ/2, a/2)`` strictly below ``a``); the upper
+#: edge ``2`` already discounts staleness 3 by a factor of 16 — steeper
+#: attenuation than that is indistinguishable from dropping the upload.
+DEFAULT_EXPONENT_INTERVAL = (0.05, 2.0)
+
+
+# ----------------------------------------------------------------------
+# Staleness discounts: how much weight an s-commits-old upload keeps
+# ----------------------------------------------------------------------
+class StalenessDiscount:
+    """Interface: per-upload weight multiplier as a function of staleness.
+
+    ``factor(s)`` multiplies the upload's *wire values* (the weighted
+    aggregation then shrinks that client's contribution — the server's
+    normalizing constant stays the undiscounted sample-count total, so a
+    discount scales the step rather than renormalizing over it).
+    """
+
+    name = "abstract"
+    #: whether :meth:`observe` feedback can move the discount
+    adaptive = False
+
+    def factor(self, staleness: int) -> float:
+        """The multiplier ``d(s) ∈ (0, 1]`` for staleness ``s >= 0``."""
+        raise NotImplementedError
+
+    def probe_exponent(self) -> float | None:
+        """The counterfactual exponent an adaptive discount wants probed
+        this commit (None = no probe — fixed discounts never probe)."""
+        return None
+
+    def observe(self, sign: int | None) -> None:
+        """Consume one commit's sign estimate (no-op for fixed forms)."""
+        del sign
+
+
+class ConstantDiscount(StalenessDiscount):
+    """``d(s) = c`` — staleness-blind; ``c = 1`` is no discount at all."""
+
+    name = "constant"
+
+    def __init__(self, value: float = 1.0) -> None:
+        value = float(value)
+        if not 0.0 < value <= 1.0:
+            raise ValueError("discount value must be in (0, 1]")
+        self.value = value
+
+    def factor(self, staleness: int) -> float:
+        if staleness < 0:
+            raise ValueError("staleness must be >= 0")
+        return self.value
+
+
+class PolynomialDiscount(StalenessDiscount):
+    """``d(s) = (1 + s)^{-a}`` — the standard polynomial attenuation."""
+
+    name = "polynomial"
+
+    def __init__(self, exponent: float = 0.5) -> None:
+        exponent = float(exponent)
+        if exponent < 0.0:
+            raise ValueError("exponent must be >= 0")
+        self.exponent = exponent
+
+    def factor(self, staleness: int) -> float:
+        if staleness < 0:
+            raise ValueError("staleness must be >= 0")
+        return float((1.0 + staleness) ** -self.exponent)
+
+
+class AdaptiveStalenessDiscount(StalenessDiscount):
+    """Polynomial discount with an online-learned exponent.
+
+    The third dual of the paper's learned k (after the learned deadline):
+    the exponent ``a`` is walked by Algorithm 2's
+    :class:`~repro.online.algorithm2.SignOGD` over ``interval``, and the
+    per-commit sign comes from the Section IV-E estimator
+    (:func:`repro.online.estimator.estimate_sign`) applied to a *free
+    counterfactual probe* — the engine re-aggregates the already-received
+    commit batch under ``a' = max(a − δ_m/2, a/2)`` entirely server-side
+    and compares loss progress.  Because the commit cadence (who arrived
+    when) does not depend on ``a``, the actual and counterfactual "round
+    times" of eq. (10) are equal and the sign reduces to which exponent
+    made more loss progress per commit.  Commits with no stale arrival
+    carry no information about ``a`` and advance the walk with ``None``
+    (the paper's "value remains unchanged" rule).  ``probe=False``
+    freezes the exponent at ``a₁`` — a "frozen adaptive" control.
+    """
+
+    name = "adaptive"
+    adaptive = True
+
+    def __init__(
+        self,
+        interval: SearchInterval | None = None,
+        a1: float | None = None,
+        probe: bool = True,
+    ) -> None:
+        if interval is None:
+            interval = SearchInterval(*DEFAULT_EXPONENT_INTERVAL)
+        self.interval = interval
+        self.algorithm = SignOGD(interval, k1=a1)
+        self.probe = probe
+
+    @property
+    def exponent(self) -> float:
+        """The continuous decision a_m for the current commit."""
+        return self.algorithm.k
+
+    @property
+    def exponent_history(self) -> list[float]:
+        """Every exponent played so far (the learned {a_m} trace)."""
+        return self.algorithm.k_history
+
+    def factor(self, staleness: int) -> float:
+        if staleness < 0:
+            raise ValueError("staleness must be >= 0")
+        return float((1.0 + staleness) ** -self.algorithm.k)
+
+    def probe_exponent(self) -> float | None:
+        if not self.probe:
+            return None
+        a = self.algorithm.k
+        # Strictly below a and strictly positive, like the adaptive
+        # deadline's probe clamp — the estimate is never unavailable at
+        # the interval's lower edge.
+        return max(a - self.algorithm.step_size() / 2.0, a / 2.0)
+
+    def observe(self, sign: int | None) -> None:
+        self.algorithm.update(sign)
+
+
+def build_staleness_discount(kind: str, **kwargs) -> StalenessDiscount:
+    """The staleness discount a config string names.
+
+    ``kwargs`` pass through to the class (``value`` for constant,
+    ``exponent`` for polynomial, ``interval``/``a1``/``probe`` for
+    adaptive).  ``"poly"`` is accepted as shorthand for ``"polynomial"``.
+    """
+    kind = {"poly": "polynomial", "const": "constant"}.get(kind, kind)
+    if kind == "constant":
+        return ConstantDiscount(**kwargs)
+    if kind == "polynomial":
+        return PolynomialDiscount(**kwargs)
+    if kind == "adaptive":
+        return AdaptiveStalenessDiscount(**kwargs)
+    raise ValueError(
+        f"unknown staleness discount {kind!r}; expected one of "
+        f"{STALENESS_DISCOUNT_KINDS}"
+    )
+
+
+# ----------------------------------------------------------------------
+# The event-queue engine
+# ----------------------------------------------------------------------
+class _InFlight:
+    """One dispatched upload travelling through virtual time."""
+
+    __slots__ = ("arrival", "seq", "client", "upload", "version",
+                 "dispatch_time")
+
+    def __init__(self, arrival, seq, client, upload, version,
+                 dispatch_time):
+        self.arrival = arrival
+        self.seq = seq
+        self.client = client
+        self.upload = upload
+        self.version = version
+        self.dispatch_time = dispatch_time
+
+
+class AsyncRoundEngine(RoundEngine):
+    """Event-queue commit engine over the :class:`RoundEngine` skeleton.
+
+    Parameters beyond the base engine's:
+
+    commit_count:
+        Arrivals buffered per commit; ``0`` waits for every in-flight
+        upload (the full-cohort barrier the synchronous special case
+        needs).
+    discount:
+        A :class:`StalenessDiscount` (default: identity
+        :class:`ConstantDiscount`).
+    profiles:
+        ``client_id ->`` :class:`~repro.simulation.heterogeneous.
+        ClientProfile` feeding the arrival-time model; clients missing
+        from the map travel at unit speed.
+    synchronous:
+        Equivalence mode: full-cohort barrier, identity discount, and
+        the engine's *default* timing charge — bit-identical to the
+        plain trainer.  Requires ``commit_count == 0`` and an identity
+        ``ConstantDiscount``.  Asynchronous mode instead fixes the
+        cohort at the first dispatch (clients run continuously; there is
+        no per-round resample) and charges virtual commit-to-commit
+        deltas.
+    """
+
+    def __init__(
+        self,
+        *args,
+        commit_count: int = 0,
+        discount: StalenessDiscount | None = None,
+        profiles=None,
+        synchronous: bool = False,
+        **kwargs,
+    ) -> None:
+        if kwargs.get("scenario_hooks") is not None:
+            raise ValueError(
+                "the async engine replaces the deadline/availability hook "
+                "mechanism with commit points; scenario_hooks are not "
+                "supported"
+            )
+        super().__init__(*args, **kwargs)
+        if commit_count < 0:
+            raise ValueError("commit_count must be >= 0 (0 = full cohort)")
+        self.discount = discount if discount is not None else ConstantDiscount()
+        if synchronous:
+            if commit_count != 0:
+                raise ValueError(
+                    "synchronous equivalence mode needs commit_count=0 "
+                    "(the full-cohort barrier)"
+                )
+            if not (
+                isinstance(self.discount, ConstantDiscount)
+                and self.discount.value == 1.0
+            ):
+                raise ValueError(
+                    "synchronous equivalence mode needs the identity "
+                    "ConstantDiscount"
+                )
+        self.commit_count = commit_count
+        self.profiles = dict(profiles) if profiles else {}
+        self.synchronous = synchronous
+        #: model version = commits applied so far
+        self._version = 0
+        #: virtual (simulated) time; advances at commit points
+        self._vclock = 0.0
+        self._queue: list[tuple[float, int, _InFlight]] = []
+        self._seq = 0
+        #: clients committed last round, idle until the next dispatch
+        #: (async mode; synchronous mode resamples every commit)
+        self._redispatch: list = []
+        self._started = False
+        #: L(w) at the previous probed commit's result (adaptive discount)
+        self._loss_prev: float | None = None
+        #: mean staleness of each commit's batch (the figure/bench trace;
+        #: identically zero in synchronous mode)
+        self.staleness_history: list[float] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Commits applied so far (the weights' version number)."""
+        return self._version
+
+    @property
+    def virtual_clock(self) -> float:
+        """Simulated time at the last commit's completion."""
+        return self._vclock
+
+    @property
+    def in_flight(self) -> int:
+        """Uploads currently travelling through virtual time."""
+        return len(self._queue)
+
+    def run_round(self, *args, **kwargs):
+        raise RuntimeError(
+            "AsyncRoundEngine runs commit points, not synchronous rounds; "
+            "use run_commit(k)"
+        )
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, wave, k: int) -> None:
+        """Start a local step for every client in ``wave`` at the current
+        weights and schedule the resulting uploads' virtual arrivals."""
+        if not wave:
+            return
+        # Local import: repro.scenarios imports the engine back (the
+        # same layering note as fl.trainer's duck-typed scenario seam).
+        from repro.scenarios.deadline import upload_finish_times
+
+        uploads = self.backend.local_steps(
+            self.model, wave, k, self.sparsifier
+        )
+        finish = upload_finish_times(uploads, self.timing, self.profiles)
+        now = self._vclock
+        for client, upload, flight in zip(wave, uploads, finish):
+            entry = _InFlight(
+                arrival=now + float(flight),
+                seq=self._seq,
+                client=client,
+                upload=upload,
+                version=self._version,
+                dispatch_time=now,
+            )
+            self._seq += 1
+            # client_id breaks arrival ties deterministically; a client
+            # is never in flight twice, so the pair is a total order.
+            heapq.heappush(
+                self._queue, (entry.arrival, upload.client_id, entry)
+            )
+
+    def _wave(self) -> tuple[list, list[int] | None]:
+        """The clients to dispatch this commit (and their sampled ids)."""
+        if self.synchronous or not self._started:
+            # Synchronous mode resamples every round (the plain trainer's
+            # behaviour); asynchronous mode fixes the cohort here — the
+            # population runs continuously, so later waves are exactly
+            # the clients freed by the previous commit.
+            self._started = True
+            if self.sampler is not None:
+                ids = self.sampler.sample()
+                return [self._client_for(cid) for cid in ids], ids
+            return self._all_participants(), None
+        wave, self._redispatch = self._redispatch, []
+        return wave, None
+
+    @staticmethod
+    def _discounted(
+        uploads: list[ClientUpload], factors: list[float]
+    ) -> list[ClientUpload]:
+        """Uploads with wire values scaled by ``factors``.
+
+        Structural no-op when every factor is 1, so the equivalence mode
+        aggregates the very same arrays the plain trainer does.  Scaled
+        payloads keep the original index array (same support, same nnz),
+        preserving the server's stacked fast-path precondition.
+        """
+        if all(f == 1.0 for f in factors):
+            return uploads
+        return [
+            ClientUpload(
+                client_id=up.client_id,
+                payload=SparseVector.from_sorted(
+                    up.payload.indices,
+                    up.payload.values * f,
+                    up.payload.dimension,
+                ),
+                sample_count=up.sample_count,
+            )
+            for up, f in zip(uploads, factors)
+        ]
+
+    def _adaptive_probe(
+        self, uploads, stale, factors, selection, w_prev, w_new
+    ) -> float | None:
+        """Run the adaptive discount's counterfactual exponent probe.
+
+        Returns the evaluated L(w_new) when the probe ran (the caller
+        hands it to ``finish_round`` so eval-cadence commits don't rerun
+        the identical forward pass), else None.
+        """
+        discount = self.discount
+        if not discount.adaptive:
+            return None
+        a_probe = discount.probe_exponent()
+        if a_probe is None or max(stale) == 0:
+            # No probe, or a batch with no stale arrival — nothing the
+            # exponent could have changed; the walk advances unchanged
+            # and the carried loss goes stale, so force a re-evaluation
+            # at the next probed commit.
+            discount.observe(None)
+            self._loss_prev = None
+            return None
+        probe_factors = [
+            float((1.0 + s) ** -a_probe) for s in stale
+        ]
+        # Same batch, same selection J, probe discount — a pure
+        # recomputation (commit=False keeps any robust aggregator's
+        # reputation state at the real commit), then the plain SGD rule,
+        # exactly like the deadline probe's w'(m) derivation.
+        payload = self.server.aggregate(
+            self._discounted(uploads, probe_factors), selection,
+            commit=False,
+        ).payload
+        w_probe = w_prev.copy()
+        w_probe[payload.indices] -= self.learning_rate * payload.values
+        if self._loss_prev is None:
+            self._loss_prev = self._loss_at(w_prev, restore=w_new)
+        loss_now = float(self.model.loss_value(self._eval_x, self._eval_y))
+        loss_probe = self._loss_at(w_probe, restore=w_new)
+        # The commit cadence (who arrived when) does not depend on the
+        # exponent, so τ_m and the counterfactual θ_m are equal; any
+        # positive time cancels out of eq. (11)'s sign.
+        sign = estimate_sign(
+            loss_prev=self._loss_prev,
+            loss_now=loss_now,
+            loss_probe=loss_probe,
+            round_time=1.0,
+            probe_round_time=1.0,
+            k=discount.exponent,
+            k_probe=a_probe,
+        )
+        discount.observe(sign)
+        self._loss_prev = loss_now
+        return loss_now
+
+    def _loss_at(self, weights: np.ndarray, restore: np.ndarray) -> float:
+        """Evaluation-pool loss at ``weights``; model restored exactly."""
+        self.model.set_weights(weights)
+        try:
+            return float(self.model.loss_value(self._eval_x, self._eval_y))
+        finally:
+            self.model.set_weights(restore)
+
+    # ------------------------------------------------------------------
+    def run_commit(self, k: int, ensure_loss: bool = False) -> RoundRecord:
+        """Dispatch idle clients, commit the next arrival batch, record.
+
+        The async counterpart of :meth:`RoundEngine.run_round`: "round
+        m" in the history is the m-th commit point.
+        """
+        if self.sparsifier is None:
+            raise RuntimeError("run_commit requires a sparsifier")
+        if not 1 <= k <= self.model.dimension:
+            raise ValueError(
+                f"k must be in [1, {self.model.dimension}], got {k}"
+            )
+        m = self.begin_round()
+        tel = self.telemetry
+        tracing = tel.enabled
+        if tracing:
+            phases: dict[str, float] = {}
+            wall_start = mark = time.perf_counter()
+
+            def lap(phase: str) -> None:
+                nonlocal mark
+                now = time.perf_counter()
+                phases[phase] = phases.get(phase, 0.0) + (now - mark)
+                mark = now
+
+        start_round = getattr(self.sparsifier, "start_round", None)
+        if start_round is not None:
+            start_round(k)
+
+        wave, wave_ids = self._wave()
+        if tracing:
+            lap("sample")
+        self._dispatch(wave, k)
+        if tracing:
+            lap("local_steps")
+
+        if not self._queue:
+            raise RuntimeError("no uploads in flight — empty cohort")
+        target = (
+            len(self._queue) if self.commit_count == 0
+            else min(self.commit_count, len(self._queue))
+        )
+        batch = [heapq.heappop(self._queue)[2] for _ in range(target)]
+        # Pops are arrival-ordered, so the close is the last pop's time.
+        commit_close = batch[-1].arrival
+        # Aggregate in dispatch order: in the synchronous special case
+        # that is exactly the plain trainer's cohort order, so the
+        # weighted float sums accumulate bit-identically.
+        batch.sort(key=lambda entry: entry.seq)
+        participants = [entry.client for entry in batch]
+        stale = [self._version - entry.version for entry in batch]
+        self.staleness_history.append(float(sum(stale)) / len(stale))
+        if tracing:
+            for entry, s in zip(batch, stale):
+                # ``seconds`` is the upload's *virtual* flight time
+                # (dispatch → arrival), not wall-clock.
+                tel.event(
+                    "span",
+                    name="async.arrival",
+                    seconds=entry.arrival - entry.dispatch_time,
+                    round=m,
+                    client_id=int(entry.upload.client_id),
+                    staleness=int(s),
+                    arrival=entry.arrival,
+                )
+
+        uploads = self.sparsifier.preprocess_uploads(
+            [entry.upload for entry in batch]
+        )
+        if tracing:
+            lap("preprocess")
+        factors = [self.discount.factor(s) for s in stale]
+        wire = self._discounted(uploads, factors)
+        selection = self.sparsifier.server_select(
+            wire, k, self.model.dimension
+        )
+        if tracing:
+            lap("select")
+        downlink = self.server.aggregate(wire, selection)
+        if tracing:
+            lap("aggregate")
+
+        w_prev = self.model.get_weights()
+        payload = downlink.payload
+        weights = w_prev.copy()
+        if self.optimizer is not None:
+            weights = self.optimizer.step(weights, payload.to_dense())
+        else:
+            weights[payload.indices] -= self.learning_rate * payload.values
+        self.model.set_weights(weights)
+        if tracing:
+            lap("update")
+
+        # Error feedback subtracts what each client actually sent — the
+        # undiscounted preprocessed uploads, not the discounted wire.
+        self.backend.reset_residuals(participants, uploads, selection.indices)
+        if self.sparsifier.discards_residual:
+            for client in participants:
+                client.reset_all()
+        self._note_participation(participants)
+        self._version += 1
+        if not self.synchronous:
+            self._redispatch = participants
+        if tracing:
+            lap("residual_reset")
+
+        eval_loss = self._adaptive_probe(
+            uploads, stale, factors, selection, w_prev, weights
+        )
+        if tracing:
+            lap("probe")
+
+        uplink_elements = max(up.payload.nnz for up in wire)
+        if self.synchronous:
+            # Equivalence mode charges the engine's default path, so the
+            # recorded history matches the plain trainer bit for bit.
+            sparse_round_for = getattr(self.timing, "sparse_round_for", None)
+            if sparse_round_for is not None:
+                timing = sparse_round_for(
+                    uplink_elements, selection.downlink_element_count,
+                    wave_ids,
+                )
+            else:
+                timing = self.timing.sparse_round(
+                    uplink_elements, selection.downlink_element_count
+                )
+            round_time = timing.total
+            self._vclock += round_time
+        else:
+            # Virtual time: the server commits when the batch's last
+            # arrival lands (never before it finished the previous
+            # broadcast), then broadcasts the new model, paced by the
+            # slowest committed client's link.  Base-class transfer time
+            # on purpose — a HeterogeneousTimingModel's own sparse_round
+            # folds in its worst-client factor, which would double-count.
+            worst_comm = max(
+                (
+                    self.profiles[c.client_id].comm_factor
+                    for c in participants
+                    if c.client_id in self.profiles
+                ),
+                default=1.0,
+            )
+            downlink_time = (
+                TimingModel.sparse_round(
+                    self.timing, 0, selection.downlink_element_count
+                ).downlink
+                * worst_comm
+            )
+            commit_complete = max(commit_close, self._vclock) + downlink_time
+            round_time = commit_complete - self._vclock
+            self._vclock = commit_complete
+
+        if tracing:
+            self._pending_trace = {
+                "phases": phases,
+                "wall_start": wall_start,
+                "participants": len(batch),
+                "dropped_ids": [],
+                "uplink_bytes": SPARSE_ELEMENT_BYTES * sum(
+                    up.payload.nnz for up in wire
+                ),
+                "extra": {
+                    "staleness": float(sum(stale)) / len(stale),
+                    "staleness_max": int(max(stale)),
+                    "in_flight": len(self._queue),
+                    "version": self._version,
+                },
+            }
+        return self.finish_round(
+            k=float(k),
+            round_time=round_time,
+            uplink_elements=uplink_elements,
+            downlink_elements=selection.downlink_element_count,
+            contributions=dict(selection.contributions),
+            loss_fn=(lambda: eval_loss) if eval_loss is not None else None,
+            ensure_loss=ensure_loss,
+        )
+
+
+# ----------------------------------------------------------------------
+# Trainer facade
+# ----------------------------------------------------------------------
+class AsyncFLTrainer(EngineFacade):
+    """Asynchronous federated training with staleness-weighted commits.
+
+    The async counterpart of :class:`~repro.fl.trainer.FLTrainer`; the
+    shared parameters mean the same thing.  Additional parameters:
+
+    discount:
+        A :class:`StalenessDiscount` instance or a kind string from
+        :data:`STALENESS_DISCOUNT_KINDS` (default ``"constant"``, i.e.
+        no discount).
+    commit_count:
+        Arrivals the server buffers before each commit (0 = full-cohort
+        barrier).
+    profiles:
+        ``client_id -> ClientProfile`` map (or a profile list) feeding
+        the virtual arrival-time model; heterogeneous profiles are what
+        make commits reorder relative to dispatches.
+    synchronous:
+        Equivalence mode — see :class:`AsyncRoundEngine`; histories are
+        bit-identical to the plain trainer's.
+    scenario:
+        Optional :class:`~repro.scenarios.DeploymentScenario`; supplies
+        the sampler, straggler profiles, and robust aggregator.  The
+        scenario's *deadline hooks are not installed* — asynchronous
+        commits replace deadline-driven partial aggregation (stragglers
+        arrive late instead of being dropped).
+    """
+
+    def __init__(
+        self,
+        model,
+        federation,
+        sparsifier: Sparsifier,
+        timing: TimingModel | None = None,
+        learning_rate: float = 0.01,
+        batch_size: int = 32,
+        eval_every: int = 1,
+        eval_max_samples: int = 2000,
+        sampler=None,
+        momentum_correction: float = 0.0,
+        optimizer=None,
+        backend=None,
+        scenario=None,
+        discount: StalenessDiscount | str = "constant",
+        commit_count: int = 0,
+        profiles=None,
+        synchronous: bool = False,
+        spill_after: int = 0,
+        telemetry=None,
+        seed: int = 0,
+    ) -> None:
+        aggregator = None
+        if scenario is not None:
+            if sampler is not None:
+                raise ValueError(
+                    "pass either a scenario or a sampler, not both"
+                )
+            sampler = scenario.sampler
+            if profiles is None:
+                profiles = scenario.profiles
+            aggregator = scenario.aggregator
+        if isinstance(discount, str):
+            discount = build_staleness_discount(discount)
+        if profiles is not None and not isinstance(profiles, dict):
+            profiles = {p.client_id: p for p in profiles}
+        self.engine = AsyncRoundEngine(
+            model=model,
+            federation=federation,
+            sparsifier=sparsifier,
+            timing=timing if timing is not None else TimingModel(
+                dimension=model.dimension, comm_time=0.0
+            ),
+            learning_rate=learning_rate,
+            batch_size=batch_size,
+            eval_every=eval_every,
+            eval_max_samples=eval_max_samples,
+            sampler=sampler,
+            momentum_correction=momentum_correction,
+            optimizer=optimizer,
+            backend=backend,
+            spill_after=spill_after,
+            telemetry=telemetry,
+            seed=seed,
+            aggregator=aggregator,
+            commit_count=commit_count,
+            discount=discount,
+            profiles=profiles,
+            synchronous=synchronous,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def discount(self) -> StalenessDiscount:
+        return self.engine.discount
+
+    @property
+    def version(self) -> int:
+        return self.engine.version
+
+    @property
+    def virtual_clock(self) -> float:
+        return self.engine.virtual_clock
+
+    @property
+    def staleness_history(self) -> list[float]:
+        """Mean staleness of each commit's batch so far."""
+        return self.engine.staleness_history
+
+    def step(self, k: int) -> RoundRecord:
+        """Run one commit point with k-element GS and record it."""
+        return self.engine.run_commit(k)
+
+    def run(self, num_rounds: int, k) -> TrainingHistory:
+        """Run ``num_rounds`` commits with constant, listed, or scheduled k."""
+        from repro.fl.trainer import _as_schedule
+
+        schedule = _as_schedule(k, self.model.dimension)
+        for _ in range(num_rounds):
+            self.step(schedule(self.engine.round_index + 1))
+        return self.history
+
+    def run_until_loss(
+        self, target_loss: float, k, max_rounds: int = 100_000
+    ) -> TrainingHistory:
+        """Run commits until global loss <= ``target_loss``."""
+        from repro.fl.trainer import _as_schedule
+
+        schedule = _as_schedule(k, self.model.dimension)
+        while self.engine.round_index < max_rounds:
+            record = self.engine.run_commit(
+                schedule(self.engine.round_index + 1), ensure_loss=True
+            )
+            if record.loss <= target_loss:
+                break
+        return self.history

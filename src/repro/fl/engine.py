@@ -667,13 +667,25 @@ class RoundEngine:
             # still emit a round event, with an eval-only breakdown.
             phases = trace["phases"] if trace else {}
             phases["eval"] = time.perf_counter() - eval_start
+            extra = dict(trace["extra"]) if trace and "extra" in trace else {}
+            # JSON has no literal for NaN/±inf, so a non-finite loss
+            # ships as None plus a machine-readable marker — the stream
+            # stays strict JSON and the health monitor's divergence
+            # detector still sees the blow-up.  Cadence-skipped rounds
+            # (loss never evaluated) get a bare None, no marker.
+            loss_value = float(loss)
+            if not np.isfinite(loss_value) and (evaluate or ensure_loss):
+                extra["loss_nonfinite"] = (
+                    "nan" if loss_value != loss_value
+                    else ("inf" if loss_value > 0 else "-inf")
+                )
             tel.event(
                 "round",
                 round=self._round,
                 k=k,
                 round_time=round_time,
                 cumulative_time=self._clock,
-                loss=None if loss != loss else float(loss),
+                loss=loss_value if np.isfinite(loss_value) else None,
                 accuracy=None if accuracy is None else float(accuracy),
                 participants=(trace["participants"] if trace
                               else len(self._client_list)),
@@ -687,6 +699,7 @@ class RoundEngine:
                 wall_seconds=(time.perf_counter() - trace["wall_start"]
                               if trace else phases["eval"]),
                 phases=phases,
+                **extra,
             )
         record = RoundRecord(
             round_index=self._round,

@@ -25,6 +25,7 @@ from __future__ import annotations
 import hashlib
 import json
 import pathlib
+from collections import Counter
 
 #: Relative slowdown tolerated before a metric counts as regressed.
 #: Generous by default: the committed baselines come from small, noisy
@@ -56,8 +57,16 @@ def flatten_bench_report(report: dict) -> dict[str, float]:
             for key, value in node.items():
                 walk(f"{prefix}.{key}" if prefix else str(key), value)
         elif isinstance(node, list):
-            for index, value in enumerate(node):
-                label = _entry_label(value, index)
+            # Entries sharing every identifying field would collide on
+            # the same dotted key and silently overwrite each other;
+            # only colliding labels get the list index appended, so all
+            # pre-existing (unique) metric names stay stable.
+            labels = [_entry_label(value, index)
+                      for index, value in enumerate(node)]
+            counts = Counter(labels)
+            for index, (label, value) in enumerate(zip(labels, node)):
+                if counts[label] > 1:
+                    label = f"{label}.{index}"
                 walk(f"{prefix}.{label}" if prefix else label, value)
 
     walk("", report.get("results", {}))

@@ -137,6 +137,12 @@ class HealthMonitor:
 
         # --- divergence --------------------------------------------------
         loss = record.get("loss")
+        nonfinite = record.get("loss_nonfinite")
+        if loss is None and isinstance(nonfinite, str):
+            # This repo's sink ships non-finite losses as ``loss: null``
+            # plus a ``loss_nonfinite`` marker (strict JSON has no
+            # NaN/Infinity literal); surface them to the detector.
+            loss = float(nonfinite)
         if isinstance(loss, (int, float)):
             loss = float(loss)
             if not math.isfinite(loss):
@@ -163,9 +169,13 @@ class HealthMonitor:
                 self._best_loss = min(self._best_loss, loss)
 
         # --- drop rate ---------------------------------------------------
+        # ``participants`` on a round event counts the *survivors* (the
+        # scenario hooks filter dropped clients out before the engine
+        # snapshots the round), so the exposure base is survivors plus
+        # drops — dropped/(participants+dropped), bounded in [0, 1].
         self._participants += record.get("participants", 0)
         self._dropped += record.get("dropped", 0)
-        exposed = self._participants
+        exposed = self._participants + self._dropped
         if (
             self._rounds >= cfg.drop_min_rounds
             and exposed > 0

@@ -21,9 +21,16 @@ def _jsonable(obj):
 
 
 def encode_event(record: dict) -> str:
-    """One event as a compact, key-sorted JSON line (no trailing newline)."""
+    """One event as a compact, key-sorted JSON line (no trailing newline).
+
+    ``allow_nan=False`` is a backstop: emitters are responsible for
+    coercing non-finite floats (the engine ships them as ``loss: null``
+    plus a ``loss_nonfinite`` marker), and any NaN/inf that slips
+    through raises here instead of writing the non-standard
+    ``NaN``/``Infinity`` tokens that break strict JSONL consumers.
+    """
     return json.dumps(record, sort_keys=True, separators=(",", ":"),
-                      default=_jsonable)
+                      default=_jsonable, allow_nan=False)
 
 
 class JsonlSink:

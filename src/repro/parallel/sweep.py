@@ -232,9 +232,8 @@ def collect_artifacts(figure: str, config: ExperimentConfig) -> dict[str, dict]:
             artifacts[f"scenario_history_{method}"] = history_to_dict(history)
         resolved = resolve_scenario_config(config)
         assert resolved.scenario is not None
-        if supports_deadline_comparison(
-            ScenarioConfig.from_dict(resolved.scenario)
-        ):
+        resolved_scenario = ScenarioConfig.from_dict(resolved.scenario)
+        if supports_deadline_comparison(resolved_scenario):
             adaptation = run_deadline_adaptation(config)
             artifacts["scenario_deadline_policies"] = figure_to_dict(
                 adaptation.loss_vs_time
@@ -242,6 +241,21 @@ def collect_artifacts(figure: str, config: ExperimentConfig) -> dict[str, dict]:
             artifacts["scenario_deadline_traces"] = figure_to_dict(
                 adaptation.deadline_traces
             )
+        if resolved_scenario.async_mode:
+            from repro.experiments.scenario import run_async_comparison
+
+            comparison = run_async_comparison(config)
+            artifacts["scenario_async_loss_vs_time"] = figure_to_dict(
+                comparison.loss_vs_time
+            )
+            artifacts["scenario_async_staleness"] = figure_to_dict(
+                comparison.staleness
+            )
+            for label, history in comparison.histories.items():
+                slug = label.replace("-", "_")
+                artifacts[f"scenario_async_history_{slug}"] = (
+                    history_to_dict(history)
+                )
         return artifacts
     if figure == "adversary":
         from repro.experiments.adversary import run_adversary_panel

@@ -15,6 +15,7 @@ from dataclasses import asdict, dataclass, replace
 
 import numpy as np
 
+from repro.fl.async_engine import STALENESS_DISCOUNT_KINDS
 from repro.fl.robust import AGGREGATOR_KINDS
 from repro.scenarios.adversary import ADVERSARY_KINDS
 from repro.simulation.heterogeneous import ClientProfile
@@ -95,6 +96,21 @@ class ScenarioConfig:
         unmodified server path); the others are Byzantine-tolerant.
     trim_fraction:
         Per-coordinate trim rate of the ``"trimmed_mean"`` aggregator.
+    async_mode:
+        Run the asynchronous staleness-weighted commit comparison
+        (:func:`repro.experiments.scenario.run_async_comparison`) on top
+        of the synchronous artifacts.  Under async commits the deadline
+        family of fields is inert — stragglers arrive late (and get
+        discounted by staleness) instead of being dropped; see
+        :mod:`repro.fl.async_engine`.
+    staleness_discount:
+        One of :data:`repro.fl.async_engine.STALENESS_DISCOUNT_KINDS`
+        (``"poly"``/``"const"`` shorthands are normalized) — the
+        discount the async trainer applies to an s-commits-stale upload.
+    commit_count:
+        Arrivals the async server buffers per commit; 0 means "derive"
+        (the experiment drivers use half the target cohort, so commits
+        close before the stragglers land).
     seed:
         Seeds availability chains, straggler designation, and cohort
         sampling (all streams are derived, so one scenario seed pins the
@@ -124,6 +140,9 @@ class ScenarioConfig:
     adversary_scale: float = 10.0
     aggregator: str = "mean"
     trim_fraction: float = 0.25
+    async_mode: bool = False
+    staleness_discount: str = "constant"
+    commit_count: int = 0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -191,6 +210,19 @@ class ScenarioConfig:
             )
         if not 0.0 <= self.trim_fraction < 0.5:
             raise ValueError("trim_fraction must be in [0, 0.5)")
+        normalized = {"poly": "polynomial", "const": "constant"}.get(
+            self.staleness_discount, self.staleness_discount
+        )
+        if normalized not in STALENESS_DISCOUNT_KINDS:
+            raise ValueError(
+                f"unknown staleness_discount {self.staleness_discount!r}; "
+                f"expected one of {STALENESS_DISCOUNT_KINDS}"
+            )
+        object.__setattr__(self, "staleness_discount", normalized)
+        if self.commit_count < 0:
+            raise ValueError(
+                "commit_count must be >= 0 (0 = derived from the cohort)"
+            )
 
     def _normalize_deadline_policy(self) -> None:
         """Validate/normalize the deadline_policy family of fields.

@@ -26,6 +26,7 @@ import pytest
 from repro.compress.quantization import QuantizedSparsifier, UniformQuantizer
 from repro.data.partition import partition_by_writer, partition_iid
 from repro.data.synthetic import make_femnist_like, make_gaussian_blobs
+from repro.fl.async_engine import AsyncFLTrainer
 from repro.fl.backends import (
     BACKEND_NAMES,
     SerialBackend,
@@ -140,12 +141,50 @@ def _golden_cnn():
     return trainer.run(4, k=20)
 
 
+def _golden_async_profiles(model, fed):
+    """Every third client a 4x straggler — arrivals must reorder."""
+    from repro.simulation.heterogeneous import (
+        ClientProfile,
+        HeterogeneousTimingModel,
+    )
+
+    profiles = [
+        ClientProfile(
+            client_id=c.client_id,
+            compute_factor=4.0 if c.client_id % 3 == 0 else 1.0,
+            comm_factor=4.0 if c.client_id % 3 == 0 else 1.0,
+        )
+        for c in fed.clients
+    ]
+    timing = HeterogeneousTimingModel(
+        model.dimension, comm_time=8.0, profiles=profiles
+    )
+    return profiles, timing
+
+
+def _golden_async():
+    # Pinned in PR 10: the asynchronous commit engine's virtual-time path
+    # has no seed implementation to diff against (the synchronous special
+    # case is covered by bit-identity with ``fl_trainer``), so its first
+    # verified history is the reference — commits of 3 arrivals under the
+    # polynomial staleness discount with a straggling third of the cohort.
+    model, fed, _ = _golden_setup()
+    profiles, timing = _golden_async_profiles(model, fed)
+    trainer = AsyncFLTrainer(
+        model, fed, FABTopK(), timing=timing, learning_rate=0.1,
+        batch_size=8, eval_every=3, seed=7, discount="polynomial",
+        commit_count=3, profiles=profiles,
+    )
+    return trainer.run(10, k=9)
+
+
 GOLDEN_SCENARIOS = {
     "fl_trainer": _golden_fl,
     "adaptive_trainer": _golden_adaptive,
     "fedavg_trainer": _golden_fedavg,
     "sendall_trainer": _golden_sendall,
     "cnn_fl_trainer": _golden_cnn,
+    "async_fl_trainer": _golden_async,
 }
 
 
@@ -333,6 +372,79 @@ class TestBackendEquivalence:
         for cs, cf in zip(serial.clients, fast.clients):
             np.testing.assert_array_equal(cs.residual, cf.residual)
         fast.close()
+
+    @staticmethod
+    def _async_trainer(backend, synchronous=False):
+        fed = _federation()
+        model = make_mlp(64, 10, hidden=(12,), seed=5)
+        from repro.simulation.heterogeneous import (
+            ClientProfile,
+            HeterogeneousTimingModel,
+        )
+        profiles = [
+            ClientProfile(
+                client_id=c.client_id,
+                compute_factor=3.0 if c.client_id % 4 == 0 else 1.0,
+                comm_factor=3.0 if c.client_id % 4 == 0 else 1.0,
+            )
+            for c in fed.clients
+        ]
+        timing = HeterogeneousTimingModel(
+            model.dimension, comm_time=10.0, profiles=profiles
+        )
+        extra = (
+            dict(synchronous=True) if synchronous
+            else dict(discount="polynomial", commit_count=4)
+        )
+        return AsyncFLTrainer(
+            model, fed, FABTopK(), timing=timing, learning_rate=0.05,
+            batch_size=8, eval_every=4, seed=5, backend=backend,
+            profiles=profiles, **extra,
+        )
+
+    @pytest.mark.parametrize("backend_name", FAST_BACKENDS)
+    def test_async_commit_histories_identical(self, backend_name):
+        # The event queue runs in the parent: virtual arrival times,
+        # commit batching, and staleness discounts must be backend-blind.
+        serial = self._async_trainer("serial")
+        fast = self._async_trainer(make_backend(backend_name))
+        hs = serial.run(10, k=15)
+        hf = fast.run(10, k=15)
+        assert history_rows(hs) == history_rows(hf)
+        assert contribution_rows(hs) == contribution_rows(hf)
+        assert serial.staleness_history == fast.staleness_history
+        np.testing.assert_array_equal(
+            serial.model.get_weights(), fast.model.get_weights()
+        )
+        fast.close()
+
+    @pytest.mark.parametrize("backend_name", ("serial",) + FAST_BACKENDS)
+    def test_async_sync_equivalence_matches_plain_trainer(
+        self, backend_name
+    ):
+        # Synchronous-equivalence mode: deadline = infinity, discount = 1,
+        # commit after the full cohort — the event-queue machinery must
+        # reproduce the plain trainer bit for bit on every backend.
+        backend = make_backend(backend_name)
+        plain = _fl_trainer(backend, SPARSIFIER_FACTORIES["fab-top-k"])
+        hp = plain.run(10, k=15)
+        fed = _federation()
+        model = make_mlp(64, 10, hidden=(12,), seed=5)
+        timing = TimingModel(dimension=model.dimension, comm_time=10.0)
+        sync = AsyncFLTrainer(
+            model, fed, FABTopK(), timing=timing, learning_rate=0.05,
+            batch_size=8, eval_every=4, seed=5,
+            backend=make_backend(backend_name), synchronous=True,
+        )
+        hs = sync.run(10, k=15)
+        assert history_rows(hp) == history_rows(hs)
+        assert contribution_rows(hp) == contribution_rows(hs)
+        np.testing.assert_array_equal(
+            plain.model.get_weights(), sync.model.get_weights()
+        )
+        assert all(s == 0.0 for s in sync.staleness_history)
+        plain.close()
+        sync.close()
 
 
 # ----------------------------------------------------------------------

@@ -153,6 +153,15 @@ class TestSinks:
         with pytest.raises(TypeError, match="not JSON serializable"):
             encode_event({"type": "span", "obj": object()})
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_encode_event_rejects_non_finite_floats(self, bad):
+        # The emit-site coercion is the contract; allow_nan=False is the
+        # backstop that turns a slipped-through NaN/inf into a loud
+        # error instead of a silently invalid ``Infinity`` JSONL token.
+        with pytest.raises(ValueError):
+            encode_event({"type": "round", "loss": bad})
+
     def test_aggregator_rollup(self):
         agg = MemoryAggregator()
         for kind in sorted(EVENT_TYPES):
@@ -550,11 +559,43 @@ class TestHealthMonitor:
         monitor = HealthMonitor()
         alerts = []
         for i in range(1, 8):
+            # 5/(4+5) ≈ 0.56 of all scheduled uploads dropped.
             alerts += monitor.observe(
-                self._round(i, 0.5, participants=4, dropped=3)
+                self._round(i, 0.5, participants=4, dropped=5)
             )
         assert [a["detector"] for a in alerts] == ["drop_rate"]
         assert alerts[0]["severity"] == "warning"
+
+    def test_drop_rate_uses_scheduled_upload_denominator(self):
+        # ``participants`` counts post-gate survivors, so the rate is
+        # dropped/(participants+dropped) — a heavy-drop trace must stay
+        # bounded in [0, 1] instead of dividing by survivors only
+        # (9 dropped / 1 survivor would read as 900%).
+        from repro.obs import HealthMonitor
+
+        monitor = HealthMonitor()
+        alerts = []
+        for i in range(1, 8):
+            alerts += monitor.observe(
+                self._round(i, 0.5, participants=1, dropped=9)
+            )
+        assert [a["detector"] for a in alerts] == ["drop_rate"]
+        rate = alerts[0]["dropped"] / alerts[0]["participants"]
+        assert 0.0 <= rate <= 1.0
+        assert alerts[0]["participants"] == alerts[0]["dropped"] + 5
+
+    def test_drop_rate_exactly_at_threshold_does_not_alert(self):
+        # The detector fires on strictly-greater-than, so a run sitting
+        # exactly at the 0.5 threshold (3 dropped vs 3 survivors) stays
+        # quiet however long it runs.
+        from repro.obs import HealthMonitor
+
+        monitor = HealthMonitor()
+        for i in range(1, 30):
+            assert monitor.observe(
+                self._round(i, 0.5, participants=3, dropped=3)
+            ) == []
+        assert monitor.summary()["healthy"]
 
     def test_flagged_accumulation_alarm(self):
         from repro.obs import HealthMonitor
@@ -587,6 +628,27 @@ class TestHealthMonitor:
             )
         assert [a["detector"] for a in alerts] == ["stall"]
         assert alerts[0]["phase"] == "local_steps"
+
+    def test_latching_is_per_subject(self):
+        # Each (detector, subject) pair alerts exactly once: two stalled
+        # phases raise two alerts, and repeating either stays silent.
+        from repro.obs import HealthConfig, HealthMonitor
+
+        monitor = HealthMonitor(HealthConfig(stall_min_seconds=0.05))
+        alerts = []
+        for i in range(1, 11):
+            jitter = 0.1 + 0.001 * (i % 3)
+            alerts += monitor.observe(self._round(
+                i, 0.5, phases={"local_steps": jitter, "aggregate": jitter}
+            ))
+        assert alerts == []
+        for i in range(11, 14):  # every later round stalls both phases
+            alerts += monitor.observe(self._round(
+                i, 0.5, phases={"local_steps": 5.0, "aggregate": 5.0}
+            ))
+        assert sorted(a["phase"] for a in alerts) == \
+            ["aggregate", "local_steps"]
+        assert all(a["detector"] == "stall" for a in alerts)
 
     def test_eval_phase_excluded_from_stall(self):
         from repro.obs import HealthConfig, HealthMonitor
@@ -628,7 +690,11 @@ class TestHealthMonitor:
         emit(tel, self._round(2, 1e6))  # lacks warmup: no alert yet
         for i in range(3, 6):
             emit(tel, self._round(i, 0.5))
-        emit(tel, self._round(6, float("inf")))
+        # The engine's wire shape for a diverged (infinite) loss: null
+        # plus the non-finite marker, keeping the stream strict JSON.
+        inf_row = self._round(6, None)
+        inf_row["loss_nonfinite"] = "inf"
+        emit(tel, inf_row)
         tel.close()
         events = [json.loads(l) for l in path.read_text().splitlines()]
         alerts = [e for e in events if e["type"] == "alert"]
@@ -636,6 +702,37 @@ class TestHealthMonitor:
         # Alert events are schema-valid in the stream.
         for event in events:
             validate_event(event)
+
+    def test_infinite_loss_round_trips_as_strict_json(self, tmp_path):
+        # End to end through the real engine and a real JsonlSink: a run
+        # whose loss diverges to +inf must still write parseable strict
+        # JSONL (no bare ``Infinity`` token) and the replayed trace must
+        # raise the divergence alert.
+        from repro.obs import HealthMonitor, scan_trace
+
+        path = tmp_path / "trace.jsonl"
+        tel = Telemetry(sink=JsonlSink(path), health=HealthMonitor())
+        trainer = _trainer("serial", telemetry=tel)
+        trainer.step(9)
+        # Blow the weights up so the next evaluated loss (round 3 under
+        # eval_every=3) is non-finite.
+        trainer.model.set_weights(
+            np.full(trainer.model.dimension, 1e300)
+        )
+        trainer.step(9)
+        trainer.step(9)
+        tel.close()
+        trainer.close()
+        rounds = []
+        for line in path.read_text().splitlines():
+            record = json.loads(line, parse_constant=pytest.fail)
+            if record["type"] == "round":
+                rounds.append(record)
+        diverged = [r for r in rounds if r.get("loss_nonfinite")]
+        assert diverged and diverged[-1]["loss"] is None
+        summary = scan_trace(path).summary()
+        assert not summary["healthy"]
+        assert summary["by_detector"]["divergence"] == 1
 
     def test_trace_report_health_section(self, tmp_path):
         trace = tmp_path / "trace.jsonl"
@@ -731,6 +828,24 @@ class TestBenchDiff:
         assert entry["metrics"]["mlp.n24.rounds_per_second.serial"] == 100.0
         assert entry["metrics"]["mlp.n24.vectorized_speedup"] == 2.0
         assert len(entry["fingerprint"]) == 16
+
+    def test_colliding_entry_labels_keep_every_metric(self):
+        # Two list entries sharing all identifying fields must not fold
+        # into one dotted key (the second silently overwrote the first);
+        # only the colliding labels gain the list index — unique labels
+        # keep their historical metric names.
+        from repro.obs.export import flatten_bench_report
+
+        report = {"results": [
+            {"backend": "serial", "rounds_per_second": 100.0},
+            {"backend": "serial", "rounds_per_second": 80.0},
+            {"backend": "vectorized", "rounds_per_second": 250.0},
+        ]}
+        metrics = flatten_bench_report(report)
+        assert metrics["serial.0.rounds_per_second"] == 100.0
+        assert metrics["serial.1.rounds_per_second"] == 80.0
+        assert metrics["vectorized.rounds_per_second"] == 250.0
+        assert "serial.rounds_per_second" not in metrics
 
     def test_history_append_is_idempotent(self, tmp_path):
         from repro.obs.export import (
